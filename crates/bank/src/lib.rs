@@ -1,0 +1,29 @@
+//! # rmodp-bank — the paper's running example, in all five viewpoints
+//!
+//! The tutorial develops one application throughout: a bank branch. This
+//! crate specifies it in each viewpoint language and deploys it on the
+//! engineering infrastructure:
+//!
+//! - [`enterprise`] (§3) — the branch community: manager, tellers and
+//!   customers; the $500/day prohibition; the obligation to advise
+//!   customers when the interest rate changes;
+//! - [`information`] (§4) — account schemas: static (balance and
+//!   amount-withdrawn-today), invariant (≤ $500/day), dynamic (withdraw /
+//!   deposit / the midnight reset), and the *owns account* association;
+//! - [`computational`] (§5, Figures 2–3) — the BankTeller, BankManager
+//!   and LoansOfficer interface types and the branch object template
+//!   offering teller and manager interfaces;
+//! - [`deployment`] (§6) — the branch as a basic engineering object with
+//!   executable behaviour, deployed into a node/capsule/cluster, exported
+//!   to the trader and relocator;
+//! - [`technology`] (§7) — the technology specification: concrete
+//!   choices (transfer syntaxes, simulator parameters) and the
+//!   information required for testing.
+
+pub mod computational;
+pub mod deployment;
+pub mod enterprise;
+pub mod information;
+pub mod technology;
+
+pub use deployment::{deploy_branch, BankDeployment, BranchBehaviour};

@@ -1,0 +1,88 @@
+//! The branch's technology specification (§7).
+//!
+//! "A technology specification of an ODP system describes the
+//! implementation of that system and the information required for
+//! testing. RM-ODP has very few rules applicable to technology
+//! specifications." Accordingly this module is descriptive: it pins the
+//! concrete technology choices of the reference deployment and enumerates
+//! the conformance test points a tester would exercise.
+
+use rmodp_core::codec::SyntaxId;
+use rmodp_netsim::time::SimDuration;
+
+/// One conformance test point: where a tester observes the implementation
+/// to check it against the specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConformancePoint {
+    /// A short name.
+    pub name: &'static str,
+    /// What is observed there.
+    pub observes: &'static str,
+}
+
+/// The concrete technology choices of the reference bank deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechnologySpec {
+    /// Native transfer syntax of branch (server) nodes.
+    pub server_syntax: SyntaxId,
+    /// Native transfer syntax of customer (client) nodes.
+    pub client_syntax: SyntaxId,
+    /// Inter-node link latency of the reference topology.
+    pub link_latency: SimDuration,
+    /// The simulation seed of the reference runs (full determinism).
+    pub seed: u64,
+    /// The conformance test points.
+    pub conformance: Vec<ConformancePoint>,
+}
+
+/// The standard technology specification used by the examples, tests and
+/// benchmarks.
+pub fn standard() -> TechnologySpec {
+    TechnologySpec {
+        server_syntax: SyntaxId::Binary,
+        client_syntax: SyntaxId::Text,
+        link_latency: SimDuration::from_millis(1),
+        seed: 77,
+        conformance: vec![
+            ConformancePoint {
+                name: "programmatic",
+                observes: "terminations returned at the teller and manager interfaces",
+            },
+            ConformancePoint {
+                name: "perceptual",
+                observes: "wire envelopes at the protocol-object boundary",
+            },
+            ConformancePoint {
+                name: "interworking",
+                observes: "marshalled payload equivalence across native syntaxes",
+            },
+            ConformancePoint {
+                name: "interchange",
+                observes: "checkpoint bytes written through the storage function",
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_spec_is_heterogeneous() {
+        let spec = standard();
+        // Access transparency is only exercised when the ends differ.
+        assert_ne!(spec.server_syntax, spec.client_syntax);
+        assert!(spec.link_latency > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn conformance_points_cover_the_four_kinds() {
+        let spec = standard();
+        assert_eq!(spec.conformance.len(), 4);
+        for p in &spec.conformance {
+            assert!(!p.name.is_empty());
+            assert!(!p.observes.is_empty());
+        }
+    }
+}

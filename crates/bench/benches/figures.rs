@@ -1,0 +1,292 @@
+//! Benchmarks regenerating the paper's five figures as measured
+//! workloads (see EXPERIMENTS.md, rows F1–F5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rmodp_bank as bank;
+use rmodp_bench::{add_one, counter_rig, open, wide_signature};
+use rmodp_computational::signature::InterfaceSignature;
+use rmodp_computational::subtype::is_operational_subtype;
+use rmodp_core::codec::SyntaxId;
+use rmodp_core::value::Value;
+use rmodp_engineering::behaviour::CounterBehaviour;
+use rmodp_engineering::channel::ChannelConfig;
+use rmodp_engineering::engine::Engine;
+use rmodp_enterprise::prelude::*;
+use rmodp_typerepo::TypeRepository;
+
+/// F1 — Figure 1: the five-viewpoint specification pipeline for the bank,
+/// from requirements (enterprise) to implementation (technology), as one
+/// measured unit of work.
+fn fig1_viewpoint_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_viewpoint_pipeline");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group.bench_function("bank_five_viewpoints", |b| {
+        b.iter(|| {
+            // Enterprise: community + policies + one decision.
+            let roster = bank::enterprise::BranchRoster::default();
+            let community = bank::enterprise::branch_community(&roster);
+            let mut policies = bank::enterprise::branch_policies();
+            let request = ActionRequest::new(roster.customers[0], "withdraw").with_context(
+                Value::record([
+                    ("amount", Value::Int(100)),
+                    ("withdrawn_today", Value::Int(0)),
+                ]),
+            );
+            let decision = policies.decide(&community, &request).unwrap();
+            assert!(decision.is_allowed());
+            // Information: schema transition under invariants.
+            let mut account = bank::information::new_account(1, 1_000);
+            account
+                .apply(
+                    &bank::information::withdraw_schema(),
+                    Value::record([("x", Value::Int(100))]),
+                )
+                .unwrap();
+            // Computational: the Figure 3 subtype check.
+            is_operational_subtype(
+                &bank::computational::bank_manager(),
+                &bank::computational::bank_teller(),
+            )
+            .unwrap();
+            // Engineering + technology: deploy and invoke once.
+            let mut engine = Engine::new(1);
+            let dep = bank::deploy_branch(&mut engine, SyntaxId::Binary).unwrap();
+            let client = engine.add_node(SyntaxId::Text);
+            let ch = engine
+                .open_channel(client, dep.manager.interface, ChannelConfig::default())
+                .unwrap();
+            let t = engine
+                .call(
+                    ch,
+                    "CreateAccount",
+                    &Value::record([("c", Value::Int(1)), ("opening", Value::Int(1))]),
+                )
+                .unwrap();
+            assert!(t.is_ok());
+        });
+    });
+    group.finish();
+}
+
+/// F2 — Figure 2: operation invocation through the branch's interfaces —
+/// remote (cross-node, marshalled) vs local (same node, no network).
+fn fig2_operation_invocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_operation_invocation");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+
+    let mut rig = counter_rig(2, SyntaxId::Text);
+    let ch = open(&mut rig, ChannelConfig::default());
+    group.bench_function("remote_marshalled", |b| {
+        b.iter(|| rig.engine.call(ch, "Add", &add_one()).unwrap());
+    });
+
+    let mut rig2 = counter_rig(3, SyntaxId::Binary);
+    let ch2 = open(&mut rig2, ChannelConfig::default());
+    group.bench_function("remote_same_syntax", |b| {
+        b.iter(|| rig2.engine.call(ch2, "Add", &add_one()).unwrap());
+    });
+
+    let mut rig3 = counter_rig(4, SyntaxId::Binary);
+    group.bench_function("local_bypass", |b| {
+        b.iter(|| {
+            rig3.engine
+                .invoke_local(rig3.server, rig3.interface, "Add", &add_one())
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// F3 — Figure 3: structural subtype checking and lattice derivation as
+/// the signatures widen.
+fn fig3_subtype_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_subtype_checking");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    for ops in [4usize, 16, 64] {
+        let sup = wide_signature("Sup", ops, 4);
+        let mut sub = wide_signature("Sub", ops, 4);
+        sub = sub.announcement("extra", [("x", rmodp_core::dtype::DataType::Int)]);
+        group.bench_with_input(BenchmarkId::new("check", ops), &ops, |b, _| {
+            b.iter(|| is_operational_subtype(&sub, &sup).unwrap());
+        });
+    }
+    for types in [4usize, 12] {
+        group.bench_with_input(
+            BenchmarkId::new("repository_fixpoint", types),
+            &types,
+            |b, &types| {
+                b.iter(|| {
+                    let mut repo = TypeRepository::new();
+                    for i in 0..types {
+                        repo.register(InterfaceSignature::Operational(wide_signature(
+                            &format!("T{i}"),
+                            i + 1,
+                            2,
+                        )))
+                        .unwrap();
+                    }
+                    repo
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// F4 — Figure 4: channel composition ablation — what each stub/binder
+/// layer costs per invocation.
+fn fig4_channel_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_channel_ablation");
+    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    let configs: [(&str, ChannelConfig); 4] = [
+        ("bare", ChannelConfig::default()),
+        (
+            "marshalling",
+            ChannelConfig {
+                wire_syntax: SyntaxId::Text,
+                ..ChannelConfig::default()
+            },
+        ),
+        (
+            "marshalling+sequence",
+            ChannelConfig {
+                wire_syntax: SyntaxId::Text,
+                sequence: true,
+                ..ChannelConfig::default()
+            },
+        ),
+        (
+            "marshalling+sequence+audit",
+            ChannelConfig {
+                wire_syntax: SyntaxId::Text,
+                sequence: true,
+                audit: true,
+                ..ChannelConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        let mut rig = counter_rig(5, SyntaxId::Binary);
+        let ch = open(&mut rig, config);
+        group.bench_function(name, |b| {
+            b.iter(|| rig.engine.call(ch, "Add", &add_one()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// F5 — Figure 5: node population (capsules → clusters → objects) and the
+/// structuring-rule validator at scale.
+fn fig5_node_structure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_node_structure");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for objects in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("populate", objects), &objects, |b, &n| {
+            b.iter(|| {
+                let mut engine = Engine::new(6);
+                engine
+                    .behaviours_mut()
+                    .register("counter", CounterBehaviour::default);
+                let node = engine.add_node(SyntaxId::Binary);
+                let capsule = engine.add_capsule(node).unwrap();
+                for _ in 0..(n / 10).max(1) {
+                    let cluster = engine.add_cluster(node, capsule).unwrap();
+                    for _ in 0..10.min(n) {
+                        engine
+                            .create_object(
+                                node,
+                                capsule,
+                                cluster,
+                                "o",
+                                "counter",
+                                CounterBehaviour::initial_state(),
+                                1,
+                            )
+                            .unwrap();
+                    }
+                }
+                engine
+            });
+        });
+        // Validation cost over a populated node.
+        let mut engine = Engine::new(7);
+        engine
+            .behaviours_mut()
+            .register("counter", CounterBehaviour::default);
+        let node = engine.add_node(SyntaxId::Binary);
+        let capsule = engine.add_capsule(node).unwrap();
+        for _ in 0..(objects / 10).max(1) {
+            let cluster = engine.add_cluster(node, capsule).unwrap();
+            for _ in 0..10.min(objects) {
+                engine
+                    .create_object(node, capsule, cluster, "o", "counter", CounterBehaviour::initial_state(), 1)
+                    .unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("validate", objects), &objects, |b, _| {
+            b.iter(|| {
+                let v = engine.validate_node(node).unwrap();
+                assert!(v.is_empty());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// F5b — the §6.2 structuring ablation: migration cost as the cluster
+/// grows (clusters are the unit of migration, so one-object clusters
+/// migrate cheaply but need more migrations; many-object clusters
+/// amortise bookkeeping but move more state).
+fn fig5_migration_vs_cluster_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_migration_vs_cluster_size");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for objects in [1usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("migrate_cluster", objects),
+            &objects,
+            |b, &n| {
+                b.iter(|| {
+                    let mut engine = Engine::new(8);
+                    engine
+                        .behaviours_mut()
+                        .register("counter", CounterBehaviour::default);
+                    let node = engine.add_node(SyntaxId::Binary);
+                    let capsule = engine.add_capsule(node).unwrap();
+                    let cluster = engine.add_cluster(node, capsule).unwrap();
+                    for _ in 0..n {
+                        engine
+                            .create_object(
+                                node,
+                                capsule,
+                                cluster,
+                                "o",
+                                "counter",
+                                CounterBehaviour::initial_state(),
+                                1,
+                            )
+                            .unwrap();
+                    }
+                    let target = engine.add_node(SyntaxId::Binary);
+                    let target_capsule = engine.add_capsule(target).unwrap();
+                    engine
+                        .migrate_cluster(node, capsule, cluster, target, target_capsule)
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_viewpoint_pipeline,
+    fig2_operation_invocation,
+    fig3_subtype_checking,
+    fig4_channel_ablation,
+    fig5_node_structure,
+    fig5_migration_vs_cluster_size
+);
+criterion_main!(figures);

@@ -1,0 +1,211 @@
+//! Benchmarks for the ODP functions (EXPERIMENTS.md rows E1–E4): policy
+//! engine, schema checking, trader scaling, transactions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+use rmodp_bank as bank;
+use rmodp_bench::populated_trader;
+use rmodp_core::id::InterfaceId;
+use rmodp_core::value::Value;
+use rmodp_enterprise::prelude::*;
+use rmodp_netsim::sim::{Addr, Sim};
+use rmodp_netsim::time::SimDuration;
+use rmodp_netsim::topology::{LinkConfig, Topology};
+use rmodp_trader::{Federation, ImportRequest};
+use rmodp_transactions::rm::{ResourceManager, TxProfile};
+use rmodp_transactions::twopc::{Coordinator, Participant, TxRequest};
+
+/// E1 — policy decisions as the policy set grows.
+fn e1_policy_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_policy_engine");
+    group.measurement_time(Duration::from_secs(3)).sample_size(40);
+    for policies in [5usize, 50, 200] {
+        let roster = bank::enterprise::BranchRoster::default();
+        let community = bank::enterprise::branch_community(&roster);
+        let mut engine = bank::enterprise::branch_policies();
+        for i in 0..policies.saturating_sub(5) {
+            engine
+                .adopt(
+                    Policy::permission(format!("extra-{i}"), "auditor", format!("audit-{i}")),
+                )
+                .unwrap();
+        }
+        let request = ActionRequest::new(roster.customers[0], "withdraw").with_context(
+            Value::record([
+                ("amount", Value::Int(100)),
+                ("withdrawn_today", Value::Int(100)),
+            ]),
+        );
+        group.bench_with_input(BenchmarkId::new("decide", policies), &policies, |b, _| {
+            b.iter(|| engine.decide(&community, &request).unwrap());
+        });
+    }
+    group.finish();
+}
+
+/// E2 — dynamic schema application constrained by invariants (the §4
+/// mechanism on the hot path of every bank operation).
+fn e2_schema_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_schema_checking");
+    group.measurement_time(Duration::from_secs(3)).sample_size(40);
+    let withdraw = bank::information::withdraw_schema();
+    let invariants = bank::information::account_invariants();
+    let state = bank::information::account_schema(100_000).initial().clone();
+    let args = Value::record([("x", Value::Int(50))]);
+    group.bench_function("withdraw_checked", |b| {
+        b.iter(|| withdraw.apply_checked(&state, &args, &invariants).unwrap());
+    });
+    group.bench_function("withdraw_unchecked", |b| {
+        b.iter(|| withdraw.apply(&state, &args).unwrap());
+    });
+    // The rejected path (invariant violation) costs the same work.
+    let maxed = Value::record([
+        ("balance", Value::Int(100_000)),
+        ("withdrawn_today", Value::Int(500)),
+    ]);
+    group.bench_function("withdraw_rejected", |b| {
+        b.iter(|| withdraw.apply_checked(&maxed, &args, &invariants).unwrap_err());
+    });
+    group.finish();
+}
+
+/// E3 — trader import latency vs offer count, constraint complexity and
+/// federation hops.
+fn e3_trader_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_trader_scaling");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    for offers in [10usize, 100, 1_000, 10_000] {
+        let mut trader = populated_trader(offers);
+        let request = ImportRequest::new("Printer")
+            .constraint("ppm >= 50 and floor <= 6")
+            .unwrap()
+            .prefer_min("queue_len")
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("import", offers), &offers, |b, _| {
+            b.iter(|| trader.import(&request, None));
+        });
+    }
+    // Constraint complexity at a fixed corpus.
+    let mut trader = populated_trader(1_000);
+    for (name, constraint) in [
+        ("simple", "ppm >= 50"),
+        ("medium", "ppm >= 50 and floor <= 6 and colour"),
+        (
+            "complex",
+            "(ppm >= 50 or queue_len <= 3) and floor <= 6 and not (colour and ppm < 60)",
+        ),
+    ] {
+        let request = ImportRequest::new("Printer").constraint(constraint).unwrap();
+        group.bench_function(BenchmarkId::new("constraint", name), |b| {
+            b.iter(|| trader.import(&request, None));
+        });
+    }
+    // Federation hops.
+    for hops in [0usize, 2, 4] {
+        let mut federation = Federation::new();
+        for i in 0..5 {
+            federation.add_trader(format!("t{i}")).unwrap();
+            for j in 0..200 {
+                federation
+                    .trader_mut(&format!("t{i}"))
+                    .unwrap()
+                    .export(
+                        "Printer",
+                        InterfaceId::new((i * 200 + j) as u64 + 1),
+                        Value::record([("ppm", Value::Int((j % 90) as i64 + 10))]),
+                    )
+                    .unwrap();
+            }
+            if i > 0 {
+                federation.link(&format!("t{}", i - 1), &format!("t{i}")).unwrap();
+            }
+        }
+        let request = ImportRequest::new("Printer").constraint("ppm >= 70").unwrap();
+        group.bench_with_input(BenchmarkId::new("federated", hops), &hops, |b, &hops| {
+            b.iter(|| {
+                federation
+                    .import_federated("t0", &request, None, hops)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E4 — transactions: local commit throughput vs conflict rate, and
+/// distributed 2PC latency vs participant count.
+fn e4_transactions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_transactions");
+    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+
+    // Local: N sequential transactions over a keyspace whose size sets the
+    // conflict (and deadlock-retry) probability when interleaved pairwise.
+    for keys in [1_000usize, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("local_commits", format!("keyspace_{keys}")),
+            &keys,
+            |b, &keys| {
+                b.iter(|| {
+                    let mut rm = ResourceManager::new("bench", TxProfile::acid());
+                    for i in 0..100u64 {
+                        let tx = rm.begin();
+                        let k1 = format!("k{}", i as usize % keys);
+                        let k2 = format!("k{}", (i as usize + 1) % keys);
+                        rm.write(tx, &k1, Value::Int(i as i64)).unwrap();
+                        if k1 != k2 {
+                            rm.write(tx, &k2, Value::Int(i as i64)).unwrap();
+                        }
+                        rm.commit(tx).unwrap();
+                    }
+                    rm
+                });
+            },
+        );
+    }
+
+    // Distributed: one 2PC round trip, by participant count.
+    for participants in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("two_phase_commit", participants),
+            &participants,
+            |b, &n| {
+                b.iter(|| {
+                    let link = LinkConfig::with_latency(SimDuration::from_millis(1));
+                    let mut sim = Sim::with_topology(9, Topology::full_mesh(link));
+                    let coord_node = sim.add_node();
+                    let coord = Addr::new(coord_node, 0);
+                    let mut parts = Vec::new();
+                    for i in 0..n {
+                        let node = sim.add_node();
+                        let addr = Addr::new(node, 0);
+                        sim.attach(addr, Participant::new(format!("rm{i}")));
+                        parts.push(addr);
+                    }
+                    sim.attach(
+                        coord,
+                        Coordinator::new(parts, SimDuration::from_millis(50), 3),
+                    );
+                    let request = TxRequest {
+                        writes: (0..n).map(|p| (p, "x".to_owned(), Value::Int(1))).collect(),
+                    };
+                    let payload =
+                        Coordinator::submit_payload(rmodp_core::id::TxId::new(1), &request);
+                    sim.send_from(Addr::EXTERNAL, coord, payload);
+                    sim.run_until_idle();
+                    sim.now()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    functions,
+    e1_policy_engine,
+    e2_schema_checking,
+    e3_trader_scaling,
+    e4_transactions
+);
+criterion_main!(functions);

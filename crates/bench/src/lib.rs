@@ -1,0 +1,158 @@
+//! # rmodp-bench — shared workload builders for the benchmark harness
+//!
+//! The paper (a reference-model tutorial) contains no measurement tables;
+//! its five figures are architectural. The benchmark harness therefore
+//! regenerates each *figure* as a measured workload and quantifies the
+//! cost of every mechanism the model prescribes (see `EXPERIMENTS.md` at
+//! the workspace root for the index). This crate holds the workload
+//! builders the `benches/` targets share, so they are also unit-testable.
+
+use rmodp_core::codec::SyntaxId;
+use rmodp_core::dtype::DataType;
+use rmodp_core::id::{CapsuleId, ClusterId, InterfaceId, NodeId};
+use rmodp_core::value::Value;
+use rmodp_engineering::behaviour::CounterBehaviour;
+use rmodp_engineering::channel::ChannelConfig;
+use rmodp_engineering::engine::Engine;
+use rmodp_computational::signature::{OperationalSignature, TerminationSignature};
+use rmodp_trader::Trader;
+
+/// A deployed counter reachable from a client node — the standard unit of
+/// invocation benchmarks.
+#[derive(Debug)]
+pub struct CounterRig {
+    /// The engine.
+    pub engine: Engine,
+    /// The server node.
+    pub server: NodeId,
+    /// The client node.
+    pub client: NodeId,
+    /// The counter's home.
+    pub home: (NodeId, CapsuleId, ClusterId),
+    /// The counter's interface.
+    pub interface: InterfaceId,
+}
+
+/// Builds a two-node counter rig. `client_syntax` differing from binary
+/// forces real marshalling on every call.
+pub fn counter_rig(seed: u64, client_syntax: SyntaxId) -> CounterRig {
+    let mut engine = Engine::new(seed);
+    engine
+        .behaviours_mut()
+        .register("counter", CounterBehaviour::default);
+    let server = engine.add_node(SyntaxId::Binary);
+    let client = engine.add_node(client_syntax);
+    let capsule = engine.add_capsule(server).expect("fresh node");
+    let cluster = engine.add_cluster(server, capsule).expect("fresh capsule");
+    let (_, refs) = engine
+        .create_object(
+            server,
+            capsule,
+            cluster,
+            "counter",
+            "counter",
+            CounterBehaviour::initial_state(),
+            1,
+        )
+        .expect("fresh cluster");
+    CounterRig {
+        engine,
+        server,
+        client,
+        home: (server, capsule, cluster),
+        interface: refs[0].interface,
+    }
+}
+
+/// Opens a channel on a rig and returns it.
+pub fn open(rig: &mut CounterRig, config: ChannelConfig) -> rmodp_core::id::ChannelId {
+    rig.engine
+        .open_channel(rig.client, rig.interface, config)
+        .expect("interface is live")
+}
+
+/// The standard `Add {k: 1}` argument record.
+pub fn add_one() -> Value {
+    Value::record([("k", Value::Int(1))])
+}
+
+/// Builds an operational signature with `n` interrogations of `p`
+/// parameters each — the scaling axis of the Figure 3 benchmark.
+pub fn wide_signature(name: &str, n: usize, p: usize) -> OperationalSignature {
+    let mut sig = OperationalSignature::new(name);
+    for i in 0..n {
+        let params: Vec<(String, DataType)> =
+            (0..p).map(|j| (format!("p{j}"), DataType::Int)).collect();
+        sig = sig.interrogation(
+            format!("op{i}"),
+            params,
+            vec![
+                TerminationSignature::new("OK", [("r", DataType::Int)]),
+                TerminationSignature::new("Error", [("reason", DataType::Text)]),
+            ],
+        );
+    }
+    sig
+}
+
+/// Fills a trader with `n` printer offers whose properties spread over
+/// speed/floor/colour — the Figure/E3 scaling corpus.
+pub fn populated_trader(n: usize) -> Trader {
+    let mut trader = Trader::new("bench");
+    for i in 0..n {
+        trader
+            .export(
+                "Printer",
+                InterfaceId::new(i as u64 + 1),
+                Value::record([
+                    ("ppm", Value::Int((i % 90) as i64 + 10)),
+                    ("floor", Value::Int((i % 12) as i64)),
+                    ("colour", Value::Bool(i % 3 == 0)),
+                    ("queue_len", Value::Int((i % 25) as i64)),
+                ]),
+            )
+            .expect("record properties");
+    }
+    trader
+}
+
+/// A nested value of the given depth/width for codec benchmarks.
+pub fn nested_value(depth: usize, width: usize) -> Value {
+    if depth == 0 {
+        return Value::Int(42);
+    }
+    Value::record(
+        (0..width).map(|i| (format!("f{i}"), nested_value(depth - 1, width))),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_rig_serves_calls() {
+        let mut rig = counter_rig(1, SyntaxId::Text);
+        let ch = open(&mut rig, ChannelConfig::default());
+        let t = rig.engine.call(ch, "Add", &add_one()).unwrap();
+        assert!(t.is_ok());
+    }
+
+    #[test]
+    fn wide_signature_has_requested_shape() {
+        let sig = wide_signature("W", 8, 3);
+        assert_eq!(sig.operations().len(), 8);
+        assert_eq!(sig.operation("op0").unwrap().params.len(), 3);
+    }
+
+    #[test]
+    fn populated_trader_holds_n_offers() {
+        assert_eq!(populated_trader(100).len(), 100);
+    }
+
+    #[test]
+    fn nested_value_size_grows() {
+        assert_eq!(nested_value(0, 4).size(), 1);
+        assert!(nested_value(3, 3).size() > nested_value(2, 3).size());
+    }
+}

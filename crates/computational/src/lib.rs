@@ -1,0 +1,51 @@
+//! # rmodp-computational — the computational viewpoint (§5)
+//!
+//! The computational language specifies the functionality of an ODP
+//! application in a distribution-transparent manner. It is object-based:
+//! objects encapsulate state and behaviour, offer (possibly many) strongly
+//! typed interfaces, and interact through bindings.
+//!
+//! This crate provides:
+//!
+//! - [`signature`] — the three interface kinds of §5.1: **operational**
+//!   (interrogations with terminations, and announcements), **stream**
+//!   (flows between producers and consumers) and **signal** (the low-level
+//!   actions underlying both, cf. OSI REQUEST/INDICATE/RESPONSE/CONFIRM);
+//! - [`subtype`] — structural interface subtyping (§5.1.1): substitutable
+//!   subtypes with contravariant parameters and covariant terminations,
+//!   with precise violation diagnostics (Figure 3's lattice is a test);
+//! - [`object`] — object and interface templates and instances;
+//! - [`binding`] — primitive bindings and multiparty binding objects, with
+//!   causality checking and environment contracts (§5.3);
+//! - [`activity`] — the computational activity algebra of §5.2 (sequence,
+//!   fork/join, spawn) with a deterministic interpreter.
+//!
+//! # Example: Figure 3's subtype lattice
+//!
+//! ```
+//! use rmodp_computational::signature::OperationalSignature;
+//! use rmodp_computational::subtype::is_operational_subtype;
+//! use rmodp_core::dtype::DataType;
+//!
+//! let teller = OperationalSignature::new("BankTeller")
+//!     .announcement("Deposit", [("d", DataType::Int)]);
+//! let manager = OperationalSignature::new("BankManager")
+//!     .announcement("Deposit", [("d", DataType::Int)])
+//!     .announcement("CreateAccount", [("c", DataType::Text)]);
+//!
+//! // A BankManager can substitute for a BankTeller…
+//! assert!(is_operational_subtype(&manager, &teller).is_ok());
+//! // …but not the other way around.
+//! assert!(is_operational_subtype(&teller, &manager).is_err());
+//! ```
+
+pub mod activity;
+pub mod binding;
+pub mod notation;
+pub mod object;
+pub mod signature;
+pub mod subtype;
+
+pub use binding::Causality;
+pub use signature::{InterfaceSignature, OperationalSignature, SignalSignature, StreamSignature};
+pub use subtype::{is_subtype, SubtypeViolation};

@@ -1,0 +1,455 @@
+//! Evaluator for the expression language.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use super::{BinOp, Expr, UnOp};
+use crate::value::Value;
+
+/// An environment binding variable paths to values.
+///
+/// Implemented for [`Value`] (records resolve dotted paths), for
+/// `BTreeMap<String, Value>` and for `()` (the empty environment).
+pub trait Env {
+    /// Resolves a dotted variable path, or `None` if unbound.
+    fn lookup(&self, path: &[String]) -> Option<Value>;
+}
+
+impl Env for Value {
+    fn lookup(&self, path: &[String]) -> Option<Value> {
+        let segs: Vec<&str> = path.iter().map(String::as_str).collect();
+        self.path(&segs).cloned()
+    }
+}
+
+impl Env for BTreeMap<String, Value> {
+    fn lookup(&self, path: &[String]) -> Option<Value> {
+        let (head, rest) = path.split_first()?;
+        let root = self.get(head)?;
+        if rest.is_empty() {
+            Some(root.clone())
+        } else {
+            let segs: Vec<&str> = rest.iter().map(String::as_str).collect();
+            root.path(&segs).cloned()
+        }
+    }
+}
+
+impl Env for () {
+    fn lookup(&self, _path: &[String]) -> Option<Value> {
+        None
+    }
+}
+
+/// An evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable path was not bound in the environment.
+    Undefined { path: String },
+    /// Operand or result types did not fit the operation.
+    TypeMismatch { context: String, got: String },
+    /// Integer division or remainder by zero.
+    DivideByZero,
+    /// A builtin was called with the wrong number of arguments.
+    WrongArity { function: String, expected: usize, got: usize },
+    /// No builtin with this name exists.
+    UnknownFunction { name: String },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Undefined { path } => write!(f, "undefined variable {path}"),
+            EvalError::TypeMismatch { context, got } => {
+                write!(f, "type mismatch in {context}: got {got}")
+            }
+            EvalError::DivideByZero => write!(f, "division by zero"),
+            EvalError::WrongArity { function, expected, got } => {
+                write!(f, "{function} expects {expected} argument(s), got {got}")
+            }
+            EvalError::UnknownFunction { name } => write!(f, "unknown function {name}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluates an expression in an environment.
+pub fn eval(expr: &Expr, env: &dyn Env) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Var(path) => env.lookup(path).ok_or_else(|| EvalError::Undefined {
+            path: path.join("."),
+        }),
+        Expr::SeqLit(items) => {
+            let vals: Result<Vec<Value>, EvalError> =
+                items.iter().map(|e| eval(e, env)).collect();
+            Ok(Value::Seq(vals?))
+        }
+        Expr::Unary(UnOp::Neg, e) => match eval(e, env)? {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(mismatch("negation", &other)),
+        },
+        Expr::Unary(UnOp::Not, e) => match eval(e, env)? {
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(mismatch("logical not", &other)),
+        },
+        Expr::Binary(BinOp::And, a, b) => {
+            // Short-circuit: the right operand is not evaluated when the
+            // left is false, so `exists(x) and x > 0` is safe.
+            match eval(a, env)? {
+                Value::Bool(false) => Ok(Value::Bool(false)),
+                Value::Bool(true) => expect_bool("and", eval(b, env)?),
+                other => Err(mismatch("and", &other)),
+            }
+        }
+        Expr::Binary(BinOp::Or, a, b) => match eval(a, env)? {
+            Value::Bool(true) => Ok(Value::Bool(true)),
+            Value::Bool(false) => expect_bool("or", eval(b, env)?),
+            other => Err(mismatch("or", &other)),
+        },
+        Expr::Binary(op, a, b) => {
+            let va = eval(a, env)?;
+            let vb = eval(b, env)?;
+            apply_binary(*op, va, vb)
+        }
+        Expr::Call(name, args) => call(name, args, env),
+    }
+}
+
+fn expect_bool(context: &str, v: Value) -> Result<Value, EvalError> {
+    match v {
+        Value::Bool(_) => Ok(v),
+        other => Err(mismatch(context, &other)),
+    }
+}
+
+fn mismatch(context: &str, got: &Value) -> EvalError {
+    EvalError::TypeMismatch {
+        context: context.to_owned(),
+        got: got.kind().to_owned(),
+    }
+}
+
+fn apply_binary(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    match op {
+        Add => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(y))),
+            (Value::Text(x), Value::Text(y)) => Ok(Value::Text(x + &y)),
+            (Value::Seq(mut x), Value::Seq(y)) => {
+                x.extend(y);
+                Ok(Value::Seq(x))
+            }
+            (x, y) => numeric(op, x, y, |a, b| a + b),
+        },
+        Sub => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_sub(y))),
+            (x, y) => numeric(op, x, y, |a, b| a - b),
+        },
+        Mul => match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_mul(y))),
+            (x, y) => numeric(op, x, y, |a, b| a * b),
+        },
+        Div => match (a, b) {
+            (Value::Int(_), Value::Int(0)) => Err(EvalError::DivideByZero),
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_div(y))),
+            (x, y) => numeric(op, x, y, |a, b| a / b),
+        },
+        Rem => match (a, b) {
+            (Value::Int(_), Value::Int(0)) => Err(EvalError::DivideByZero),
+            (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_rem(y))),
+            (x, y) => numeric(op, x, y, |a, b| a % b),
+        },
+        Eq => Ok(Value::Bool(loose_eq(&a, &b))),
+        Ne => Ok(Value::Bool(!loose_eq(&a, &b))),
+        Lt | Le | Gt | Ge => {
+            let ord = compare(op, &a, &b)?;
+            let pass = match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(pass))
+        }
+        In => match &b {
+            Value::Seq(items) => Ok(Value::Bool(items.iter().any(|v| loose_eq(v, &a)))),
+            Value::Text(hay) => match &a {
+                Value::Text(needle) => Ok(Value::Bool(hay.contains(needle.as_str()))),
+                other => Err(mismatch("in (substring)", other)),
+            },
+            other => Err(mismatch("in (membership)", other)),
+        },
+        And | Or => unreachable!("short-circuit ops handled in eval"),
+    }
+}
+
+fn numeric(
+    op: BinOp,
+    a: Value,
+    b: Value,
+    f: impl Fn(f64, f64) -> f64,
+) -> Result<Value, EvalError> {
+    match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => Ok(Value::Float(f(x, y))),
+        _ => Err(EvalError::TypeMismatch {
+            context: format!("operator {}", op.symbol()),
+            got: format!("{} and {}", a.kind(), b.kind()),
+        }),
+    }
+}
+
+/// Equality with Int/Float unification (`1 == 1.0` is true).
+fn loose_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Float(y)) | (Value::Float(y), Value::Int(x)) => *x as f64 == *y,
+        _ => a == b,
+    }
+}
+
+fn compare(op: BinOp, a: &Value, b: &Value) -> Result<std::cmp::Ordering, EvalError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
+        (Value::Text(x), Value::Text(y)) => Ok(x.cmp(y)),
+        _ => match (a.as_float(), b.as_float()) {
+            (Some(x), Some(y)) => x.partial_cmp(&y).ok_or_else(|| EvalError::TypeMismatch {
+                context: format!("operator {}", op.symbol()),
+                got: "NaN".to_owned(),
+            }),
+            _ => Err(EvalError::TypeMismatch {
+                context: format!("operator {}", op.symbol()),
+                got: format!("{} and {}", a.kind(), b.kind()),
+            }),
+        },
+    }
+}
+
+fn call(name: &str, args: &[Expr], env: &dyn Env) -> Result<Value, EvalError> {
+    // `exists` is a special form: its argument is a path, not a value.
+    if name == "exists" {
+        if args.len() != 1 {
+            return Err(EvalError::WrongArity {
+                function: "exists".into(),
+                expected: 1,
+                got: args.len(),
+            });
+        }
+        return match &args[0] {
+            Expr::Var(path) => Ok(Value::Bool(env.lookup(path).is_some())),
+            _ => Err(EvalError::TypeMismatch {
+                context: "exists".into(),
+                got: "non-variable argument".into(),
+            }),
+        };
+    }
+
+    let vals: Result<Vec<Value>, EvalError> = args.iter().map(|e| eval(e, env)).collect();
+    let vals = vals?;
+    let arity = |n: usize| -> Result<(), EvalError> {
+        if vals.len() == n {
+            Ok(())
+        } else {
+            Err(EvalError::WrongArity {
+                function: name.to_owned(),
+                expected: n,
+                got: vals.len(),
+            })
+        }
+    };
+    match name {
+        "len" => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Text(s) => Ok(Value::Int(s.chars().count() as i64)),
+                Value::Seq(items) => Ok(Value::Int(items.len() as i64)),
+                Value::Blob(b) => Ok(Value::Int(b.len() as i64)),
+                other => Err(mismatch("len", other)),
+            }
+        }
+        "abs" => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Int(i) => Ok(Value::Int(i.wrapping_abs())),
+                Value::Float(x) => Ok(Value::Float(x.abs())),
+                other => Err(mismatch("abs", other)),
+            }
+        }
+        "min" | "max" => {
+            arity(2)?;
+            let take_first = {
+                let ord = compare(BinOp::Lt, &vals[0], &vals[1])?;
+                if name == "min" {
+                    ord != std::cmp::Ordering::Greater
+                } else {
+                    ord == std::cmp::Ordering::Greater
+                }
+            };
+            Ok(vals[if take_first { 0 } else { 1 }].clone())
+        }
+        "contains" => {
+            arity(2)?;
+            match (&vals[0], &vals[1]) {
+                (Value::Text(hay), Value::Text(needle)) => {
+                    Ok(Value::Bool(hay.contains(needle.as_str())))
+                }
+                (Value::Seq(items), v) => Ok(Value::Bool(items.iter().any(|x| loose_eq(x, v)))),
+                (other, _) => Err(mismatch("contains", other)),
+            }
+        }
+        "starts_with" => {
+            arity(2)?;
+            match (&vals[0], &vals[1]) {
+                (Value::Text(hay), Value::Text(prefix)) => {
+                    Ok(Value::Bool(hay.starts_with(prefix.as_str())))
+                }
+                (other, _) => Err(mismatch("starts_with", other)),
+            }
+        }
+        _ => Err(EvalError::UnknownFunction {
+            name: name.to_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn run(src: &str, env: &dyn Env) -> Result<Value, EvalError> {
+        Expr::parse(src).unwrap().eval(env)
+    }
+
+    fn ok(src: &str, env: &dyn Env) -> Value {
+        run(src, env).unwrap()
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(ok("1 + 2 * 3", &()), Value::Int(7));
+        assert_eq!(ok("7 / 2", &()), Value::Int(3));
+        assert_eq!(ok("7 % 2", &()), Value::Int(1));
+        assert_eq!(ok("-(3 - 5)", &()), Value::Int(2));
+    }
+
+    #[test]
+    fn mixed_arithmetic_widens_to_float() {
+        assert_eq!(ok("1 + 2.5", &()), Value::Float(3.5));
+        assert_eq!(ok("5 / 2.0", &()), Value::Float(2.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert_eq!(run("1 / 0", &()), Err(EvalError::DivideByZero));
+        assert_eq!(run("1 % 0", &()), Err(EvalError::DivideByZero));
+    }
+
+    #[test]
+    fn text_concatenation_and_comparison() {
+        assert_eq!(ok("\"foo\" + \"bar\"", &()), Value::text("foobar"));
+        assert_eq!(ok("\"abc\" < \"abd\"", &()), Value::Bool(true));
+    }
+
+    #[test]
+    fn seq_concatenation_and_membership() {
+        assert_eq!(
+            ok("[1] + [2, 3]", &()),
+            Value::seq([Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(ok("2 in [1, 2, 3]", &()), Value::Bool(true));
+        assert_eq!(ok("9 in [1, 2, 3]", &()), Value::Bool(false));
+        assert_eq!(ok("\"ell\" in \"hello\"", &()), Value::Bool(true));
+    }
+
+    #[test]
+    fn loose_equality_unifies_int_and_float() {
+        assert_eq!(ok("1 == 1.0", &()), Value::Bool(true));
+        assert_eq!(ok("1 != 1.5", &()), Value::Bool(true));
+        assert_eq!(ok("1 == \"1\"", &()), Value::Bool(false));
+    }
+
+    #[test]
+    fn short_circuit_protects_right_operand() {
+        // `x` is unbound; the guard prevents evaluation.
+        assert_eq!(ok("exists(x) and x > 0", &()), Value::Bool(false));
+        assert_eq!(ok("true or (1 / 0 == 0)", &()), Value::Bool(true));
+        // Without short-circuiting this would be DivideByZero.
+        assert_eq!(run("false and (1 / 0 == 0)", &()), Ok(Value::Bool(false)));
+    }
+
+    #[test]
+    fn variables_resolve_through_records() {
+        let env = Value::record([(
+            "acct",
+            Value::record([("balance", Value::Int(42))]),
+        )]);
+        assert_eq!(ok("acct.balance + 1", &env), Value::Int(43));
+        assert_eq!(
+            run("acct.missing", &env),
+            Err(EvalError::Undefined { path: "acct.missing".into() })
+        );
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(ok("len(\"héllo\")", &()), Value::Int(5));
+        assert_eq!(ok("len([1, 2])", &()), Value::Int(2));
+        assert_eq!(ok("abs(-4)", &()), Value::Int(4));
+        assert_eq!(ok("abs(-4.5)", &()), Value::Float(4.5));
+        assert_eq!(ok("min(3, 5)", &()), Value::Int(3));
+        assert_eq!(ok("max(3, 5.5)", &()), Value::Float(5.5));
+        assert_eq!(ok("contains(\"hello\", \"ell\")", &()), Value::Bool(true));
+        assert_eq!(ok("contains([1, 2], 2)", &()), Value::Bool(true));
+        assert_eq!(ok("starts_with(\"bank\", \"ba\")", &()), Value::Bool(true));
+    }
+
+    #[test]
+    fn builtin_errors() {
+        assert!(matches!(
+            run("len(1)", &()),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+        assert_eq!(
+            run("len()", &()),
+            Err(EvalError::WrongArity { function: "len".into(), expected: 1, got: 0 })
+        );
+        assert_eq!(
+            run("frobnicate(1)", &()),
+            Err(EvalError::UnknownFunction { name: "frobnicate".into() })
+        );
+        assert!(matches!(run("exists(1 + 2)", &()), Err(EvalError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn predicate_result_must_be_bool() {
+        let e = Expr::parse("1 + 1").unwrap();
+        assert!(e.eval_bool(&()).is_err());
+        let e = Expr::parse("1 + 1 == 2").unwrap();
+        assert_eq!(e.eval_bool(&()), Ok(true));
+    }
+
+    #[test]
+    fn comparison_rejects_incomparable_kinds() {
+        assert!(matches!(
+            run("true < 1", &()),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            run("\"a\" < 1", &()),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn the_paper_daily_limit_predicate() {
+        // §4: "the amount-withdrawn-today is less than or equal to $500".
+        let invariant = Expr::parse("withdrawn_today <= 500").unwrap();
+        let morning = Value::record([("withdrawn_today", Value::Int(400))]);
+        let afternoon = Value::record([("withdrawn_today", Value::Int(600))]);
+        assert_eq!(invariant.eval_bool(&morning), Ok(true));
+        assert_eq!(invariant.eval_bool(&afternoon), Ok(false));
+    }
+}

@@ -1,0 +1,357 @@
+//! Static type inference for expressions.
+//!
+//! Given a record [`DataType`] describing the environment, `infer` computes
+//! the type an expression will evaluate to, rejecting expressions that would
+//! always fail at run time. The trader uses this to reject malformed
+//! constraints at export/import time, and information schemas use it to
+//! validate predicates against their static schema.
+
+use std::fmt;
+
+use super::{BinOp, Expr, UnOp};
+use crate::dtype::DataType;
+use crate::value::Value;
+
+/// A static typing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// A variable path is not present in the environment type.
+    UnknownVariable { path: String },
+    /// Operand types don't fit the operator or builtin.
+    Mismatch { context: String, got: String },
+    /// The environment type passed to `infer` was not a record.
+    BadEnvironment,
+}
+
+impl fmt::Display for InferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferError::UnknownVariable { path } => write!(f, "unknown variable {path}"),
+            InferError::Mismatch { context, got } => {
+                write!(f, "type error in {context}: {got}")
+            }
+            InferError::BadEnvironment => write!(f, "environment type must be a record"),
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// Infers the result type of `expr` in an environment of type `env`.
+pub fn infer(expr: &Expr, env: &DataType) -> Result<DataType, InferError> {
+    if !matches!(env, DataType::Record(_)) {
+        return Err(InferError::BadEnvironment);
+    }
+    infer_in(expr, env)
+}
+
+fn lookup_path(env: &DataType, path: &[String]) -> Option<DataType> {
+    let mut cur = env.clone();
+    for seg in path {
+        match cur {
+            DataType::Record(fields) => {
+                cur = fields.get(seg)?.clone();
+            }
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+fn is_numeric(t: &DataType) -> bool {
+    matches!(t, DataType::Int | DataType::Float)
+}
+
+fn join_numeric(a: &DataType, b: &DataType) -> DataType {
+    if a == &DataType::Int && b == &DataType::Int {
+        DataType::Int
+    } else {
+        DataType::Float
+    }
+}
+
+fn comparable(a: &DataType, b: &DataType) -> bool {
+    (is_numeric(a) && is_numeric(b))
+        || (a == &DataType::Text && b == &DataType::Text)
+        || a == &DataType::Any
+        || b == &DataType::Any
+}
+
+fn mismatch(context: &str, got: impl Into<String>) -> InferError {
+    InferError::Mismatch {
+        context: context.to_owned(),
+        got: got.into(),
+    }
+}
+
+fn infer_in(expr: &Expr, env: &DataType) -> Result<DataType, InferError> {
+    match expr {
+        Expr::Lit(v) => Ok(type_of_literal(v)),
+        Expr::Var(path) => lookup_path(env, path).ok_or_else(|| InferError::UnknownVariable {
+            path: path.join("."),
+        }),
+        Expr::SeqLit(items) => {
+            let mut elem = DataType::Any;
+            for (i, item) in items.iter().enumerate() {
+                let t = infer_in(item, env)?;
+                if i == 0 {
+                    elem = t;
+                } else if elem != t {
+                    elem = if is_numeric(&elem) && is_numeric(&t) {
+                        join_numeric(&elem, &t)
+                    } else {
+                        DataType::Any
+                    };
+                }
+            }
+            Ok(DataType::seq(elem))
+        }
+        Expr::Unary(UnOp::Neg, e) => {
+            let t = infer_in(e, env)?;
+            if is_numeric(&t) || t == DataType::Any {
+                Ok(if t == DataType::Any { DataType::Float } else { t })
+            } else {
+                Err(mismatch("negation", t.to_string()))
+            }
+        }
+        Expr::Unary(UnOp::Not, e) => {
+            let t = infer_in(e, env)?;
+            if matches!(t, DataType::Bool | DataType::Any) {
+                Ok(DataType::Bool)
+            } else {
+                Err(mismatch("logical not", t.to_string()))
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let ta = infer_in(a, env)?;
+            let tb = infer_in(b, env)?;
+            infer_binary(*op, &ta, &tb)
+        }
+        Expr::Call(name, args) => infer_call(name, args, env),
+    }
+}
+
+fn type_of_literal(v: &Value) -> DataType {
+    match v {
+        Value::Null => DataType::Null,
+        Value::Bool(_) => DataType::Bool,
+        Value::Int(_) => DataType::Int,
+        Value::Float(_) => DataType::Float,
+        Value::Text(_) => DataType::Text,
+        Value::Blob(_) => DataType::Blob,
+        Value::Seq(_) => DataType::seq(DataType::Any),
+        Value::Record(_) => DataType::record::<String, _>([]),
+        Value::Ref(_) => DataType::Ref(None),
+    }
+}
+
+fn infer_binary(op: BinOp, a: &DataType, b: &DataType) -> Result<DataType, InferError> {
+    use BinOp::*;
+    let ctx = || format!("operator {}", op.symbol());
+    match op {
+        Add => {
+            if a == &DataType::Text && b == &DataType::Text {
+                Ok(DataType::Text)
+            } else if matches!((a, b), (DataType::Seq(_), DataType::Seq(_))) {
+                Ok(a.clone())
+            } else if (is_numeric(a) || a == &DataType::Any)
+                && (is_numeric(b) || b == &DataType::Any)
+            {
+                Ok(join_any(a, b))
+            } else {
+                Err(mismatch(&ctx(), format!("{a} and {b}")))
+            }
+        }
+        Sub | Mul | Div | Rem => {
+            if (is_numeric(a) || a == &DataType::Any) && (is_numeric(b) || b == &DataType::Any) {
+                Ok(join_any(a, b))
+            } else {
+                Err(mismatch(&ctx(), format!("{a} and {b}")))
+            }
+        }
+        Eq | Ne => Ok(DataType::Bool),
+        Lt | Le | Gt | Ge => {
+            if comparable(a, b) {
+                Ok(DataType::Bool)
+            } else {
+                Err(mismatch(&ctx(), format!("{a} and {b}")))
+            }
+        }
+        And | Or => {
+            if matches!(a, DataType::Bool | DataType::Any) && matches!(b, DataType::Bool | DataType::Any) {
+                Ok(DataType::Bool)
+            } else {
+                Err(mismatch(&ctx(), format!("{a} and {b}")))
+            }
+        }
+        In => match b {
+            DataType::Seq(_) | DataType::Any => Ok(DataType::Bool),
+            DataType::Text if matches!(a, DataType::Text | DataType::Any) => Ok(DataType::Bool),
+            _ => Err(mismatch("in", format!("{a} and {b}"))),
+        },
+    }
+}
+
+fn join_any(a: &DataType, b: &DataType) -> DataType {
+    match (a, b) {
+        (DataType::Any, _) | (_, DataType::Any) => DataType::Float,
+        _ => join_numeric(a, b),
+    }
+}
+
+fn infer_call(name: &str, args: &[Expr], env: &DataType) -> Result<DataType, InferError> {
+    let arity = |n: usize| -> Result<(), InferError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(mismatch(name, format!("expected {n} argument(s), got {}", args.len())))
+        }
+    };
+    match name {
+        "exists" => {
+            arity(1)?;
+            // Well-formed even when the path is absent — that is the point.
+            Ok(DataType::Bool)
+        }
+        "len" => {
+            arity(1)?;
+            let t = infer_in(&args[0], env)?;
+            match t {
+                DataType::Text | DataType::Blob | DataType::Seq(_) | DataType::Any => {
+                    Ok(DataType::Int)
+                }
+                other => Err(mismatch("len", other.to_string())),
+            }
+        }
+        "abs" => {
+            arity(1)?;
+            let t = infer_in(&args[0], env)?;
+            if is_numeric(&t) {
+                Ok(t)
+            } else if t == DataType::Any {
+                Ok(DataType::Float)
+            } else {
+                Err(mismatch("abs", t.to_string()))
+            }
+        }
+        "min" | "max" => {
+            arity(2)?;
+            let a = infer_in(&args[0], env)?;
+            let b = infer_in(&args[1], env)?;
+            if comparable(&a, &b) {
+                if a == DataType::Text {
+                    Ok(DataType::Text)
+                } else {
+                    Ok(join_any(&a, &b))
+                }
+            } else {
+                Err(mismatch(name, format!("{a} and {b}")))
+            }
+        }
+        "contains" => {
+            arity(2)?;
+            let a = infer_in(&args[0], env)?;
+            infer_in(&args[1], env)?;
+            match a {
+                DataType::Text | DataType::Seq(_) | DataType::Any => Ok(DataType::Bool),
+                other => Err(mismatch("contains", other.to_string())),
+            }
+        }
+        "starts_with" => {
+            arity(2)?;
+            let a = infer_in(&args[0], env)?;
+            let b = infer_in(&args[1], env)?;
+            if matches!(a, DataType::Text | DataType::Any) && matches!(b, DataType::Text | DataType::Any) {
+                Ok(DataType::Bool)
+            } else {
+                Err(mismatch("starts_with", format!("{a} and {b}")))
+            }
+        }
+        _ => Err(mismatch("call", format!("unknown function {name}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn env() -> DataType {
+        DataType::record([
+            ("balance", DataType::Int),
+            ("rate", DataType::Float),
+            ("owner", DataType::Text),
+            ("tags", DataType::seq(DataType::Text)),
+            ("acct", DataType::record([("limit", DataType::Int)])),
+        ])
+    }
+
+    fn ty(src: &str) -> Result<DataType, InferError> {
+        infer(&Expr::parse(src).unwrap(), &env())
+    }
+
+    #[test]
+    fn arithmetic_types() {
+        assert_eq!(ty("balance + 1"), Ok(DataType::Int));
+        assert_eq!(ty("balance + rate"), Ok(DataType::Float));
+        assert_eq!(ty("-balance"), Ok(DataType::Int));
+        assert_eq!(ty("owner + \"!\""), Ok(DataType::Text));
+    }
+
+    #[test]
+    fn predicates_are_bool() {
+        assert_eq!(ty("balance <= 500 and exists(rate)"), Ok(DataType::Bool));
+        assert_eq!(ty("owner in tags"), Ok(DataType::Bool));
+        assert_eq!(ty("\"a\" in owner"), Ok(DataType::Bool));
+    }
+
+    #[test]
+    fn nested_paths_resolve() {
+        assert_eq!(ty("acct.limit * 2"), Ok(DataType::Int));
+        assert!(matches!(
+            ty("acct.nope"),
+            Err(InferError::UnknownVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatches_are_rejected_statically() {
+        assert!(ty("owner + 1").is_err());
+        assert!(ty("balance and true").is_err());
+        assert!(ty("not balance").is_err());
+        assert!(ty("len(balance)").is_err());
+        assert!(ty("1 in owner").is_err());
+    }
+
+    #[test]
+    fn unknown_variables_are_rejected() {
+        assert_eq!(
+            ty("ghost > 0"),
+            Err(InferError::UnknownVariable { path: "ghost".into() })
+        );
+    }
+
+    #[test]
+    fn builtins_infer() {
+        assert_eq!(ty("len(tags)"), Ok(DataType::Int));
+        assert_eq!(ty("abs(rate)"), Ok(DataType::Float));
+        assert_eq!(ty("min(balance, acct.limit)"), Ok(DataType::Int));
+        assert_eq!(ty("max(balance, rate)"), Ok(DataType::Float));
+        assert_eq!(ty("min(owner, owner)"), Ok(DataType::Text));
+        assert_eq!(ty("contains(tags, owner)"), Ok(DataType::Bool));
+        assert_eq!(ty("starts_with(owner, \"a\")"), Ok(DataType::Bool));
+    }
+
+    #[test]
+    fn seq_literal_types() {
+        assert_eq!(ty("[1, 2, 3]"), Ok(DataType::seq(DataType::Int)));
+        assert_eq!(ty("[1, 2.5]"), Ok(DataType::seq(DataType::Float)));
+        assert_eq!(ty("[1, \"a\"]"), Ok(DataType::seq(DataType::Any)));
+    }
+
+    #[test]
+    fn environment_must_be_record() {
+        let e = Expr::parse("1 + 1").unwrap();
+        assert_eq!(infer(&e, &DataType::Int), Err(InferError::BadEnvironment));
+    }
+}

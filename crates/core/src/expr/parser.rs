@@ -1,0 +1,322 @@
+//! Recursive-descent parser for the expression language.
+
+use std::fmt;
+
+use super::token::{lex, LexError, Spanned, Token};
+use super::{BinOp, Expr, UnOp};
+use crate::value::Value;
+
+/// A syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source (source length for "unexpected end").
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            offset: e.offset,
+            message: e.message,
+        }
+    }
+}
+
+/// Parses a complete expression; trailing tokens are an error.
+pub fn parse(src: &str) -> Result<Expr, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: src.len(),
+    };
+    let e = p.or_expr()?;
+    if let Some(t) = p.peek() {
+        return Err(ParseError {
+            offset: t.offset,
+            message: format!("unexpected trailing token {}", t.token),
+        });
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Spanned> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Spanned> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if self.peek().map(|s| &s.token) == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(s) if &s.token == want => Ok(()),
+            Some(s) => Err(ParseError {
+                offset: s.offset,
+                message: format!("expected {want}, found {}", s.token),
+            }),
+            None => Err(ParseError {
+                offset: self.end,
+                message: format!("expected {want}, found end of input"),
+            }),
+        }
+    }
+
+    fn unexpected_end(&self, what: &str) -> ParseError {
+        ParseError {
+            offset: self.end,
+            message: format!("expected {what}, found end of input"),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&Token::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&Token::And) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek().map(|s| &s.token) {
+            Some(Token::EqEq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            Some(Token::In) => Some(BinOp::In),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().map(|s| &s.token) {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().map(|s| &s.token) {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                Some(Token::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().map(|s| &s.token) {
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+            }
+            Some(Token::Not) => {
+                self.pos += 1;
+                let e = self.unary_expr()?;
+                Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let t = self.next().ok_or_else(|| self.unexpected_end("expression"))?;
+        match t.token {
+            Token::Int(i) => Ok(Expr::Lit(Value::Int(i))),
+            Token::Float(x) => Ok(Expr::Lit(Value::Float(x))),
+            Token::Str(s) => Ok(Expr::Lit(Value::Text(s))),
+            Token::True => Ok(Expr::Lit(Value::Bool(true))),
+            Token::False => Ok(Expr::Lit(Value::Bool(false))),
+            Token::Null => Ok(Expr::Lit(Value::Null)),
+            Token::LParen => {
+                let e = self.or_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::LBracket => {
+                let items = self.expr_list(&Token::RBracket)?;
+                Ok(Expr::SeqLit(items))
+            }
+            Token::Ident(name) => {
+                if self.eat(&Token::LParen) {
+                    let args = self.expr_list(&Token::RParen)?;
+                    return Ok(Expr::Call(name, args));
+                }
+                let mut path = vec![name];
+                while self.eat(&Token::Dot) {
+                    match self.next() {
+                        Some(Spanned { token: Token::Ident(seg), .. }) => path.push(seg),
+                        Some(s) => {
+                            return Err(ParseError {
+                                offset: s.offset,
+                                message: format!("expected field name after '.', found {}", s.token),
+                            })
+                        }
+                        None => return Err(self.unexpected_end("field name after '.'")),
+                    }
+                }
+                Ok(Expr::Var(path))
+            }
+            other => Err(ParseError {
+                offset: t.offset,
+                message: format!("unexpected token {other}"),
+            }),
+        }
+    }
+
+    /// Parses a comma-separated list terminated by `close` (already past the
+    /// opening delimiter). Allows the empty list.
+    fn expr_list(&mut self, close: &Token) -> Result<Vec<Expr>, ParseError> {
+        let mut items = Vec::new();
+        if self.eat(close) {
+            return Ok(items);
+        }
+        loop {
+            items.push(self.or_expr()?);
+            if self.eat(&Token::Comma) {
+                continue;
+            }
+            self.expect(close)?;
+            return Ok(items);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_mul_over_add_over_cmp_over_and_over_or() {
+        let e = parse("a or b and c == d + e * f").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "(a or (b and (c == (d + (e * f)))))"
+        );
+    }
+
+    #[test]
+    fn unary_binds_tighter_than_binary() {
+        let e = parse("-a + b").unwrap();
+        assert_eq!(e.to_string(), "((-a) + b)");
+        let e = parse("not a and b").unwrap();
+        assert_eq!(e.to_string(), "((not a) and b)");
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let e = parse("(a or b) and c").unwrap();
+        assert_eq!(e.to_string(), "((a or b) and c)");
+    }
+
+    #[test]
+    fn parses_calls_paths_and_seq_literals() {
+        let e = parse("min(a.b, 3) in [1, 2, 3]").unwrap();
+        assert_eq!(e.to_string(), "(min(a.b, 3) in [1, 2, 3])");
+        let e = parse("f()").unwrap();
+        assert_eq!(e, Expr::Call("f".into(), vec![]));
+        let e = parse("[]").unwrap();
+        assert_eq!(e, Expr::SeqLit(vec![]));
+    }
+
+    #[test]
+    fn subtraction_is_left_associative() {
+        let e = parse("a - b - c").unwrap();
+        assert_eq!(e.to_string(), "((a - b) - c)");
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let err = parse("a b").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn rejects_dangling_operators() {
+        assert!(parse("a +").is_err());
+        assert!(parse("* a").is_err());
+        assert!(parse("(a").is_err());
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("a.").is_err());
+        assert!(parse("a.1").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn comparison_does_not_chain() {
+        // `a < b < c` is rejected — the second `<` is a trailing token.
+        assert!(parse("a < b < c").is_err());
+    }
+
+    #[test]
+    fn error_offsets_point_at_problem() {
+        let err = parse("a + + b").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+}

@@ -1,0 +1,385 @@
+//! Lexer for the expression language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    True,
+    False,
+    Null,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Not,
+    In,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Null => write!(f, "null"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Not => write!(f, "not"),
+            Token::In => write!(f, "in"),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source, for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub token: Token,
+    pub offset: usize,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises expression source text.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unterminated strings, malformed numbers or
+/// unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => push(&mut out, Token::LParen, start, &mut i),
+            ')' => push(&mut out, Token::RParen, start, &mut i),
+            '[' => push(&mut out, Token::LBracket, start, &mut i),
+            ']' => push(&mut out, Token::RBracket, start, &mut i),
+            ',' => push(&mut out, Token::Comma, start, &mut i),
+            '.' => push(&mut out, Token::Dot, start, &mut i),
+            '+' => push(&mut out, Token::Plus, start, &mut i),
+            '-' => push(&mut out, Token::Minus, start, &mut i),
+            '*' => push(&mut out, Token::Star, start, &mut i),
+            '/' => push(&mut out, Token::Slash, start, &mut i),
+            '%' => push(&mut out, Token::Percent, start, &mut i),
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::EqEq, offset: start });
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        offset: start,
+                        message: "expected '==' (single '=' is not assignment here)".into(),
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ne, offset: start });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Not, start, &mut i);
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Le, offset: start });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Lt, start, &mut i);
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { token: Token::Ge, offset: start });
+                    i += 2;
+                } else {
+                    push(&mut out, Token::Gt, start, &mut i);
+                }
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push(Spanned { token: Token::And, offset: start });
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: start, message: "expected '&&'".into() });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push(Spanned { token: Token::Or, offset: start });
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: start, message: "expected '||'".into() });
+                }
+            }
+            '"' => {
+                let (s, next) = lex_string(src, i)?;
+                out.push(Spanned { token: Token::Str(s), offset: start });
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (tok, next) = lex_number(src, i)?;
+                out.push(Spanned { token: tok, offset: start });
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &src[i..j];
+                let tok = match word {
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "null" => Token::Null,
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "in" => Token::In,
+                    _ => Token::Ident(word.to_owned()),
+                };
+                out.push(Spanned { token: tok, offset: start });
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    offset: start,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn push(out: &mut Vec<Spanned>, token: Token, offset: usize, i: &mut usize) {
+    out.push(Spanned { token, offset });
+    *i += 1;
+}
+
+fn lex_string(src: &str, start: usize) -> Result<(String, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut s = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Ok((s, i + 1)),
+            b'\\' => {
+                let esc = bytes.get(i + 1).ok_or_else(|| LexError {
+                    offset: i,
+                    message: "dangling escape".into(),
+                })?;
+                match esc {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    other => {
+                        return Err(LexError {
+                            offset: i,
+                            message: format!("unknown escape '\\{}'", *other as char),
+                        })
+                    }
+                }
+                i += 2;
+            }
+            _ => {
+                // Consume a full UTF-8 scalar, not just a byte.
+                let ch = src[i..].chars().next().expect("valid utf-8");
+                s.push(ch);
+                i += ch.len_utf8();
+            }
+        }
+    }
+    Err(LexError {
+        offset: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+fn lex_number(src: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+        i += 1;
+    }
+    let mut is_float = false;
+    // A '.' followed by a digit continues a float; a bare '.' is field access.
+    if i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit() {
+        is_float = true;
+        i += 1;
+        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+            i += 1;
+        }
+    }
+    if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        is_float = true;
+        i += 1;
+        if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+            i += 1;
+        }
+        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+            i += 1;
+        }
+    }
+    let text = &src[start..i];
+    let tok = if is_float {
+        Token::Float(text.parse().map_err(|_| LexError {
+            offset: start,
+            message: format!("malformed float {text:?}"),
+        })?)
+    } else {
+        Token::Int(text.parse().map_err(|_| LexError {
+            offset: start,
+            message: format!("integer out of range {text:?}"),
+        })?)
+    };
+    Ok((tok, i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_operators_and_keywords() {
+        assert_eq!(
+            toks("a and b or not c"),
+            vec![
+                Token::Ident("a".into()),
+                Token::And,
+                Token::Ident("b".into()),
+                Token::Or,
+                Token::Not,
+                Token::Ident("c".into()),
+            ]
+        );
+        assert_eq!(toks("&& || !"), vec![Token::And, Token::Or, Token::Not]);
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        assert_eq!(
+            toks("== != < <= > >="),
+            vec![Token::EqEq, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(toks("42"), vec![Token::Int(42)]);
+        assert_eq!(toks("3.5"), vec![Token::Float(3.5)]);
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(toks("2.5e-1"), vec![Token::Float(0.25)]);
+    }
+
+    #[test]
+    fn dot_after_int_is_field_access_not_float() {
+        assert_eq!(
+            toks("a.b"),
+            vec![Token::Ident("a".into()), Token::Dot, Token::Ident("b".into())]
+        );
+        // `1.x` lexes as Int, Dot, Ident — the parser rejects it later.
+        assert_eq!(
+            toks("1.x"),
+            vec![Token::Int(1), Token::Dot, Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(toks(r#""hi \"there\"\n""#), vec![Token::Str("hi \"there\"\n".into())]);
+        assert_eq!(toks("\"héllo\""), vec![Token::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn reports_errors_with_offsets() {
+        let err = lex("a $ b").unwrap_err();
+        assert_eq!(err.offset, 2);
+        let err = lex("\"unterminated").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        let err = lex("a = b").unwrap_err();
+        assert!(err.message.contains("=="));
+        let err = lex("a & b").unwrap_err();
+        assert!(err.message.contains("&&"));
+    }
+
+    #[test]
+    fn keywords_do_not_swallow_identifiers() {
+        assert_eq!(toks("android"), vec![Token::Ident("android".into())]);
+        assert_eq!(toks("origin"), vec![Token::Ident("origin".into())]);
+        assert_eq!(toks("notx"), vec![Token::Ident("notx".into())]);
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

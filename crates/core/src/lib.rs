@@ -1,0 +1,58 @@
+//! # rmodp-core — foundations of the RM-ODP realisation
+//!
+//! This crate implements the *descriptive model* (ISO 10746-2 / ITU-T X.902)
+//! concepts that every other crate in the workspace builds upon:
+//!
+//! - [`id`] — strongly-typed identifiers for the entities of all five
+//!   viewpoints (objects, interfaces, nodes, capsules, clusters, …).
+//! - [`value`] — the [`Value`](value::Value) data model exchanged between
+//!   objects: the universe of discourse for information schemas, operation
+//!   parameters, trader properties and checkpoints.
+//! - [`dtype`] — [`DataType`](dtype::DataType)s describing values, with the
+//!   structural subtype relation used by interface subtyping (§5.1.1 of the
+//!   tutorial) and by type checking of operation parameters.
+//! - [`expr`] — a small expression language (lexer → parser → evaluator →
+//!   type inference) shared by invariant/dynamic information schemas (§4),
+//!   enterprise policies (§3) and trader constraint matching (§8.3.2).
+//! - [`contract`] — environment contracts expressed as quality-of-service
+//!   requirements and offers (§5.3).
+//! - [`naming`] — hierarchical naming contexts used by the repositories.
+//! - [`codec`] — transfer syntaxes (a compact binary and a self-describing
+//!   text syntax) used by access-transparency stubs to marshal values
+//!   between heterogeneous representations (§9.1).
+//!
+//! # Example
+//!
+//! ```
+//! use rmodp_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An account state, an invariant schema predicate, and a check.
+//! let account = Value::record([
+//!     ("balance", Value::Int(1_000)),
+//!     ("withdrawn_today", Value::Int(400)),
+//! ]);
+//! let invariant = Expr::parse("withdrawn_today <= 500 and balance >= 0")?;
+//! assert_eq!(invariant.eval(&account)?, Value::Bool(true));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod codec;
+pub mod contract;
+pub mod dtype;
+pub mod expr;
+pub mod id;
+pub mod naming;
+pub mod value;
+
+/// Commonly used items, re-exported for convenient glob import.
+pub mod prelude {
+    pub use crate::codec::{BinarySyntax, TextSyntax, TransferSyntax};
+    pub use crate::contract::{EnvironmentContract, QosOffer, QosRequirement};
+    pub use crate::dtype::DataType;
+    pub use crate::expr::Expr;
+    pub use crate::id::*;
+    pub use crate::naming::{Name, NamingContext};
+    pub use crate::value::Value;
+}

@@ -1,0 +1,372 @@
+//! The ODP data model: [`Value`].
+//!
+//! Every piece of data that crosses an interface in this realisation —
+//! operation parameters and results, information-object state, trader
+//! service properties, cluster checkpoints — is a [`Value`]. Keeping a single
+//! closed data model is what makes the access-transparency stubs (§9.1) able
+//! to marshal *any* interaction between heterogeneous representations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A dynamically-typed ODP data value.
+///
+/// `Record` uses a `BTreeMap` so that values have a canonical field order:
+/// equality, hashing of encodings, and the deterministic simulator all rely
+/// on that stability.
+///
+/// # Example
+///
+/// ```
+/// use rmodp_core::value::Value;
+///
+/// let v = Value::record([
+///     ("balance", Value::Int(250)),
+///     ("owner", Value::text("alice")),
+/// ]);
+/// assert_eq!(v.field("balance"), Some(&Value::Int(250)));
+/// assert_eq!(v.path(&["owner"]).unwrap().as_text(), Some("alice"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Value {
+    /// The absence of a value.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit IEEE float.
+    Float(f64),
+    /// A UTF-8 string.
+    Text(String),
+    /// An opaque byte string.
+    Blob(Vec<u8>),
+    /// An ordered sequence of values.
+    Seq(Vec<Value>),
+    /// A record of named fields in canonical (sorted) order.
+    Record(BTreeMap<String, Value>),
+    /// A reference to an interface (or other identified entity), carried as
+    /// the raw identifier. References are resolved by the infrastructure,
+    /// never dereferenced by value code.
+    Ref(u64),
+}
+
+impl Value {
+    /// Convenience constructor for a text value.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// Convenience constructor for a record from `(name, value)` pairs.
+    ///
+    /// Later duplicates overwrite earlier ones, mirroring map insertion.
+    pub fn record<K: Into<String>, I: IntoIterator<Item = (K, Value)>>(fields: I) -> Self {
+        Value::Record(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Convenience constructor for a sequence.
+    pub fn seq<I: IntoIterator<Item = Value>>(items: I) -> Self {
+        Value::Seq(items.into_iter().collect())
+    }
+
+    /// Returns the boolean inside, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer inside, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float inside, widening an `Int` if necessary.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string inside, if this is a `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the sequence inside, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the field map inside, if this is a `Record`.
+    pub fn as_record(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Record(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Returns the raw reference inside, if this is a `Ref`.
+    pub fn as_ref_id(&self) -> Option<u64> {
+        match self {
+            Value::Ref(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of a record value.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        self.as_record().and_then(|r| r.get(name))
+    }
+
+    /// Mutable field lookup on a record value.
+    pub fn field_mut(&mut self, name: &str) -> Option<&mut Value> {
+        match self {
+            Value::Record(fields) => fields.get_mut(name),
+            _ => None,
+        }
+    }
+
+    /// Sets (or inserts) a field on a record value.
+    ///
+    /// Returns the previous value if the field existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a `Record`; mutating a non-record as a record
+    /// is a logic error in the caller.
+    pub fn set_field(&mut self, name: impl Into<String>, value: Value) -> Option<Value> {
+        match self {
+            Value::Record(fields) => fields.insert(name.into(), value),
+            other => panic!("set_field on non-record value {other:?}"),
+        }
+    }
+
+    /// Resolves a dotted path through nested records.
+    pub fn path(&self, segments: &[&str]) -> Option<&Value> {
+        let mut cur = self;
+        for seg in segments {
+            cur = cur.field(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// A short name for the value's shape, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Text(_) => "text",
+            Value::Blob(_) => "blob",
+            Value::Seq(_) => "seq",
+            Value::Record(_) => "record",
+            Value::Ref(_) => "ref",
+        }
+    }
+
+    /// Whether this value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Structural size: the number of leaf values contained, counting this
+    /// value itself when it is a leaf. Useful for workload generators.
+    pub fn size(&self) -> usize {
+        match self {
+            Value::Seq(items) => items.iter().map(Value::size).sum::<usize>().max(1),
+            Value::Record(fields) => fields.values().map(Value::size).sum::<usize>().max(1),
+            _ => 1,
+        }
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+            Value::Blob(b) => write!(f, "blob[{}]", b.len()),
+            Value::Seq(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{k}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Ref(id) => write!(f, "ref({id})"),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Self {
+        Value::Seq(items.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_fields_are_canonically_ordered() {
+        let a = Value::record([("b", Value::Int(2)), ("a", Value::Int(1))]);
+        let b = Value::record([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "{a: 1, b: 2}");
+    }
+
+    #[test]
+    fn path_resolves_nested_records() {
+        let v = Value::record([(
+            "account",
+            Value::record([("balance", Value::Int(500))]),
+        )]);
+        assert_eq!(v.path(&["account", "balance"]), Some(&Value::Int(500)));
+        assert_eq!(v.path(&["account", "missing"]), None);
+        assert_eq!(v.path(&["nope"]), None);
+    }
+
+    #[test]
+    fn accessors_reject_wrong_shapes() {
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert_eq!(Value::Bool(true).as_int(), None);
+        assert_eq!(Value::Null.as_text(), None);
+        assert_eq!(Value::text("x").as_seq(), None);
+    }
+
+    #[test]
+    fn as_float_widens_ints() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+    }
+
+    #[test]
+    fn set_field_replaces_and_inserts() {
+        let mut v = Value::record([("x", Value::Int(1))]);
+        assert_eq!(v.set_field("x", Value::Int(2)), Some(Value::Int(1)));
+        assert_eq!(v.set_field("y", Value::Int(3)), None);
+        assert_eq!(v.field("x"), Some(&Value::Int(2)));
+        assert_eq!(v.field("y"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "set_field on non-record")]
+    fn set_field_on_non_record_panics() {
+        let mut v = Value::Int(1);
+        v.set_field("x", Value::Null);
+    }
+
+    #[test]
+    fn size_counts_leaves() {
+        assert_eq!(Value::Int(1).size(), 1);
+        let v = Value::record([
+            ("a", Value::seq([Value::Int(1), Value::Int(2)])),
+            ("b", Value::text("x")),
+        ]);
+        assert_eq!(v.size(), 3);
+        // Empty containers still count as one unit of structure.
+        assert_eq!(Value::seq([]).size(), 1);
+    }
+
+    #[test]
+    fn display_is_never_empty() {
+        for v in [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Float(0.0),
+            Value::text(""),
+            Value::Blob(vec![]),
+            Value::seq([]),
+            Value::record::<&str, _>([]),
+            Value::Ref(0),
+        ] {
+            assert!(!v.to_string().is_empty(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn conversions_from_primitives() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from(1.5), Value::Float(1.5));
+        assert_eq!(Value::from("hi"), Value::text("hi"));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::seq([Value::Int(1), Value::Int(2)])
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Behaviour of basic engineering objects.
+//!
+//! A basic engineering object (BEO) corresponds to an object in the
+//! computational specification (§6). Its durable state is a [`Value`]
+//! owned by the cluster (so checkpointing, deactivation and migration are
+//! behaviour-independent); the behaviour itself is stateless-by-contract
+//! and recreated from a [`BehaviourRegistry`] on reactivation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rmodp_computational::signature::{Invocation, Termination};
+use rmodp_core::value::Value;
+
+/// The executable behaviour of a basic engineering object.
+///
+/// All durable state must live in the `state` value passed to each call —
+/// that is what checkpoints capture. Behaviour instances may keep caches,
+/// but anything needed to survive deactivation/migration belongs in
+/// `state`.
+pub trait ServerBehaviour: 'static {
+    /// Handles an operation invocation, mutating the object state and
+    /// returning a termination.
+    fn invoke(&mut self, state: &mut Value, invocation: &Invocation) -> Termination;
+
+    /// Handles one item of an incoming stream flow. Default: ignored.
+    fn on_flow(&mut self, state: &mut Value, flow: &str, item: &Value) {
+        let _ = (state, flow, item);
+    }
+}
+
+/// Recreates behaviours by name — used when clusters are instantiated,
+/// reactivated or migrated (§8.1's cluster management functions).
+pub struct BehaviourRegistry {
+    factories: BTreeMap<String, Box<dyn Fn() -> Box<dyn ServerBehaviour>>>,
+}
+
+impl fmt::Debug for BehaviourRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&String> = self.factories.keys().collect();
+        write!(f, "BehaviourRegistry{names:?}")
+    }
+}
+
+impl Default for BehaviourRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BehaviourRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a behaviour factory under a name (replacing any previous
+    /// factory with that name).
+    pub fn register<F, B>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> B + 'static,
+        B: ServerBehaviour,
+    {
+        self.factories
+            .insert(name.into(), Box::new(move || Box::new(factory())));
+    }
+
+    /// Instantiates a behaviour.
+    pub fn create(&self, name: &str) -> Option<Box<dyn ServerBehaviour>> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Whether a behaviour name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+}
+
+/// A behaviour that echoes every invocation back as an `OK` termination
+/// carrying the arguments — useful for channel and latency tests.
+#[derive(Debug, Default)]
+pub struct EchoBehaviour;
+
+impl ServerBehaviour for EchoBehaviour {
+    fn invoke(&mut self, _state: &mut Value, invocation: &Invocation) -> Termination {
+        Termination::ok(Value::record([
+            ("op", Value::text(invocation.operation.clone())),
+            ("echo", invocation.args.clone()),
+        ]))
+    }
+}
+
+/// A behaviour exposing a counter in its state:
+///
+/// - `Add {k}` → `OK {n}` — adds `k` and returns the new total;
+/// - `Get {}` → `OK {n}`;
+/// - any other operation → `Error`.
+///
+/// Flows named `"increments"` add their integer items to the counter.
+#[derive(Debug, Default)]
+pub struct CounterBehaviour;
+
+impl CounterBehaviour {
+    /// The initial state a counter object should be created with.
+    pub fn initial_state() -> Value {
+        Value::record([("n", Value::Int(0))])
+    }
+
+    fn current(state: &Value) -> i64 {
+        state.field("n").and_then(Value::as_int).unwrap_or(0)
+    }
+}
+
+impl ServerBehaviour for CounterBehaviour {
+    fn invoke(&mut self, state: &mut Value, invocation: &Invocation) -> Termination {
+        match invocation.operation.as_str() {
+            "Add" => {
+                let k = invocation.args.field("k").and_then(Value::as_int);
+                match k {
+                    Some(k) => {
+                        let n = Self::current(state) + k;
+                        state.set_field("n", Value::Int(n));
+                        Termination::ok(Value::record([("n", Value::Int(n))]))
+                    }
+                    None => Termination::error("Add requires integer parameter k"),
+                }
+            }
+            "Get" => Termination::ok(Value::record([("n", Value::Int(Self::current(state)))])),
+            other => Termination::error(format!("unknown operation {other}")),
+        }
+    }
+
+    fn on_flow(&mut self, state: &mut Value, flow: &str, item: &Value) {
+        if flow == "increments" {
+            if let Some(k) = item.as_int() {
+                let n = Self::current(state) + k;
+                state.set_field("n", Value::Int(n));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_returns_arguments() {
+        let mut b = EchoBehaviour;
+        let mut state = Value::record::<&str, _>([]);
+        let inv = Invocation::new("Ping", Value::record([("x", Value::Int(1))]));
+        let t = b.invoke(&mut state, &inv);
+        assert!(t.is_ok());
+        assert_eq!(t.results.path(&["echo", "x"]), Some(&Value::Int(1)));
+        assert_eq!(t.results.field("op"), Some(&Value::text("Ping")));
+    }
+
+    #[test]
+    fn counter_adds_gets_and_rejects() {
+        let mut b = CounterBehaviour;
+        let mut state = CounterBehaviour::initial_state();
+        let t = b.invoke(&mut state, &Invocation::new("Add", Value::record([("k", Value::Int(5))])));
+        assert_eq!(t.results.field("n"), Some(&Value::Int(5)));
+        let t = b.invoke(&mut state, &Invocation::new("Get", Value::record::<&str, _>([])));
+        assert_eq!(t.results.field("n"), Some(&Value::Int(5)));
+        let t = b.invoke(&mut state, &Invocation::new("Nope", Value::record::<&str, _>([])));
+        assert!(!t.is_ok());
+        let t = b.invoke(&mut state, &Invocation::new("Add", Value::record::<&str, _>([])));
+        assert!(!t.is_ok());
+    }
+
+    #[test]
+    fn counter_consumes_increment_flows() {
+        let mut b = CounterBehaviour;
+        let mut state = CounterBehaviour::initial_state();
+        b.on_flow(&mut state, "increments", &Value::Int(3));
+        b.on_flow(&mut state, "increments", &Value::Int(4));
+        b.on_flow(&mut state, "other", &Value::Int(100));
+        b.on_flow(&mut state, "increments", &Value::text("junk"));
+        assert_eq!(state.field("n"), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn registry_creates_by_name() {
+        let mut reg = BehaviourRegistry::new();
+        reg.register("counter", CounterBehaviour::default);
+        reg.register("echo", || EchoBehaviour);
+        assert!(reg.contains("counter"));
+        assert!(!reg.contains("ghost"));
+        let mut b = reg.create("counter").unwrap();
+        let mut state = CounterBehaviour::initial_state();
+        let t = b.invoke(&mut state, &Invocation::new("Get", Value::record::<&str, _>([])));
+        assert!(t.is_ok());
+        assert!(reg.create("ghost").is_none());
+    }
+}

@@ -1,0 +1,894 @@
+//! The engineering engine: drives nodes, channels and management
+//! operations over the simulator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rmodp_computational::signature::{Invocation, Termination};
+use rmodp_core::codec::{syntax_for, SyntaxId};
+use rmodp_core::id::{
+    CapsuleId, ChannelId, ClusterId, IdGen, InterfaceId, NodeId, ObjectId,
+};
+use rmodp_core::value::Value;
+use rmodp_netsim::sim::{Addr, NodeIdx, Sim};
+use rmodp_netsim::time::SimTime;
+
+use crate::behaviour::BehaviourRegistry;
+use crate::channel::{ChannelConfig, ChannelError, RetryPolicy, Stack};
+use crate::envelope::{Envelope, ReplyStatus};
+use crate::nucleus::{DriverProcess, NucleusProcess, NucleusStats, DRIVER_PORT, NUCLEUS_PORT};
+use crate::structure::{
+    BeoRecord, ClusterCheckpoint, InterfaceRef, Location, ObjectCheckpoint, StructurePolicy,
+};
+
+/// An engineering-level error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngError {
+    /// No such node.
+    UnknownNode { node: NodeId },
+    /// No such capsule on the node.
+    UnknownCapsule { capsule: CapsuleId },
+    /// No such cluster in the capsule.
+    UnknownCluster { cluster: ClusterId },
+    /// No such interface is active anywhere.
+    UnknownInterface { interface: InterfaceId },
+    /// No such object resides on the node.
+    UnknownObject { object: ObjectId },
+    /// No such channel.
+    UnknownChannel { channel: ChannelId },
+    /// The behaviour name is not registered.
+    UnknownBehaviour { behaviour: String },
+    /// A structure policy constraint was violated.
+    Policy { detail: String },
+}
+
+impl fmt::Display for EngError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            EngError::UnknownCapsule { capsule } => write!(f, "unknown capsule {capsule}"),
+            EngError::UnknownCluster { cluster } => write!(f, "unknown cluster {cluster}"),
+            EngError::UnknownInterface { interface } => {
+                write!(f, "unknown interface {interface}")
+            }
+            EngError::UnknownObject { object } => write!(f, "unknown object {object}"),
+            EngError::UnknownChannel { channel } => write!(f, "unknown channel {channel}"),
+            EngError::UnknownBehaviour { behaviour } => {
+                write!(f, "behaviour {behaviour:?} is not registered")
+            }
+            EngError::Policy { detail } => write!(f, "structure policy violation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for EngError {}
+
+/// A failure of a remote call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallError {
+    /// An engineering-level problem (unknown channel, node…).
+    Eng(EngError),
+    /// A client-side channel component failed.
+    Channel(ChannelError),
+    /// No reply within the retry policy (all attempts exhausted).
+    Timeout {
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// The destination node reported the interface is not there (stale
+    /// reference — the trigger for relocation transparency, §9.2).
+    NotHere {
+        /// The interface that was not found.
+        interface: InterfaceId,
+    },
+    /// The server's channel rejected the message (e.g. replay).
+    Rejected {
+        /// Detail from the server, if any.
+        detail: String,
+    },
+    /// The reply payload could not be decoded as a termination.
+    BadReply {
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CallError::Eng(e) => write!(f, "{e}"),
+            CallError::Channel(e) => write!(f, "{e}"),
+            CallError::Timeout { attempts } => {
+                write!(f, "no reply after {attempts} attempt(s)")
+            }
+            CallError::NotHere { interface } => {
+                write!(f, "interface {interface} is not at the believed location")
+            }
+            CallError::Rejected { detail } => write!(f, "request rejected: {detail}"),
+            CallError::BadReply { detail } => write!(f, "bad reply: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<EngError> for CallError {
+    fn from(e: EngError) -> Self {
+        CallError::Eng(e)
+    }
+}
+
+impl From<ChannelError> for CallError {
+    fn from(e: ChannelError) -> Self {
+        CallError::Channel(e)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct NodeHandle {
+    sim_node: NodeIdx,
+    native: SyntaxId,
+}
+
+struct ClientChannel {
+    client: NodeId,
+    target: InterfaceId,
+    stack: Stack,
+    config: ChannelConfig,
+    retry: RetryPolicy,
+    believed: InterfaceRef,
+}
+
+/// The engineering runtime: owns the simulator, the nodes (each with a
+/// nucleus), the authoritative interface-location registry, and the
+/// client halves of channels.
+pub struct Engine {
+    sim: Sim,
+    registry: BehaviourRegistry,
+    policy: StructurePolicy,
+    nodes: BTreeMap<NodeId, NodeHandle>,
+    /// Authoritative interface locations (what the relocator republishes).
+    locations: BTreeMap<InterfaceId, InterfaceRef>,
+    /// Epochs survive deactivation so reactivation can bump them.
+    epochs: BTreeMap<InterfaceId, u64>,
+    channels: BTreeMap<ChannelId, ClientChannel>,
+    node_gen: IdGen<NodeId>,
+    capsule_gen: IdGen<CapsuleId>,
+    cluster_gen: IdGen<ClusterId>,
+    object_gen: IdGen<ObjectId>,
+    interface_gen: IdGen<InterfaceId>,
+    channel_gen: IdGen<ChannelId>,
+    next_request: u64,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("nodes", &self.nodes.len())
+            .field("interfaces", &self.locations.len())
+            .field("channels", &self.channels.len())
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with an unconstrained structure policy.
+    pub fn new(seed: u64) -> Self {
+        Self::with_policy(seed, StructurePolicy::default())
+    }
+
+    /// Creates an engine with a structure policy (§6.2 constraints).
+    pub fn with_policy(seed: u64, policy: StructurePolicy) -> Self {
+        Self {
+            sim: Sim::new(seed),
+            registry: BehaviourRegistry::new(),
+            policy,
+            nodes: BTreeMap::new(),
+            locations: BTreeMap::new(),
+            epochs: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            node_gen: IdGen::new(),
+            capsule_gen: IdGen::new(),
+            cluster_gen: IdGen::new(),
+            object_gen: IdGen::new(),
+            interface_gen: IdGen::new(),
+            channel_gen: IdGen::new(),
+            next_request: 1,
+        }
+    }
+
+    /// The underlying simulator (topology, metrics, clock).
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Mutable access to the simulator (fault injection, clock control).
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        &mut self.sim
+    }
+
+    /// The behaviour registry (register behaviours before creating
+    /// objects).
+    pub fn behaviours_mut(&mut self) -> &mut BehaviourRegistry {
+        &mut self.registry
+    }
+
+    /// The structure policy in force.
+    pub fn policy(&self) -> StructurePolicy {
+        self.policy
+    }
+
+    /// All node identities.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// The netsim index of a node (for topology manipulation).
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn sim_node(&self, node: NodeId) -> Result<NodeIdx, EngError> {
+        Ok(self.handle(node)?.sim_node)
+    }
+
+    /// A node's native transfer syntax.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn native_syntax(&self, node: NodeId) -> Result<SyntaxId, EngError> {
+        Ok(self.handle(node)?.native)
+    }
+
+    fn handle(&self, node: NodeId) -> Result<NodeHandle, EngError> {
+        self.nodes
+            .get(&node)
+            .copied()
+            .ok_or(EngError::UnknownNode { node })
+    }
+
+    fn nucleus_addr(&self, node: NodeId) -> Result<Addr, EngError> {
+        Ok(Addr::new(self.handle(node)?.sim_node, NUCLEUS_PORT))
+    }
+
+    fn driver_addr(&self, node: NodeId) -> Result<Addr, EngError> {
+        Ok(Addr::new(self.handle(node)?.sim_node, DRIVER_PORT))
+    }
+
+    fn nucleus_mut(&mut self, node: NodeId) -> Result<&mut NucleusProcess, EngError> {
+        let addr = self.nucleus_addr(node)?;
+        self.sim
+            .inspect_mut::<NucleusProcess>(addr)
+            .ok_or(EngError::UnknownNode { node })
+    }
+
+    fn nucleus(&self, node: NodeId) -> Result<&NucleusProcess, EngError> {
+        let addr = self.nucleus_addr(node)?;
+        self.sim
+            .inspect::<NucleusProcess>(addr)
+            .ok_or(EngError::UnknownNode { node })
+    }
+
+    /// Creates a node: a simulator node with a nucleus and a driver
+    /// process ("a node has a nucleus object", §6.2).
+    pub fn add_node(&mut self, native: SyntaxId) -> NodeId {
+        let node = self.node_gen.fresh();
+        let sim_node = self.sim.add_node();
+        self.sim
+            .attach(Addr::new(sim_node, NUCLEUS_PORT), NucleusProcess::new(node, native));
+        self.sim
+            .attach(Addr::new(sim_node, DRIVER_PORT), DriverProcess::default());
+        self.nodes.insert(node, NodeHandle { sim_node, native });
+        node
+    }
+
+    /// Creates a capsule on a node.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node, or the capsules-per-node policy limit.
+    pub fn add_capsule(&mut self, node: NodeId) -> Result<CapsuleId, EngError> {
+        let policy = self.policy;
+        let nucleus = self.nucleus_mut(node)?;
+        if let Some(max) = policy.max_capsules_per_node {
+            if nucleus.structure.capsules.len() >= max {
+                return Err(EngError::Policy {
+                    detail: format!("{node} already has {max} capsule(s)"),
+                });
+            }
+        }
+        let capsule = self.capsule_gen.fresh();
+        self.nucleus_mut(node)?.add_capsule(capsule);
+        Ok(capsule)
+    }
+
+    /// Creates a cluster in a capsule.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/capsule, or the clusters-per-capsule policy limit.
+    pub fn add_cluster(&mut self, node: NodeId, capsule: CapsuleId) -> Result<ClusterId, EngError> {
+        let policy = self.policy;
+        let nucleus = self.nucleus_mut(node)?;
+        let Some(c) = nucleus.structure.capsules.get(&capsule) else {
+            return Err(EngError::UnknownCapsule { capsule });
+        };
+        if let Some(max) = policy.max_clusters_per_capsule {
+            if c.clusters.len() >= max {
+                return Err(EngError::Policy {
+                    detail: format!("{capsule} already has {max} cluster(s)"),
+                });
+            }
+        }
+        let cluster = self.cluster_gen.fresh();
+        self.nucleus_mut(node)?.add_cluster(capsule, cluster);
+        Ok(cluster)
+    }
+
+    /// Creates a basic engineering object in a cluster, with
+    /// `interface_count` fresh interfaces, and registers their locations.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/capsule/cluster/behaviour, or the objects-per-cluster
+    /// policy limit.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's creation parameters
+    pub fn create_object(
+        &mut self,
+        node: NodeId,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+        name: impl Into<String>,
+        behaviour: &str,
+        state: Value,
+        interface_count: usize,
+    ) -> Result<(ObjectId, Vec<InterfaceRef>), EngError> {
+        if !self.registry.contains(behaviour) {
+            return Err(EngError::UnknownBehaviour {
+                behaviour: behaviour.to_owned(),
+            });
+        }
+        let policy = self.policy;
+        {
+            let nucleus = self.nucleus(node)?;
+            let cl = nucleus
+                .structure
+                .capsules
+                .get(&capsule)
+                .ok_or(EngError::UnknownCapsule { capsule })?
+                .clusters
+                .get(&cluster)
+                .ok_or(EngError::UnknownCluster { cluster })?;
+            if let Some(max) = policy.max_objects_per_cluster {
+                if cl.objects.len() >= max {
+                    return Err(EngError::Policy {
+                        detail: format!("{cluster} already has {max} object(s)"),
+                    });
+                }
+            }
+        }
+        let object = self.object_gen.fresh();
+        let interfaces: Vec<InterfaceId> =
+            (0..interface_count).map(|_| self.interface_gen.fresh()).collect();
+        let record = BeoRecord {
+            object,
+            name: name.into(),
+            behaviour: behaviour.to_owned(),
+            interfaces: interfaces.clone(),
+        };
+        let instance = self
+            .registry
+            .create(behaviour)
+            .expect("checked contains above");
+        let installed =
+            self.nucleus_mut(node)?
+                .install_object(capsule, cluster, record, instance, state);
+        debug_assert!(installed, "cluster existence checked above");
+        let location = Location { node, capsule, cluster };
+        let mut refs = Vec::with_capacity(interfaces.len());
+        for ifc in interfaces {
+            let epoch = self.bump_epoch(ifc);
+            let r = InterfaceRef { interface: ifc, location, epoch };
+            self.locations.insert(ifc, r);
+            refs.push(r);
+        }
+        Ok((object, refs))
+    }
+
+    fn bump_epoch(&mut self, interface: InterfaceId) -> u64 {
+        let e = self.epochs.entry(interface).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// The authoritative location of an interface (what feeds the
+    /// relocator function). `None` while the owning cluster is
+    /// deactivated.
+    pub fn lookup(&self, interface: InterfaceId) -> Option<InterfaceRef> {
+        self.locations.get(&interface).copied()
+    }
+
+    /// Opens a channel from a client node to a target interface,
+    /// installing the server half at the interface's current node.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or interface.
+    pub fn open_channel(
+        &mut self,
+        client: NodeId,
+        target: InterfaceId,
+        config: ChannelConfig,
+    ) -> Result<ChannelId, EngError> {
+        self.handle(client)?;
+        let believed = self
+            .lookup(target)
+            .ok_or(EngError::UnknownInterface { interface: target })?;
+        let channel = self.channel_gen.fresh();
+        let client_native = self.handle(client)?.native;
+        let server_native = self.handle(believed.location.node)?.native;
+        let client_stack = config.build_stack(client_native);
+        let server_stack = config.build_stack(server_native);
+        self.nucleus_mut(believed.location.node)?
+            .server_channels
+            .insert(channel, server_stack);
+        let retry = config.retry.unwrap_or_default();
+        self.channels.insert(
+            channel,
+            ClientChannel {
+                client,
+                target,
+                stack: client_stack,
+                config,
+                retry,
+                believed,
+            },
+        );
+        Ok(channel)
+    }
+
+    /// What the channel currently believes about its target's location.
+    pub fn channel_believes(&self, channel: ChannelId) -> Option<InterfaceRef> {
+        self.channels.get(&channel).map(|c| c.believed)
+    }
+
+    /// Points a channel at a (new) interface location and installs the
+    /// server half there — the mechanics a relocation-transparent binder
+    /// performs after requerying the relocator (§9.2).
+    ///
+    /// # Errors
+    ///
+    /// Unknown channel or node.
+    pub fn redirect_channel(
+        &mut self,
+        channel: ChannelId,
+        to: InterfaceRef,
+    ) -> Result<(), EngError> {
+        let (config, server_node) = {
+            let cc = self
+                .channels
+                .get(&channel)
+                .ok_or(EngError::UnknownChannel { channel })?;
+            (cc.config.clone(), to.location.node)
+        };
+        let server_native = self.handle(server_node)?.native;
+        let server_stack = config.build_stack(server_native);
+        self.nucleus_mut(server_node)?
+            .server_channels
+            .insert(channel, server_stack);
+        let cc = self
+            .channels
+            .get_mut(&channel)
+            .ok_or(EngError::UnknownChannel { channel })?;
+        cc.believed = to;
+        Ok(())
+    }
+
+    fn encode_invocation(&self, native: SyntaxId, op: &str, args: &Value) -> Vec<u8> {
+        let v = Value::record([
+            ("op", Value::text(op.to_owned())),
+            ("args", args.clone()),
+        ]);
+        syntax_for(native).encode(&v)
+    }
+
+    /// Invokes an interrogation through a channel and runs the simulator
+    /// until the reply arrives (or the retry policy is exhausted).
+    ///
+    /// Retransmissions re-enter the channel stack (fresh sequence
+    /// numbers), giving at-least-once semantics when replies are lost.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CallError`]; `NotHere` signals a stale location belief.
+    pub fn call(
+        &mut self,
+        channel: ChannelId,
+        op: &str,
+        args: &Value,
+    ) -> Result<Termination, CallError> {
+        let (client, target, believed_node, retry) = {
+            let cc = self
+                .channels
+                .get(&channel)
+                .ok_or(EngError::UnknownChannel { channel })?;
+            (cc.client, cc.target, cc.believed.location.node, cc.retry)
+        };
+        let client_native = self.handle(client)?.native;
+        let driver = self.driver_addr(client)?;
+        let dst = self.nucleus_addr(believed_node)?;
+        let payload = self.encode_invocation(client_native, op, args);
+        let attempts = retry.retries + 1;
+
+        for attempt in 0..attempts {
+            let request_id = self.next_request;
+            self.next_request += 1;
+            let mut env = Envelope::request(channel, request_id, target, client_native, payload.clone());
+            {
+                let cc = self.channels.get_mut(&channel).expect("checked above");
+                cc.stack.outgoing(&mut env)?;
+            }
+            self.sim.send_from(driver, dst, env.to_bytes());
+            let deadline = self.sim.now() + retry.timeout;
+            if let Some(reply) = self.await_reply(driver, request_id, deadline) {
+                let mut reply = reply;
+                {
+                    let cc = self.channels.get_mut(&channel).expect("checked above");
+                    cc.stack.incoming(&mut reply)?;
+                }
+                return self.interpret_reply(target, reply);
+            }
+            let _ = attempt;
+        }
+        Err(CallError::Timeout { attempts })
+    }
+
+    fn await_reply(&mut self, driver: Addr, request_id: u64, deadline: SimTime) -> Option<Envelope> {
+        loop {
+            if let Some(d) = self.sim.inspect_mut::<DriverProcess>(driver) {
+                if let Some(reply) = d.mailbox.remove(&request_id) {
+                    return Some(reply);
+                }
+            }
+            if self.sim.now() > deadline {
+                return None;
+            }
+            if !self.sim.step() {
+                return None;
+            }
+        }
+    }
+
+    fn interpret_reply(
+        &self,
+        target: InterfaceId,
+        reply: Envelope,
+    ) -> Result<Termination, CallError> {
+        match reply.status {
+            ReplyStatus::NotHere => Err(CallError::NotHere { interface: target }),
+            ReplyStatus::Rejected => {
+                let detail = syntax_for(reply.syntax)
+                    .decode(&reply.payload)
+                    .ok()
+                    .and_then(|v| {
+                        v.path(&["results", "reason"])
+                            .and_then(|r| r.as_text())
+                            .map(str::to_owned)
+                    })
+                    .unwrap_or_else(|| "rejected".to_owned());
+                Err(CallError::Rejected { detail })
+            }
+            ReplyStatus::Ok => {
+                let value = syntax_for(reply.syntax)
+                    .decode(&reply.payload)
+                    .map_err(|e| CallError::BadReply { detail: e.to_string() })?;
+                let name = value
+                    .field("name")
+                    .and_then(|v| v.as_text())
+                    .ok_or_else(|| CallError::BadReply {
+                        detail: "termination has no name".into(),
+                    })?
+                    .to_owned();
+                let results = value.field("results").cloned().unwrap_or(Value::Null);
+                Ok(Termination::new(name, results))
+            }
+        }
+    }
+
+    /// Sends an announcement (no reply) through a channel. The message is
+    /// queued; run the simulator to deliver it.
+    ///
+    /// # Errors
+    ///
+    /// Unknown channel/node or a client-side channel failure.
+    pub fn announce(&mut self, channel: ChannelId, op: &str, args: &Value) -> Result<(), CallError> {
+        let (client, target, believed_node) = {
+            let cc = self
+                .channels
+                .get(&channel)
+                .ok_or(EngError::UnknownChannel { channel })?;
+            (cc.client, cc.target, cc.believed.location.node)
+        };
+        let client_native = self.handle(client)?.native;
+        let driver = self.driver_addr(client)?;
+        let dst = self.nucleus_addr(believed_node)?;
+        let payload = self.encode_invocation(client_native, op, args);
+        let mut env = Envelope::announce(channel, target, client_native, payload);
+        {
+            let cc = self.channels.get_mut(&channel).expect("checked above");
+            cc.stack.outgoing(&mut env)?;
+        }
+        self.sim.send_from(driver, dst, env.to_bytes());
+        Ok(())
+    }
+
+    /// Sends one stream-flow item through a channel (queued; run the
+    /// simulator to deliver).
+    ///
+    /// # Errors
+    ///
+    /// Unknown channel/node or a client-side channel failure.
+    pub fn send_flow(
+        &mut self,
+        channel: ChannelId,
+        flow: &str,
+        item: &Value,
+    ) -> Result<(), CallError> {
+        let (client, target, believed_node) = {
+            let cc = self
+                .channels
+                .get(&channel)
+                .ok_or(EngError::UnknownChannel { channel })?;
+            (cc.client, cc.target, cc.believed.location.node)
+        };
+        let client_native = self.handle(client)?.native;
+        let driver = self.driver_addr(client)?;
+        let dst = self.nucleus_addr(believed_node)?;
+        let payload = syntax_for(client_native).encode(item);
+        let mut env = Envelope::flow_item(channel, target, flow, client_native, payload);
+        {
+            let cc = self.channels.get_mut(&channel).expect("checked above");
+            cc.stack.outgoing(&mut env)?;
+        }
+        self.sim.send_from(driver, dst, env.to_bytes());
+        Ok(())
+    }
+
+    /// Runs the simulator until no events remain.
+    pub fn run_until_idle(&mut self) -> u64 {
+        self.sim.run_until_idle()
+    }
+
+    /// Checkpoints a cluster without disturbing it (§8.1).
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/capsule/cluster.
+    pub fn checkpoint_cluster(
+        &mut self,
+        node: NodeId,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+    ) -> Result<ClusterCheckpoint, EngError> {
+        let epoch = self.max_epoch_in(node, capsule, cluster)?;
+        self.nucleus(node)?
+            .checkpoint_cluster(capsule, cluster, epoch)
+            .ok_or(EngError::UnknownCluster { cluster })
+    }
+
+    fn max_epoch_in(
+        &self,
+        node: NodeId,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+    ) -> Result<u64, EngError> {
+        let nucleus = self.nucleus(node)?;
+        let cl = nucleus
+            .structure
+            .capsules
+            .get(&capsule)
+            .ok_or(EngError::UnknownCapsule { capsule })?
+            .clusters
+            .get(&cluster)
+            .ok_or(EngError::UnknownCluster { cluster })?;
+        Ok(cl
+            .objects
+            .values()
+            .flat_map(|r| r.interfaces.iter())
+            .filter_map(|i| self.epochs.get(i))
+            .copied()
+            .max()
+            .unwrap_or(0))
+    }
+
+    /// Deactivates a cluster: removes it from its node and returns the
+    /// checkpoint needed to reactivate it (§8.1). The interfaces become
+    /// unresolvable until reactivation.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/capsule/cluster.
+    pub fn deactivate_cluster(
+        &mut self,
+        node: NodeId,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+    ) -> Result<ClusterCheckpoint, EngError> {
+        let epoch = self.max_epoch_in(node, capsule, cluster)?;
+        let checkpoint = self
+            .nucleus_mut(node)?
+            .remove_cluster(capsule, cluster, epoch)
+            .ok_or(EngError::UnknownCluster { cluster })?;
+        for oc in &checkpoint.objects {
+            for ifc in &oc.record.interfaces {
+                self.locations.remove(ifc);
+            }
+        }
+        Ok(checkpoint)
+    }
+
+    /// Reactivates a cluster from a checkpoint into a capsule (possibly on
+    /// a different node), preserving object and interface identities and
+    /// bumping interface epochs.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node/capsule or unregistered behaviour names in the
+    /// checkpoint.
+    pub fn reactivate_cluster(
+        &mut self,
+        node: NodeId,
+        capsule: CapsuleId,
+        checkpoint: &ClusterCheckpoint,
+    ) -> Result<ClusterId, EngError> {
+        // Validate everything before mutating.
+        for oc in &checkpoint.objects {
+            if !self.registry.contains(&oc.record.behaviour) {
+                return Err(EngError::UnknownBehaviour {
+                    behaviour: oc.record.behaviour.clone(),
+                });
+            }
+        }
+        {
+            let nucleus = self.nucleus(node)?;
+            if !nucleus.structure.capsules.contains_key(&capsule) {
+                return Err(EngError::UnknownCapsule { capsule });
+            }
+        }
+        let cluster = self.cluster_gen.fresh();
+        self.nucleus_mut(node)?.add_cluster(capsule, cluster);
+        let location = Location { node, capsule, cluster };
+        for oc in &checkpoint.objects {
+            let behaviour = self
+                .registry
+                .create(&oc.record.behaviour)
+                .expect("validated above");
+            self.nucleus_mut(node)?.install_object(
+                capsule,
+                cluster,
+                oc.record.clone(),
+                behaviour,
+                oc.state.clone(),
+            );
+            for ifc in &oc.record.interfaces {
+                let epoch = self.bump_epoch(*ifc);
+                self.locations.insert(
+                    *ifc,
+                    InterfaceRef {
+                        interface: *ifc,
+                        location,
+                        epoch,
+                    },
+                );
+            }
+        }
+        Ok(cluster)
+    }
+
+    /// Migrates a cluster to another node/capsule: checkpoint, destroy,
+    /// reactivate (§8.1's migration function). Interface identities are
+    /// preserved; epochs are bumped so stale references fail over.
+    ///
+    /// # Errors
+    ///
+    /// As the constituent operations; on a validation failure at the
+    /// target, the source is restored.
+    pub fn migrate_cluster(
+        &mut self,
+        from_node: NodeId,
+        from_capsule: CapsuleId,
+        cluster: ClusterId,
+        to_node: NodeId,
+        to_capsule: CapsuleId,
+    ) -> Result<ClusterId, EngError> {
+        let checkpoint = self.deactivate_cluster(from_node, from_capsule, cluster)?;
+        match self.reactivate_cluster(to_node, to_capsule, &checkpoint) {
+            Ok(new_cluster) => Ok(new_cluster),
+            Err(e) => {
+                // Roll back: reactivate at the source.
+                let restored = self.reactivate_cluster(from_node, from_capsule, &checkpoint);
+                debug_assert!(restored.is_ok(), "rollback must succeed");
+                Err(e)
+            }
+        }
+    }
+
+    /// Deletes one object (§8.1's object management), returning its final
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or object.
+    pub fn delete_object(
+        &mut self,
+        node: NodeId,
+        object: ObjectId,
+    ) -> Result<ObjectCheckpoint, EngError> {
+        let checkpoint = self
+            .nucleus_mut(node)?
+            .remove_object(object)
+            .ok_or(EngError::UnknownObject { object })?;
+        for ifc in &checkpoint.record.interfaces {
+            self.locations.remove(ifc);
+        }
+        Ok(checkpoint)
+    }
+
+    /// Reads an object's current state.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn object_state(&self, node: NodeId, object: ObjectId) -> Result<Option<Value>, EngError> {
+        Ok(self.nucleus(node)?.object_state(object).cloned())
+    }
+
+    /// Validates a node's structure against the policy (Figure 5's
+    /// rules); empty = valid.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn validate_node(&self, node: NodeId) -> Result<Vec<String>, EngError> {
+        let nucleus = self.nucleus(node)?;
+        Ok(nucleus.structure.validate(&self.policy, &nucleus.routing))
+    }
+
+    /// A node's (capsules, clusters, objects) census.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn census(&self, node: NodeId) -> Result<(usize, usize, usize), EngError> {
+        Ok(self.nucleus(node)?.structure.census())
+    }
+
+    /// A node's nucleus counters.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn node_stats(&self, node: NodeId) -> Result<NucleusStats, EngError> {
+        Ok(self.nucleus(node)?.stats)
+    }
+
+    /// Direct local invocation on a node, bypassing channels (used by
+    /// management functions and intra-node optimisation tests).
+    ///
+    /// # Errors
+    ///
+    /// Unknown node or interface.
+    pub fn invoke_local(
+        &mut self,
+        node: NodeId,
+        interface: InterfaceId,
+        op: &str,
+        args: &Value,
+    ) -> Result<Termination, EngError> {
+        let invocation = Invocation::new(op, args.clone());
+        self.nucleus_mut(node)?
+            .invoke_local(interface, &invocation)
+            .ok_or(EngError::UnknownInterface { interface })
+    }
+}

@@ -1,0 +1,338 @@
+//! The engineering wire format: envelopes exchanged between protocol
+//! objects over the communications interface (§6.1).
+
+use bytes::{Buf, BufMut};
+use rmodp_core::codec::SyntaxId;
+use rmodp_core::id::{ChannelId, InterfaceId};
+use std::fmt;
+
+/// What an envelope carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvelopeKind {
+    /// An interrogation: a reply is expected.
+    Request,
+    /// The reply to an interrogation.
+    Reply,
+    /// An announcement: no reply.
+    Announce,
+    /// One item of a stream flow.
+    Flow,
+}
+
+/// Transport-level status of a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStatus {
+    /// The payload is the operation's termination.
+    Ok,
+    /// The target interface is not at this node (stale interface
+    /// reference; triggers relocation transparency, §9.2).
+    NotHere,
+    /// The channel rejected the message (e.g. replay detected by a
+    /// sequence binder, §6.1).
+    Rejected,
+}
+
+/// A message travelling through a channel: produced by stubs, transformed
+/// by binders, carried by protocol objects.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// The envelope kind.
+    pub kind: EnvelopeKind,
+    /// Which channel this envelope belongs to (0 = the ephemeral default
+    /// channel).
+    pub channel: ChannelId,
+    /// Correlates a reply with its request.
+    pub request: u64,
+    /// Sequence number stamped by a sequence binder (0 = unstamped).
+    pub seq: u64,
+    /// The target interface (requests, announcements and flows).
+    pub target: InterfaceId,
+    /// Reply status (replies only).
+    pub status: ReplyStatus,
+    /// The transfer syntax the payload is currently encoded in.
+    pub syntax: SyntaxId,
+    /// The encoded payload (an invocation or termination record, or a
+    /// flow item).
+    pub payload: Vec<u8>,
+    /// The flow name (flows only; empty otherwise).
+    pub flow: String,
+}
+
+impl Envelope {
+    /// Creates a request envelope.
+    pub fn request(
+        channel: ChannelId,
+        request: u64,
+        target: InterfaceId,
+        syntax: SyntaxId,
+        payload: Vec<u8>,
+    ) -> Self {
+        Self {
+            kind: EnvelopeKind::Request,
+            channel,
+            request,
+            seq: 0,
+            target,
+            status: ReplyStatus::Ok,
+            syntax,
+            payload,
+            flow: String::new(),
+        }
+    }
+
+    /// Creates the reply to a request envelope.
+    pub fn reply_to(req: &Envelope, status: ReplyStatus, syntax: SyntaxId, payload: Vec<u8>) -> Self {
+        Self {
+            kind: EnvelopeKind::Reply,
+            channel: req.channel,
+            request: req.request,
+            seq: 0,
+            target: req.target,
+            status,
+            syntax,
+            payload,
+            flow: String::new(),
+        }
+    }
+
+    /// Creates an announcement envelope.
+    pub fn announce(
+        channel: ChannelId,
+        target: InterfaceId,
+        syntax: SyntaxId,
+        payload: Vec<u8>,
+    ) -> Self {
+        Self {
+            kind: EnvelopeKind::Announce,
+            channel,
+            request: 0,
+            seq: 0,
+            target,
+            status: ReplyStatus::Ok,
+            syntax,
+            payload,
+            flow: String::new(),
+        }
+    }
+
+    /// Creates a flow-item envelope.
+    pub fn flow_item(
+        channel: ChannelId,
+        target: InterfaceId,
+        flow: impl Into<String>,
+        syntax: SyntaxId,
+        payload: Vec<u8>,
+    ) -> Self {
+        Self {
+            kind: EnvelopeKind::Flow,
+            channel,
+            request: 0,
+            seq: 0,
+            target,
+            status: ReplyStatus::Ok,
+            syntax,
+            payload,
+            flow: flow.into(),
+        }
+    }
+
+    /// Serialises the envelope for the network.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(40 + self.payload.len() + self.flow.len());
+        out.put_u8(match self.kind {
+            EnvelopeKind::Request => 0,
+            EnvelopeKind::Reply => 1,
+            EnvelopeKind::Announce => 2,
+            EnvelopeKind::Flow => 3,
+        });
+        out.put_u8(match self.status {
+            ReplyStatus::Ok => 0,
+            ReplyStatus::NotHere => 1,
+            ReplyStatus::Rejected => 2,
+        });
+        out.put_u8(match self.syntax {
+            SyntaxId::Binary => 0,
+            SyntaxId::Text => 1,
+        });
+        out.put_u64_le(self.channel.raw());
+        out.put_u64_le(self.request);
+        out.put_u64_le(self.seq);
+        out.put_u64_le(self.target.raw());
+        out.put_u32_le(self.flow.len() as u32);
+        out.put_slice(self.flow.as_bytes());
+        out.put_u32_le(self.payload.len() as u32);
+        out.put_slice(&self.payload);
+        out
+    }
+
+    /// Deserialises an envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnvelopeError`] on truncation or bad discriminants.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, EnvelopeError> {
+        let need = |b: &&[u8], n: usize| -> Result<(), EnvelopeError> {
+            if b.remaining() < n {
+                Err(EnvelopeError {
+                    message: format!("truncated envelope: need {n} more bytes"),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        need(&bytes, 3)?;
+        let kind = match bytes.get_u8() {
+            0 => EnvelopeKind::Request,
+            1 => EnvelopeKind::Reply,
+            2 => EnvelopeKind::Announce,
+            3 => EnvelopeKind::Flow,
+            k => {
+                return Err(EnvelopeError {
+                    message: format!("bad envelope kind {k}"),
+                })
+            }
+        };
+        let status = match bytes.get_u8() {
+            0 => ReplyStatus::Ok,
+            1 => ReplyStatus::NotHere,
+            2 => ReplyStatus::Rejected,
+            s => {
+                return Err(EnvelopeError {
+                    message: format!("bad reply status {s}"),
+                })
+            }
+        };
+        let syntax = match bytes.get_u8() {
+            0 => SyntaxId::Binary,
+            1 => SyntaxId::Text,
+            s => {
+                return Err(EnvelopeError {
+                    message: format!("bad syntax id {s}"),
+                })
+            }
+        };
+        need(&bytes, 32)?;
+        let channel = ChannelId::new(bytes.get_u64_le());
+        let request = bytes.get_u64_le();
+        let seq = bytes.get_u64_le();
+        let target = InterfaceId::new(bytes.get_u64_le());
+        need(&bytes, 4)?;
+        let flow_len = bytes.get_u32_le() as usize;
+        need(&bytes, flow_len)?;
+        let flow = String::from_utf8(bytes[..flow_len].to_vec()).map_err(|_| EnvelopeError {
+            message: "flow name is not utf-8".into(),
+        })?;
+        bytes.advance(flow_len);
+        need(&bytes, 4)?;
+        let payload_len = bytes.get_u32_le() as usize;
+        need(&bytes, payload_len)?;
+        let payload = bytes[..payload_len].to_vec();
+        bytes.advance(payload_len);
+        if bytes.has_remaining() {
+            return Err(EnvelopeError {
+                message: "trailing bytes after envelope".into(),
+            });
+        }
+        Ok(Self {
+            kind,
+            channel,
+            request,
+            seq,
+            target,
+            status,
+            syntax,
+            payload,
+            flow,
+        })
+    }
+}
+
+/// A malformed envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvelopeError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "envelope error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        let mut e = Envelope::request(
+            ChannelId::new(7),
+            42,
+            InterfaceId::new(9),
+            SyntaxId::Binary,
+            vec![1, 2, 3],
+        );
+        e.seq = 5;
+        e
+    }
+
+    #[test]
+    fn round_trips_all_kinds() {
+        let req = sample();
+        let reply = Envelope::reply_to(&req, ReplyStatus::NotHere, SyntaxId::Text, vec![9]);
+        let ann = Envelope::announce(ChannelId::new(1), InterfaceId::new(2), SyntaxId::Text, vec![]);
+        let flow = Envelope::flow_item(
+            ChannelId::new(1),
+            InterfaceId::new(2),
+            "audio",
+            SyntaxId::Binary,
+            vec![0; 100],
+        );
+        for e in [req, reply, ann, flow] {
+            let bytes = e.to_bytes();
+            assert_eq!(Envelope::from_bytes(&bytes).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn reply_correlates_with_request() {
+        let req = sample();
+        let reply = Envelope::reply_to(&req, ReplyStatus::Ok, SyntaxId::Binary, vec![]);
+        assert_eq!(reply.request, req.request);
+        assert_eq!(reply.channel, req.channel);
+        assert_eq!(reply.kind, EnvelopeKind::Reply);
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Envelope::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = 9;
+        assert!(Envelope::from_bytes(&bytes).unwrap_err().message.contains("kind"));
+        let mut bytes = sample().to_bytes();
+        bytes[1] = 9;
+        assert!(Envelope::from_bytes(&bytes).unwrap_err().message.contains("status"));
+        let mut bytes = sample().to_bytes();
+        bytes[2] = 9;
+        assert!(Envelope::from_bytes(&bytes).unwrap_err().message.contains("syntax"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(Envelope::from_bytes(&bytes)
+            .unwrap_err()
+            .message
+            .contains("trailing"));
+    }
+}

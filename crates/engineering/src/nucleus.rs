@@ -1,0 +1,464 @@
+//! The nucleus: the per-node engineering kernel (§6.2).
+//!
+//! "A node has a nucleus object — an (extended) operating system
+//! supporting ODP." Here the nucleus is a [`Process`] attached to a
+//! simulator node: it owns the node's capsules, clusters and basic
+//! engineering objects, terminates the server halves of channels, and
+//! dispatches incoming invocations to object behaviours.
+
+use std::collections::BTreeMap;
+
+use rmodp_computational::signature::{Invocation, Termination};
+use rmodp_core::codec::{syntax_for, SyntaxId};
+use rmodp_core::id::{CapsuleId, ChannelId, ClusterId, InterfaceId, NodeId, ObjectId};
+use rmodp_core::value::Value;
+use rmodp_netsim::sim::{Ctx, Message, Process};
+
+use crate::behaviour::ServerBehaviour;
+use crate::channel::{ChannelError, Stack};
+use crate::envelope::{Envelope, EnvelopeKind, ReplyStatus};
+use crate::structure::{
+    BeoRecord, Cluster, ClusterCheckpoint, NodeStructure, ObjectCheckpoint,
+};
+
+/// The port a node's nucleus listens on.
+pub const NUCLEUS_PORT: u32 = 0;
+/// The port a node's driver (client-side reply collector) listens on.
+pub const DRIVER_PORT: u32 = 1;
+
+/// The per-node engineering kernel, run as a simulator process.
+pub struct NucleusProcess {
+    /// Which engineering node this nucleus serves.
+    pub node: NodeId,
+    /// The node's native transfer syntax (its "data representation").
+    pub native: SyntaxId,
+    /// The capsule/cluster/object tree.
+    pub structure: NodeStructure,
+    /// Interface → object routing for this node.
+    pub routing: BTreeMap<InterfaceId, ObjectId>,
+    /// Server-side channel stacks, by channel.
+    pub server_channels: BTreeMap<ChannelId, Stack>,
+    /// Behaviours of resident objects.
+    behaviours: BTreeMap<ObjectId, Box<dyn ServerBehaviour>>,
+    /// Durable states of resident objects.
+    states: BTreeMap<ObjectId, Value>,
+    /// Counters for observability.
+    pub stats: NucleusStats,
+}
+
+/// Counters the nucleus maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NucleusStats {
+    /// Requests dispatched to behaviours.
+    pub requests: u64,
+    /// Announcements dispatched.
+    pub announcements: u64,
+    /// Flow items dispatched.
+    pub flows: u64,
+    /// Requests answered `NotHere`.
+    pub not_here: u64,
+    /// Messages rejected by channel components or malformed.
+    pub rejected: u64,
+}
+
+impl std::fmt::Debug for NucleusProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (capsules, clusters, objects) = self.structure.census();
+        f.debug_struct("NucleusProcess")
+            .field("node", &self.node)
+            .field("capsules", &capsules)
+            .field("clusters", &clusters)
+            .field("objects", &objects)
+            .finish()
+    }
+}
+
+impl NucleusProcess {
+    /// Creates an empty nucleus for a node.
+    pub fn new(node: NodeId, native: SyntaxId) -> Self {
+        Self {
+            node,
+            native,
+            structure: NodeStructure::default(),
+            routing: BTreeMap::new(),
+            server_channels: BTreeMap::new(),
+            behaviours: BTreeMap::new(),
+            states: BTreeMap::new(),
+            stats: NucleusStats::default(),
+        }
+    }
+
+    /// Adds a capsule.
+    pub fn add_capsule(&mut self, capsule: CapsuleId) {
+        self.structure.capsules.entry(capsule).or_default();
+    }
+
+    /// Adds a cluster to a capsule; `false` if the capsule is unknown.
+    pub fn add_cluster(&mut self, capsule: CapsuleId, cluster: ClusterId) -> bool {
+        match self.structure.capsules.get_mut(&capsule) {
+            Some(c) => {
+                c.clusters.entry(cluster).or_insert_with(Cluster::default);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Installs an object (record + behaviour + state) into a cluster and
+    /// routes its interfaces; `false` if the cluster is unknown.
+    pub fn install_object(
+        &mut self,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+        record: BeoRecord,
+        behaviour: Box<dyn ServerBehaviour>,
+        state: Value,
+    ) -> bool {
+        let Some(cl) = self
+            .structure
+            .capsules
+            .get_mut(&capsule)
+            .and_then(|c| c.clusters.get_mut(&cluster))
+        else {
+            return false;
+        };
+        for ifc in &record.interfaces {
+            self.routing.insert(*ifc, record.object);
+        }
+        self.behaviours.insert(record.object, behaviour);
+        self.states.insert(record.object, state.clone());
+        cl.objects.insert(record.object, record);
+        true
+    }
+
+    /// Removes an object entirely; returns its checkpoint if present.
+    pub fn remove_object(&mut self, object: ObjectId) -> Option<ObjectCheckpoint> {
+        let mut found = None;
+        for capsule in self.structure.capsules.values_mut() {
+            for cluster in capsule.clusters.values_mut() {
+                if let Some(record) = cluster.objects.remove(&object) {
+                    found = Some(record);
+                    break;
+                }
+            }
+        }
+        let record = found?;
+        for ifc in &record.interfaces {
+            self.routing.remove(ifc);
+        }
+        self.behaviours.remove(&object);
+        let state = self.states.remove(&object).unwrap_or(Value::Null);
+        Some(ObjectCheckpoint { record, state })
+    }
+
+    /// Snapshots a cluster without disturbing it (§8.1 checkpoint).
+    pub fn checkpoint_cluster(
+        &self,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+        epoch: u64,
+    ) -> Option<ClusterCheckpoint> {
+        let cl = self
+            .structure
+            .capsules
+            .get(&capsule)?
+            .clusters
+            .get(&cluster)?;
+        let objects = cl
+            .objects
+            .values()
+            .map(|record| ObjectCheckpoint {
+                record: record.clone(),
+                state: self.states.get(&record.object).cloned().unwrap_or(Value::Null),
+            })
+            .collect();
+        Some(ClusterCheckpoint {
+            cluster,
+            objects,
+            epoch,
+        })
+    }
+
+    /// Removes a cluster wholesale (deactivation / the destructive half of
+    /// migration), returning its checkpoint.
+    pub fn remove_cluster(
+        &mut self,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+        epoch: u64,
+    ) -> Option<ClusterCheckpoint> {
+        let checkpoint = self.checkpoint_cluster(capsule, cluster, epoch)?;
+        let cl = self
+            .structure
+            .capsules
+            .get_mut(&capsule)?
+            .clusters
+            .remove(&cluster)?;
+        for record in cl.objects.values() {
+            for ifc in &record.interfaces {
+                self.routing.remove(ifc);
+            }
+            self.behaviours.remove(&record.object);
+            self.states.remove(&record.object);
+        }
+        Some(checkpoint)
+    }
+
+    /// Direct read access to an object's state (used by management
+    /// functions and tests).
+    pub fn object_state(&self, object: ObjectId) -> Option<&Value> {
+        self.states.get(&object)
+    }
+
+    /// Direct invocation bypassing the network — the engine uses this for
+    /// intra-node calls from management functions.
+    pub fn invoke_local(&mut self, interface: InterfaceId, invocation: &Invocation) -> Option<Termination> {
+        let object = *self.routing.get(&interface)?;
+        let behaviour = self.behaviours.get_mut(&object)?;
+        let state = self.states.get_mut(&object)?;
+        self.stats.requests += 1;
+        Some(behaviour.invoke(state, invocation))
+    }
+
+    fn decode_invocation(&self, syntax: SyntaxId, payload: &[u8]) -> Option<Invocation> {
+        let value = syntax_for(syntax).decode(payload).ok()?;
+        let op = value.field("op")?.as_text()?.to_owned();
+        let args = value.field("args").cloned().unwrap_or(Value::Null);
+        Some(Invocation::new(op, args))
+    }
+
+    fn encode_termination(&self, termination: &Termination) -> Vec<u8> {
+        let value = Value::record([
+            ("name", Value::text(termination.name.clone())),
+            ("results", termination.results.clone()),
+        ]);
+        syntax_for(self.native).encode(&value)
+    }
+
+    fn send_reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        req: &Envelope,
+        status: ReplyStatus,
+        payload: Vec<u8>,
+        reply_to: rmodp_netsim::sim::Addr,
+    ) {
+        let mut reply = Envelope::reply_to(req, status, self.native, payload);
+        if req.channel.raw() != 0 {
+            if let Some(stack) = self.server_channels.get_mut(&req.channel) {
+                // A failing outgoing stack would leave the client waiting;
+                // components only fail on malformed payloads we produced
+                // ourselves, so surface that loudly in debug builds.
+                if let Err(e) = stack.outgoing(&mut reply) {
+                    debug_assert!(false, "server outgoing stack failed: {e}");
+                    return;
+                }
+            }
+        }
+        ctx.send(reply_to, reply.to_bytes());
+    }
+
+    fn handle_envelope(&mut self, ctx: &mut Ctx<'_>, src: rmodp_netsim::sim::Addr, mut env: Envelope) {
+        // Run the server half of the channel.
+        if env.channel.raw() != 0 {
+            if let Some(stack) = self.server_channels.get_mut(&env.channel) {
+                match stack.incoming(&mut env) {
+                    Ok(()) => {}
+                    Err(ChannelError::Replay { seq }) => {
+                        self.stats.rejected += 1;
+                        ctx.note(format!("replay foiled (seq {seq})"));
+                        if env.kind == EnvelopeKind::Request {
+                            let payload = self.encode_termination(&Termination::error("replay"));
+                            self.send_reply(ctx, &env, ReplyStatus::Rejected, payload, src);
+                        }
+                        return;
+                    }
+                    Err(e) => {
+                        self.stats.rejected += 1;
+                        ctx.note(format!("channel rejected message: {e}"));
+                        return;
+                    }
+                }
+            }
+        }
+        match env.kind {
+            EnvelopeKind::Request => {
+                let Some(&object) = self.routing.get(&env.target) else {
+                    self.stats.not_here += 1;
+                    let payload = syntax_for(self.native).encode(&Value::Null);
+                    self.send_reply(ctx, &env, ReplyStatus::NotHere, payload, src);
+                    return;
+                };
+                let Some(invocation) = self.decode_invocation(env.syntax, &env.payload) else {
+                    self.stats.rejected += 1;
+                    let payload = self.encode_termination(&Termination::error("bad invocation"));
+                    self.send_reply(ctx, &env, ReplyStatus::Rejected, payload, src);
+                    return;
+                };
+                self.stats.requests += 1;
+                let termination = {
+                    let behaviour = self.behaviours.get_mut(&object);
+                    let state = self.states.get_mut(&object);
+                    match (behaviour, state) {
+                        (Some(b), Some(s)) => b.invoke(s, &invocation),
+                        _ => Termination::error("object has no behaviour"),
+                    }
+                };
+                let payload = self.encode_termination(&termination);
+                self.send_reply(ctx, &env, ReplyStatus::Ok, payload, src);
+            }
+            EnvelopeKind::Announce => {
+                if let Some(&object) = self.routing.get(&env.target) {
+                    if let Some(invocation) = self.decode_invocation(env.syntax, &env.payload) {
+                        self.stats.announcements += 1;
+                        if let (Some(b), Some(s)) =
+                            (self.behaviours.get_mut(&object), self.states.get_mut(&object))
+                        {
+                            let _ = b.invoke(s, &invocation);
+                        }
+                    }
+                }
+            }
+            EnvelopeKind::Flow => {
+                if let Some(&object) = self.routing.get(&env.target) {
+                    if let Ok(item) = syntax_for(env.syntax).decode(&env.payload) {
+                        self.stats.flows += 1;
+                        if let (Some(b), Some(s)) =
+                            (self.behaviours.get_mut(&object), self.states.get_mut(&object))
+                        {
+                            b.on_flow(s, &env.flow, &item);
+                        }
+                    }
+                }
+            }
+            EnvelopeKind::Reply => {
+                // Replies are addressed to drivers, not nuclei.
+                self.stats.rejected += 1;
+            }
+        }
+    }
+}
+
+impl Process for NucleusProcess {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        match Envelope::from_bytes(&msg.payload) {
+            Ok(env) => self.handle_envelope(ctx, msg.src, env),
+            Err(e) => {
+                self.stats.rejected += 1;
+                ctx.note(format!("malformed envelope: {e}"));
+            }
+        }
+    }
+}
+
+/// The client-side reply collector: the engine's `call` sends requests
+/// from this address and polls its mailbox for correlated replies.
+#[derive(Debug, Default)]
+pub struct DriverProcess {
+    /// Replies keyed by request id.
+    pub mailbox: BTreeMap<u64, Envelope>,
+}
+
+impl Process for DriverProcess {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+        if let Ok(env) = Envelope::from_bytes(&msg.payload) {
+            if env.kind == EnvelopeKind::Reply {
+                // First reply wins; duplicates from retransmission are
+                // dropped here.
+                self.mailbox.entry(env.request).or_insert(env);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behaviour::CounterBehaviour;
+
+    fn nucleus_with_counter() -> (NucleusProcess, InterfaceId, ObjectId) {
+        let mut n = NucleusProcess::new(NodeId::new(1), SyntaxId::Binary);
+        n.add_capsule(CapsuleId::new(1));
+        assert!(n.add_cluster(CapsuleId::new(1), ClusterId::new(1)));
+        let obj = ObjectId::new(1);
+        let ifc = InterfaceId::new(10);
+        let record = BeoRecord {
+            object: obj,
+            name: "counter".into(),
+            behaviour: "counter".into(),
+            interfaces: vec![ifc],
+        };
+        assert!(n.install_object(
+            CapsuleId::new(1),
+            ClusterId::new(1),
+            record,
+            Box::new(CounterBehaviour),
+            CounterBehaviour::initial_state(),
+        ));
+        (n, ifc, obj)
+    }
+
+    #[test]
+    fn install_routes_interfaces_and_invoke_local_works() {
+        let (mut n, ifc, obj) = nucleus_with_counter();
+        assert_eq!(n.routing.get(&ifc), Some(&obj));
+        let t = n
+            .invoke_local(ifc, &Invocation::new("Add", Value::record([("k", Value::Int(4))])))
+            .unwrap();
+        assert_eq!(t.results.field("n"), Some(&Value::Int(4)));
+        assert_eq!(n.object_state(obj).unwrap().field("n"), Some(&Value::Int(4)));
+        assert_eq!(n.stats.requests, 1);
+    }
+
+    #[test]
+    fn checkpoint_captures_and_remove_cluster_clears() {
+        let (mut n, ifc, obj) = nucleus_with_counter();
+        n.invoke_local(ifc, &Invocation::new("Add", Value::record([("k", Value::Int(7))])));
+        let cp = n
+            .checkpoint_cluster(CapsuleId::new(1), ClusterId::new(1), 3)
+            .unwrap();
+        assert_eq!(cp.objects.len(), 1);
+        assert_eq!(cp.objects[0].state.field("n"), Some(&Value::Int(7)));
+        assert_eq!(cp.epoch, 3);
+        // Checkpoint is non-destructive.
+        assert!(n.object_state(obj).is_some());
+
+        let cp2 = n
+            .remove_cluster(CapsuleId::new(1), ClusterId::new(1), 4)
+            .unwrap();
+        assert_eq!(cp2.objects[0].state.field("n"), Some(&Value::Int(7)));
+        assert!(n.object_state(obj).is_none());
+        assert!(!n.routing.contains_key(&ifc));
+        assert_eq!(n.structure.census(), (1, 0, 0));
+    }
+
+    #[test]
+    fn remove_object_returns_checkpoint() {
+        let (mut n, ifc, obj) = nucleus_with_counter();
+        let cp = n.remove_object(obj).unwrap();
+        assert_eq!(cp.record.object, obj);
+        assert!(n.remove_object(obj).is_none());
+        assert!(!n.routing.contains_key(&ifc));
+    }
+
+    #[test]
+    fn unknown_cluster_operations_fail_gracefully() {
+        let (mut n, _, _) = nucleus_with_counter();
+        assert!(!n.add_cluster(CapsuleId::new(9), ClusterId::new(2)));
+        assert!(n.checkpoint_cluster(CapsuleId::new(9), ClusterId::new(1), 0).is_none());
+        assert!(n.remove_cluster(CapsuleId::new(1), ClusterId::new(9), 0).is_none());
+        let record = BeoRecord {
+            object: ObjectId::new(5),
+            name: "x".into(),
+            behaviour: "counter".into(),
+            interfaces: vec![],
+        };
+        assert!(!n.install_object(
+            CapsuleId::new(9),
+            ClusterId::new(1),
+            record,
+            Box::new(CounterBehaviour),
+            Value::Null,
+        ));
+    }
+}

@@ -1,0 +1,368 @@
+//! End-to-end tests of the engineering runtime: remote invocation through
+//! channels, heterogeneous marshalling, replay protection, retransmission,
+//! checkpoint / deactivate / reactivate / migrate, and structure policies.
+
+use rmodp_core::codec::SyntaxId;
+use rmodp_core::id::{CapsuleId, ClusterId, NodeId};
+use rmodp_core::value::Value;
+use rmodp_engineering::channel::{ChannelConfig, RetryPolicy};
+use rmodp_engineering::engine::{CallError, EngError, Engine};
+use rmodp_engineering::prelude::*;
+use rmodp_netsim::time::SimDuration;
+use rmodp_netsim::topology::LinkConfig;
+
+fn engine() -> Engine {
+    let mut e = Engine::new(7);
+    e.behaviours_mut().register("counter", CounterBehaviour::default);
+    e.behaviours_mut().register("echo", || EchoBehaviour);
+    e
+}
+
+/// Sets up one server node (binary-native) with a counter object, and one
+/// text-native client node.
+fn counter_setup(e: &mut Engine) -> (NodeId, NodeId, CapsuleId, ClusterId, InterfaceRef) {
+    let server = e.add_node(SyntaxId::Binary);
+    let client = e.add_node(SyntaxId::Text);
+    let capsule = e.add_capsule(server).unwrap();
+    let cluster = e.add_cluster(server, capsule).unwrap();
+    let (_obj, refs) = e
+        .create_object(
+            server,
+            capsule,
+            cluster,
+            "counter",
+            "counter",
+            CounterBehaviour::initial_state(),
+            1,
+        )
+        .unwrap();
+    (server, client, capsule, cluster, refs[0])
+}
+
+fn add_args(k: i64) -> Value {
+    Value::record([("k", Value::Int(k))])
+}
+
+#[test]
+fn remote_interrogation_accumulates_state() {
+    let mut e = engine();
+    let (_, client, _, _, iref) = counter_setup(&mut e);
+    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    for k in 1..=10 {
+        let t = e.call(ch, "Add", &add_args(k)).unwrap();
+        assert!(t.is_ok(), "{t:?}");
+    }
+    let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    assert_eq!(t.results.field("n"), Some(&Value::Int(55)));
+}
+
+#[test]
+fn heterogeneous_nodes_interwork_through_marshalling() {
+    // Client is text-native, server binary-native, wire syntax text: every
+    // hop forces real conversion (access transparency).
+    let mut e = engine();
+    let (_, client, _, _, iref) = counter_setup(&mut e);
+    let cfg = ChannelConfig {
+        wire_syntax: SyntaxId::Text,
+        ..ChannelConfig::default()
+    };
+    let ch = e.open_channel(client, iref.interface, cfg).unwrap();
+    let t = e.call(ch, "Add", &add_args(3)).unwrap();
+    assert_eq!(t.results.field("n"), Some(&Value::Int(3)));
+}
+
+#[test]
+fn announcements_are_fire_and_forget() {
+    let mut e = engine();
+    let (server, client, _, _, iref) = counter_setup(&mut e);
+    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    e.announce(ch, "Add", &add_args(5)).unwrap();
+    e.announce(ch, "Add", &add_args(6)).unwrap();
+    e.run_until_idle();
+    let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    assert_eq!(t.results.field("n"), Some(&Value::Int(11)));
+    assert_eq!(e.node_stats(server).unwrap().announcements, 2);
+}
+
+#[test]
+fn flows_drive_on_flow() {
+    let mut e = engine();
+    let (server, client, _, _, iref) = counter_setup(&mut e);
+    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    for k in [1, 2, 3] {
+        e.send_flow(ch, "increments", &Value::Int(k)).unwrap();
+    }
+    e.run_until_idle();
+    let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    assert_eq!(t.results.field("n"), Some(&Value::Int(6)));
+    assert_eq!(e.node_stats(server).unwrap().flows, 3);
+}
+
+#[test]
+fn lossy_link_times_out_then_retry_succeeds() {
+    let mut e = engine();
+    let (server, client, _, _, iref) = counter_setup(&mut e);
+    // 100% loss: no retry policy can help; expect Timeout.
+    let s = e.sim_node(server).unwrap();
+    let c = e.sim_node(client).unwrap();
+    e.sim_mut().topology_mut().set_link(
+        c,
+        s,
+        LinkConfig::with_latency(SimDuration::from_millis(1)).loss(1.0),
+    );
+    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let err = e.call(ch, "Add", &add_args(1)).unwrap_err();
+    assert_eq!(err, CallError::Timeout { attempts: 1 });
+
+    // 60% loss with generous retries: at-least-once delivery succeeds.
+    e.sim_mut().topology_mut().set_link(
+        c,
+        s,
+        LinkConfig::with_latency(SimDuration::from_millis(1)).loss(0.6),
+    );
+    let cfg = ChannelConfig {
+        retry: Some(RetryPolicy {
+            timeout: SimDuration::from_millis(10),
+            retries: 20,
+        }),
+        ..ChannelConfig::default()
+    };
+    let ch2 = e.open_channel(client, iref.interface, cfg).unwrap();
+    let t = e.call(ch2, "Get", &Value::record::<&str, _>([])).unwrap();
+    assert!(t.is_ok());
+}
+
+#[test]
+fn sequence_binder_foils_replayed_requests_end_to_end() {
+    use rmodp_core::codec::syntax_for;
+    use rmodp_engineering::envelope::Envelope;
+    use rmodp_netsim::sim::Addr;
+
+    let mut e = engine();
+    let (server, client, _, _, iref) = counter_setup(&mut e);
+    let cfg = ChannelConfig {
+        sequence: true,
+        ..ChannelConfig::default()
+    };
+    let ch = e.open_channel(client, iref.interface, cfg).unwrap();
+    // A legitimate call consumes sequence number 1 at the server binder.
+    e.call(ch, "Add", &add_args(100)).unwrap();
+    assert_eq!(e.node_stats(server).unwrap().requests, 1);
+
+    // An attacker who captured the seq=1 request replays equivalent bytes.
+    let payload = syntax_for(SyntaxId::Binary).encode(&Value::record([
+        ("op", Value::text("Add")),
+        ("args", add_args(100)),
+    ]));
+    let mut replayed = Envelope::request(ch, 999, iref.interface, SyntaxId::Binary, payload);
+    replayed.seq = 1;
+    let nucleus = Addr::new(e.sim_node(server).unwrap(), 0);
+    e.sim_mut().send_from(Addr::EXTERNAL, nucleus, replayed.to_bytes());
+    e.run_until_idle();
+
+    // The binder rejected the replay: no second Add was executed.
+    assert_eq!(e.node_stats(server).unwrap().rejected, 1);
+    let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    assert_eq!(t.results.field("n"), Some(&Value::Int(100)));
+}
+
+#[test]
+fn deactivate_then_calls_get_not_here_then_reactivate_restores() {
+    let mut e = engine();
+    let (server, client, capsule, cluster, iref) = counter_setup(&mut e);
+    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    e.call(ch, "Add", &add_args(9)).unwrap();
+
+    let checkpoint = e.deactivate_cluster(server, capsule, cluster).unwrap();
+    assert_eq!(e.lookup(iref.interface), None);
+    let err = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap_err();
+    assert_eq!(err, CallError::NotHere { interface: iref.interface });
+
+    let new_cluster = e.reactivate_cluster(server, capsule, &checkpoint).unwrap();
+    assert_ne!(new_cluster, cluster);
+    let fresh = e.lookup(iref.interface).unwrap();
+    assert!(fresh.epoch > iref.epoch);
+    e.redirect_channel(ch, fresh).unwrap();
+    let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    // State survived deactivation.
+    assert_eq!(t.results.field("n"), Some(&Value::Int(9)));
+}
+
+#[test]
+fn migration_preserves_identity_and_state() {
+    let mut e = engine();
+    let (server, client, capsule, cluster, iref) = counter_setup(&mut e);
+    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    e.call(ch, "Add", &add_args(21)).unwrap();
+
+    // Migrate the cluster to a third node with a different native syntax.
+    let third = e.add_node(SyntaxId::Text);
+    let target_capsule = e.add_capsule(third).unwrap();
+    let new_cluster = e
+        .migrate_cluster(server, capsule, cluster, third, target_capsule)
+        .unwrap();
+    assert_ne!(new_cluster, cluster);
+
+    let fresh = e.lookup(iref.interface).unwrap();
+    assert_eq!(fresh.location.node, third);
+    assert_eq!(fresh.interface, iref.interface); // identity preserved
+    assert!(fresh.epoch > iref.epoch); // epoch bumped
+
+    // The old channel belief is stale: NotHere.
+    let err = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap_err();
+    assert_eq!(err, CallError::NotHere { interface: iref.interface });
+
+    // Redirect (what a relocation-transparent binder automates) and the
+    // call succeeds against migrated state.
+    e.redirect_channel(ch, fresh).unwrap();
+    let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    assert_eq!(t.results.field("n"), Some(&Value::Int(21)));
+}
+
+#[test]
+fn migrate_to_unknown_node_rolls_back() {
+    let mut e = engine();
+    let (server, client, capsule, cluster, iref) = counter_setup(&mut e);
+    let err = e
+        .migrate_cluster(server, capsule, cluster, NodeId::new(99), capsule)
+        .unwrap_err();
+    assert!(matches!(err, EngError::UnknownNode { .. }));
+    // The cluster is back at the source (fresh cluster id, same data).
+    let fresh = e.lookup(iref.interface).unwrap();
+    assert_eq!(fresh.location.node, server);
+    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    assert!(t.is_ok());
+}
+
+#[test]
+fn structure_policy_restricts_creation() {
+    let mut e = Engine::with_policy(1, StructurePolicy::single_object_capsules());
+    e.behaviours_mut().register("echo", || EchoBehaviour);
+    let node = e.add_node(SyntaxId::Binary);
+    let capsule = e.add_capsule(node).unwrap();
+    let cluster = e.add_cluster(node, capsule).unwrap();
+    // Second cluster in the same capsule violates the policy.
+    assert!(matches!(
+        e.add_cluster(node, capsule),
+        Err(EngError::Policy { .. })
+    ));
+    e.create_object(node, capsule, cluster, "a", "echo", Value::record::<&str, _>([]), 1)
+        .unwrap();
+    // Second object in the same cluster violates the policy.
+    assert!(matches!(
+        e.create_object(node, capsule, cluster, "b", "echo", Value::record::<&str, _>([]), 1),
+        Err(EngError::Policy { .. })
+    ));
+    assert!(e.validate_node(node).unwrap().is_empty());
+}
+
+#[test]
+fn validate_node_passes_for_live_engine() {
+    let mut e = engine();
+    let (server, _, _, _, _) = counter_setup(&mut e);
+    assert_eq!(e.validate_node(server).unwrap(), Vec::<String>::new());
+    assert_eq!(e.census(server).unwrap(), (1, 1, 1));
+}
+
+#[test]
+fn crashed_server_times_out_and_recovers_after_restart() {
+    let mut e = engine();
+    let (server, client, _, _, iref) = counter_setup(&mut e);
+    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    e.call(ch, "Add", &add_args(4)).unwrap();
+
+    let s = e.sim_node(server).unwrap();
+    e.sim_mut().topology_mut().crash(s);
+    let err = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap_err();
+    assert!(matches!(err, CallError::Timeout { .. }));
+
+    e.sim_mut().topology_mut().restart(s);
+    let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    assert_eq!(t.results.field("n"), Some(&Value::Int(4)));
+}
+
+#[test]
+fn invoke_local_bypasses_the_network() {
+    let mut e = engine();
+    let (server, _, _, _, iref) = counter_setup(&mut e);
+    let sent_before = e.sim().metrics().sent;
+    let t = e
+        .invoke_local(server, iref.interface, "Add", &add_args(2))
+        .unwrap();
+    assert_eq!(t.results.field("n"), Some(&Value::Int(2)));
+    assert_eq!(e.sim().metrics().sent, sent_before);
+}
+
+#[test]
+fn unknown_entities_error_cleanly() {
+    let mut e = engine();
+    let (server, client, capsule, _, iref) = counter_setup(&mut e);
+    assert!(matches!(
+        e.add_capsule(NodeId::new(99)),
+        Err(EngError::UnknownNode { .. })
+    ));
+    assert!(matches!(
+        e.add_cluster(server, CapsuleId::new(99)),
+        Err(EngError::UnknownCapsule { .. })
+    ));
+    assert!(matches!(
+        e.create_object(server, capsule, ClusterId::new(99), "x", "counter", Value::Null, 0),
+        Err(EngError::UnknownCluster { .. })
+    ));
+    assert!(matches!(
+        e.create_object(server, capsule, ClusterId::new(1), "x", "ghost", Value::Null, 0),
+        Err(EngError::UnknownBehaviour { .. })
+    ));
+    assert!(matches!(
+        e.open_channel(client, rmodp_core::id::InterfaceId::new(99), ChannelConfig::default()),
+        Err(EngError::UnknownInterface { .. })
+    ));
+    let _ = iref;
+}
+
+#[test]
+fn audit_channel_records_operations_at_server() {
+    let mut e = engine();
+    let (server, client, _, _, iref) = counter_setup(&mut e);
+    let cfg = ChannelConfig {
+        audit: true,
+        ..ChannelConfig::default()
+    };
+    let ch = e.open_channel(client, iref.interface, cfg).unwrap();
+    e.call(ch, "Add", &add_args(1)).unwrap();
+    e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+    // The server-side audit stub saw both operations.
+    let addr = rmodp_netsim::sim::Addr::new(e.sim_node(server).unwrap(), 0);
+    let nucleus = e
+        .sim()
+        .inspect::<rmodp_engineering::nucleus::NucleusProcess>(addr)
+        .unwrap();
+    let stack = nucleus.server_channels.get(&ch).unwrap();
+    let audit = stack
+        .component::<rmodp_engineering::channel::AuditStub>()
+        .unwrap();
+    let joined = audit.entries().join("\n");
+    assert!(joined.contains("Add"), "{joined}");
+    assert!(joined.contains("Get"), "{joined}");
+}
+
+#[test]
+fn same_engine_same_seed_is_deterministic() {
+    fn run() -> (u64, Value) {
+        let mut e = engine();
+        let (_, client, _, _, iref) = counter_setup(&mut e);
+        let cfg = ChannelConfig {
+            sequence: true,
+            wire_syntax: SyntaxId::Text,
+            ..ChannelConfig::default()
+        };
+        let ch = e.open_channel(client, iref.interface, cfg).unwrap();
+        for k in 1..20 {
+            e.call(ch, "Add", &add_args(k)).unwrap();
+        }
+        let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+        (e.sim().now().as_micros(), t.results.clone())
+    }
+    assert_eq!(run(), run());
+}

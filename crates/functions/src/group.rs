@@ -1,0 +1,285 @@
+//! Groups and replication membership (§8.2).
+//!
+//! Replication transparency (§9) needs a *group* abstraction: a set of
+//! replica interfaces presented behind a common interface. This module
+//! manages group membership as numbered **views** with deterministic
+//! primary election; the transparency layer disseminates updates to the
+//! members of the current view.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rmodp_core::id::{GroupId, IdGen, InterfaceId};
+
+/// How updates are propagated to the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationPolicy {
+    /// All updates go to the primary, which is re-elected on failure;
+    /// reads may go anywhere.
+    PrimaryCopy,
+    /// Every update goes to every member.
+    Active,
+}
+
+/// One numbered membership view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct View {
+    /// Monotone view number (starts at 1).
+    pub number: u64,
+    /// Members in deterministic (insertion) order.
+    pub members: Vec<InterfaceId>,
+    /// The primary (lowest-id member) — meaningful under
+    /// [`ReplicationPolicy::PrimaryCopy`].
+    pub primary: Option<InterfaceId>,
+}
+
+/// A group-management failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The group does not exist.
+    UnknownGroup { group: GroupId },
+    /// The member is already in the group.
+    AlreadyMember { member: InterfaceId },
+    /// The member is not in the group.
+    NotMember { member: InterfaceId },
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::UnknownGroup { group } => write!(f, "unknown group {group}"),
+            GroupError::AlreadyMember { member } => write!(f, "{member} is already a member"),
+            GroupError::NotMember { member } => write!(f, "{member} is not a member"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+#[derive(Debug)]
+struct Group {
+    policy: ReplicationPolicy,
+    members: Vec<InterfaceId>,
+    view_number: u64,
+    view_log: Vec<View>,
+}
+
+impl Group {
+    fn current_view(&self) -> View {
+        View {
+            number: self.view_number,
+            members: self.members.clone(),
+            primary: self.members.iter().min().copied(),
+        }
+    }
+
+    fn bump(&mut self) {
+        self.view_number += 1;
+        let v = self.current_view();
+        self.view_log.push(v);
+    }
+}
+
+/// The group/replication function: creates groups, manages membership
+/// views, answers "who should receive this update".
+#[derive(Debug, Default)]
+pub struct GroupManager {
+    groups: BTreeMap<GroupId, Group>,
+    gen: IdGen<GroupId>,
+}
+
+impl GroupManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a group with initial members.
+    pub fn create(
+        &mut self,
+        policy: ReplicationPolicy,
+        members: impl IntoIterator<Item = InterfaceId>,
+    ) -> GroupId {
+        let id = self.gen.fresh();
+        let mut group = Group {
+            policy,
+            members: members.into_iter().collect(),
+            view_number: 0,
+            view_log: Vec::new(),
+        };
+        group.bump();
+        self.groups.insert(id, group);
+        id
+    }
+
+    /// The current view of a group.
+    ///
+    /// # Errors
+    ///
+    /// Unknown group.
+    pub fn view(&self, group: GroupId) -> Result<View, GroupError> {
+        Ok(self
+            .groups
+            .get(&group)
+            .ok_or(GroupError::UnknownGroup { group })?
+            .current_view())
+    }
+
+    /// The group's replication policy.
+    ///
+    /// # Errors
+    ///
+    /// Unknown group.
+    pub fn policy(&self, group: GroupId) -> Result<ReplicationPolicy, GroupError> {
+        Ok(self
+            .groups
+            .get(&group)
+            .ok_or(GroupError::UnknownGroup { group })?
+            .policy)
+    }
+
+    /// Adds a member, creating a new view.
+    ///
+    /// # Errors
+    ///
+    /// Unknown group or duplicate member.
+    pub fn join(&mut self, group: GroupId, member: InterfaceId) -> Result<View, GroupError> {
+        let g = self
+            .groups
+            .get_mut(&group)
+            .ok_or(GroupError::UnknownGroup { group })?;
+        if g.members.contains(&member) {
+            return Err(GroupError::AlreadyMember { member });
+        }
+        g.members.push(member);
+        g.bump();
+        Ok(g.current_view())
+    }
+
+    /// Removes a member (e.g. on failure detection), creating a new view.
+    /// Primary re-election is implicit: the new view's primary is its
+    /// lowest-id member.
+    ///
+    /// # Errors
+    ///
+    /// Unknown group or non-member.
+    pub fn leave(&mut self, group: GroupId, member: InterfaceId) -> Result<View, GroupError> {
+        let g = self
+            .groups
+            .get_mut(&group)
+            .ok_or(GroupError::UnknownGroup { group })?;
+        let before = g.members.len();
+        g.members.retain(|m| *m != member);
+        if g.members.len() == before {
+            return Err(GroupError::NotMember { member });
+        }
+        g.bump();
+        Ok(g.current_view())
+    }
+
+    /// The members an *update* must reach under the group's policy.
+    ///
+    /// # Errors
+    ///
+    /// Unknown group.
+    pub fn update_targets(&self, group: GroupId) -> Result<Vec<InterfaceId>, GroupError> {
+        let g = self
+            .groups
+            .get(&group)
+            .ok_or(GroupError::UnknownGroup { group })?;
+        Ok(match g.policy {
+            ReplicationPolicy::Active => g.members.clone(),
+            ReplicationPolicy::PrimaryCopy => {
+                g.members.iter().min().copied().into_iter().collect()
+            }
+        })
+    }
+
+    /// A deterministic member to serve a *read* (round-robin by request
+    /// number so load spreads yet stays reproducible).
+    ///
+    /// # Errors
+    ///
+    /// Unknown group.
+    pub fn read_target(&self, group: GroupId, request_no: u64) -> Result<Option<InterfaceId>, GroupError> {
+        let g = self
+            .groups
+            .get(&group)
+            .ok_or(GroupError::UnknownGroup { group })?;
+        if g.members.is_empty() {
+            return Ok(None);
+        }
+        Ok(Some(g.members[(request_no % g.members.len() as u64) as usize]))
+    }
+
+    /// The full view history of a group.
+    pub fn view_log(&self, group: GroupId) -> &[View] {
+        self.groups
+            .get(&group)
+            .map(|g| g.view_log.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ifc(i: u64) -> InterfaceId {
+        InterfaceId::new(i)
+    }
+
+    #[test]
+    fn create_and_view() {
+        let mut gm = GroupManager::new();
+        let g = gm.create(ReplicationPolicy::Active, [ifc(3), ifc(1), ifc(2)]);
+        let v = gm.view(g).unwrap();
+        assert_eq!(v.number, 1);
+        assert_eq!(v.members, vec![ifc(3), ifc(1), ifc(2)]);
+        assert_eq!(v.primary, Some(ifc(1)));
+    }
+
+    #[test]
+    fn join_and_leave_bump_views() {
+        let mut gm = GroupManager::new();
+        let g = gm.create(ReplicationPolicy::PrimaryCopy, [ifc(1), ifc(2)]);
+        let v = gm.join(g, ifc(3)).unwrap();
+        assert_eq!(v.number, 2);
+        assert!(matches!(gm.join(g, ifc(3)), Err(GroupError::AlreadyMember { .. })));
+        let v = gm.leave(g, ifc(1)).unwrap();
+        assert_eq!(v.number, 3);
+        // Primary re-elected deterministically.
+        assert_eq!(v.primary, Some(ifc(2)));
+        assert!(matches!(gm.leave(g, ifc(1)), Err(GroupError::NotMember { .. })));
+        assert_eq!(gm.view_log(g).len(), 3);
+    }
+
+    #[test]
+    fn update_targets_follow_policy() {
+        let mut gm = GroupManager::new();
+        let active = gm.create(ReplicationPolicy::Active, [ifc(1), ifc(2), ifc(3)]);
+        let primary = gm.create(ReplicationPolicy::PrimaryCopy, [ifc(5), ifc(4)]);
+        assert_eq!(gm.update_targets(active).unwrap(), vec![ifc(1), ifc(2), ifc(3)]);
+        assert_eq!(gm.update_targets(primary).unwrap(), vec![ifc(4)]);
+    }
+
+    #[test]
+    fn read_targets_round_robin() {
+        let mut gm = GroupManager::new();
+        let g = gm.create(ReplicationPolicy::Active, [ifc(1), ifc(2)]);
+        assert_eq!(gm.read_target(g, 0).unwrap(), Some(ifc(1)));
+        assert_eq!(gm.read_target(g, 1).unwrap(), Some(ifc(2)));
+        assert_eq!(gm.read_target(g, 2).unwrap(), Some(ifc(1)));
+        let empty = gm.create(ReplicationPolicy::Active, []);
+        assert_eq!(gm.read_target(empty, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_group_errors() {
+        let gm = GroupManager::new();
+        let ghost = GroupId::new(99);
+        assert!(matches!(gm.view(ghost), Err(GroupError::UnknownGroup { .. })));
+        assert!(matches!(gm.update_targets(ghost), Err(GroupError::UnknownGroup { .. })));
+        assert!(gm.view_log(ghost).is_empty());
+    }
+}

@@ -1,0 +1,36 @@
+//! # rmodp-functions — the ODP functions (§8)
+//!
+//! "The ODP functions are a collection of functions expected to be
+//! required in ODP systems to support the needs of the computational
+//! language (e.g. the trading function) and the engineering language
+//! (e.g. the relocator)."
+//!
+//! This crate provides every function group of §8 except the trader
+//! (which has its own crate, mirroring its separate standardisation) and
+//! the transaction function (crate `rmodp-transactions`):
+//!
+//! - [`management`] — node / capsule / cluster / object management (§8.1)
+//!   and coordinated checkpointing over the engineering engine;
+//! - [`events`] — event notification (§8.2);
+//! - [`group`] — groups and replication membership with views and primary
+//!   election (§8.2);
+//! - [`storage`] — the versioned storage function (§8.3);
+//! - [`relation`] — the relationship repository (§8.3);
+//! - [`relocator`] — the white-pages repository of interface locations
+//!   behind relocation transparency (§8.3.3, §9.2);
+//! - [`security`] — authentication, access control and audit, after the
+//!   OSI security frameworks (§8.4).
+
+pub mod events;
+pub mod group;
+pub mod management;
+pub mod relation;
+pub mod relocator;
+pub mod security;
+pub mod storage;
+
+pub use events::EventNotifier;
+pub use group::{GroupManager, ReplicationPolicy};
+pub use relocator::Relocator;
+pub use security::{AccessController, Authenticator};
+pub use storage::StorageFunction;

@@ -1,0 +1,323 @@
+//! The management functions (§8.1) and coordinated checkpoint/recovery
+//! (§8.2), layered over the engineering engine.
+//!
+//! The paper assigns each management function to a provider:
+//!
+//! - **node management** (the nucleus) — creating capsules and channels;
+//! - **capsule management** (the capsule manager) — instantiating,
+//!   checkpointing and deactivating clusters;
+//! - **cluster management** (the cluster manager) — checkpointing,
+//!   deactivating and migrating clusters;
+//! - **object management** (the BEO itself) — checkpointing and deleting
+//!   objects.
+//!
+//! [`ManagementFunctions`] groups those APIs and adds the coordination
+//! function's *coordinated checkpoint*: a consistent snapshot of several
+//! clusters stored through the storage function, restorable as a unit.
+
+use rmodp_core::id::{CapsuleId, ClusterId, NodeId, ObjectId};
+use rmodp_core::naming::Name;
+use rmodp_engineering::engine::{EngError, Engine};
+use rmodp_engineering::structure::{ClusterCheckpoint, ObjectCheckpoint};
+
+use crate::storage::StorageFunction;
+
+/// A named set of cluster checkpoints taken together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoordinatedCheckpoint {
+    /// A label for the checkpoint set.
+    pub label: String,
+    /// The per-cluster checkpoints with their source coordinates.
+    pub clusters: Vec<(NodeId, CapsuleId, ClusterCheckpoint)>,
+}
+
+/// The §8.1 management functions over an [`Engine`].
+#[derive(Debug)]
+pub struct ManagementFunctions<'a> {
+    engine: &'a mut Engine,
+}
+
+impl<'a> ManagementFunctions<'a> {
+    /// Wraps an engine.
+    pub fn new(engine: &'a mut Engine) -> Self {
+        Self { engine }
+    }
+
+    /// Node management: creates a capsule (provided by the nucleus).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::add_capsule`].
+    pub fn create_capsule(&mut self, node: NodeId) -> Result<CapsuleId, EngError> {
+        self.engine.add_capsule(node)
+    }
+
+    /// Capsule management: instantiates a cluster.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::add_cluster`].
+    pub fn instantiate_cluster(
+        &mut self,
+        node: NodeId,
+        capsule: CapsuleId,
+    ) -> Result<ClusterId, EngError> {
+        self.engine.add_cluster(node, capsule)
+    }
+
+    /// Cluster management: checkpoints a cluster.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::checkpoint_cluster`].
+    pub fn checkpoint(
+        &mut self,
+        node: NodeId,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+    ) -> Result<ClusterCheckpoint, EngError> {
+        self.engine.checkpoint_cluster(node, capsule, cluster)
+    }
+
+    /// Cluster management: deactivates a cluster.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::deactivate_cluster`].
+    pub fn deactivate(
+        &mut self,
+        node: NodeId,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+    ) -> Result<ClusterCheckpoint, EngError> {
+        self.engine.deactivate_cluster(node, capsule, cluster)
+    }
+
+    /// Capsule management: reactivates a cluster from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::reactivate_cluster`].
+    pub fn reactivate(
+        &mut self,
+        node: NodeId,
+        capsule: CapsuleId,
+        checkpoint: &ClusterCheckpoint,
+    ) -> Result<ClusterId, EngError> {
+        self.engine.reactivate_cluster(node, capsule, checkpoint)
+    }
+
+    /// Cluster management: migrates a cluster.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::migrate_cluster`].
+    pub fn migrate(
+        &mut self,
+        from: (NodeId, CapsuleId, ClusterId),
+        to: (NodeId, CapsuleId),
+    ) -> Result<ClusterId, EngError> {
+        self.engine
+            .migrate_cluster(from.0, from.1, from.2, to.0, to.1)
+    }
+
+    /// Object management: deletes an object.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::delete_object`].
+    pub fn delete_object(
+        &mut self,
+        node: NodeId,
+        object: ObjectId,
+    ) -> Result<ObjectCheckpoint, EngError> {
+        self.engine.delete_object(node, object)
+    }
+
+    /// Coordination function: checkpoints several clusters as one
+    /// consistent set. The engine is quiescent between
+    /// [`Engine::run_until_idle`] calls, so snapshotting the clusters
+    /// back-to-back yields a consistent cut.
+    ///
+    /// # Errors
+    ///
+    /// Fails atomically: if any cluster cannot be checkpointed, no
+    /// checkpoint set is produced.
+    pub fn coordinated_checkpoint(
+        &mut self,
+        label: impl Into<String>,
+        clusters: &[(NodeId, CapsuleId, ClusterId)],
+    ) -> Result<CoordinatedCheckpoint, EngError> {
+        self.engine.run_until_idle();
+        let mut out = Vec::with_capacity(clusters.len());
+        for &(node, capsule, cluster) in clusters {
+            let cp = self.engine.checkpoint_cluster(node, capsule, cluster)?;
+            out.push((node, capsule, cp));
+        }
+        Ok(CoordinatedCheckpoint {
+            label: label.into(),
+            clusters: out,
+        })
+    }
+
+    /// Recovery: deactivates whatever remains of the checkpointed
+    /// clusters and reactivates every cluster of the set at its recorded
+    /// node/capsule. Returns the new cluster ids in set order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reactivation failures (e.g. unregistered behaviours).
+    pub fn coordinated_restore(
+        &mut self,
+        checkpoint: &CoordinatedCheckpoint,
+    ) -> Result<Vec<ClusterId>, EngError> {
+        let mut new_ids = Vec::with_capacity(checkpoint.clusters.len());
+        for (node, capsule, cp) in &checkpoint.clusters {
+            // Best effort: the old cluster may already be gone (crash).
+            let _ = self.engine.deactivate_cluster(*node, *capsule, cp.cluster);
+            let id = self.engine.reactivate_cluster(*node, *capsule, cp)?;
+            new_ids.push(id);
+        }
+        Ok(new_ids)
+    }
+}
+
+/// Serialises a coordinated checkpoint into the storage function under
+/// `checkpoints/<label>`, one entry per cluster, using the binary transfer
+/// syntax for object states.
+pub fn store_checkpoint(
+    storage: &mut StorageFunction,
+    checkpoint: &CoordinatedCheckpoint,
+) -> Vec<(Name, u64)> {
+    use rmodp_core::codec::{syntax_for, SyntaxId};
+    use rmodp_core::value::Value;
+
+    let mut stored = Vec::new();
+    for (i, (node, capsule, cp)) in checkpoint.clusters.iter().enumerate() {
+        let name: Name = format!("checkpoints/{}/{}", checkpoint.label, i)
+            .parse()
+            .expect("valid checkpoint name");
+        let states = Value::Seq(
+            cp.objects
+                .iter()
+                .map(|o| {
+                    Value::record([
+                        ("object", Value::Int(o.record.object.raw() as i64)),
+                        ("behaviour", Value::text(o.record.behaviour.clone())),
+                        ("state", o.state.clone()),
+                    ])
+                })
+                .collect(),
+        );
+        let meta = Value::record([
+            ("node", Value::Int(node.raw() as i64)),
+            ("capsule", Value::Int(capsule.raw() as i64)),
+            ("cluster", Value::Int(cp.cluster.raw() as i64)),
+            ("epoch", Value::Int(cp.epoch as i64)),
+            ("objects", states),
+        ]);
+        let bytes = syntax_for(SyntaxId::Binary).encode(&meta);
+        let version = storage.put(name.clone(), bytes);
+        stored.push((name, version));
+    }
+    stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmodp_core::codec::SyntaxId;
+    use rmodp_core::value::Value;
+    use rmodp_engineering::behaviour::CounterBehaviour;
+    use rmodp_engineering::channel::ChannelConfig;
+
+    fn engine_with_counters() -> (Engine, Vec<(NodeId, CapsuleId, ClusterId)>, Vec<rmodp_engineering::structure::InterfaceRef>) {
+        let mut e = Engine::new(5);
+        e.behaviours_mut().register("counter", CounterBehaviour::default);
+        let mut clusters = Vec::new();
+        let mut refs = Vec::new();
+        for _ in 0..2 {
+            let node = e.add_node(SyntaxId::Binary);
+            let capsule = e.add_capsule(node).unwrap();
+            let cluster = e.add_cluster(node, capsule).unwrap();
+            let (_, r) = e
+                .create_object(node, capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+                .unwrap();
+            clusters.push((node, capsule, cluster));
+            refs.push(r[0]);
+        }
+        (e, clusters, refs)
+    }
+
+    #[test]
+    fn coordinated_checkpoint_and_restore_round_trip() {
+        let (mut e, clusters, refs) = engine_with_counters();
+        let client = e.add_node(SyntaxId::Binary);
+        let ch0 = e.open_channel(client, refs[0].interface, ChannelConfig::default()).unwrap();
+        let ch1 = e.open_channel(client, refs[1].interface, ChannelConfig::default()).unwrap();
+        e.call(ch0, "Add", &Value::record([("k", Value::Int(10))])).unwrap();
+        e.call(ch1, "Add", &Value::record([("k", Value::Int(20))])).unwrap();
+
+        let checkpoint = {
+            let mut mgmt = ManagementFunctions::new(&mut e);
+            mgmt.coordinated_checkpoint("daily", &clusters).unwrap()
+        };
+        assert_eq!(checkpoint.clusters.len(), 2);
+
+        // More work happens, then disaster: restore the coordinated cut.
+        e.call(ch0, "Add", &Value::record([("k", Value::Int(999))])).unwrap();
+        {
+            let mut mgmt = ManagementFunctions::new(&mut e);
+            mgmt.coordinated_restore(&checkpoint).unwrap();
+        }
+        // Redirect to the reactivated interfaces and observe the cut.
+        let r0 = e.lookup(refs[0].interface).unwrap();
+        let r1 = e.lookup(refs[1].interface).unwrap();
+        e.redirect_channel(ch0, r0).unwrap();
+        e.redirect_channel(ch1, r1).unwrap();
+        let t0 = e.call(ch0, "Get", &Value::record::<&str, _>([])).unwrap();
+        let t1 = e.call(ch1, "Get", &Value::record::<&str, _>([])).unwrap();
+        assert_eq!(t0.results.field("n"), Some(&Value::Int(10)));
+        assert_eq!(t1.results.field("n"), Some(&Value::Int(20)));
+    }
+
+    #[test]
+    fn checkpoint_fails_atomically_on_unknown_cluster() {
+        let (mut e, mut clusters, _) = engine_with_counters();
+        clusters.push((clusters[0].0, clusters[0].1, ClusterId::new(999)));
+        let mut mgmt = ManagementFunctions::new(&mut e);
+        assert!(mgmt.coordinated_checkpoint("bad", &clusters).is_err());
+    }
+
+    #[test]
+    fn store_checkpoint_persists_states() {
+        let (mut e, clusters, _) = engine_with_counters();
+        let checkpoint = {
+            let mut mgmt = ManagementFunctions::new(&mut e);
+            mgmt.coordinated_checkpoint("persisted", &clusters).unwrap()
+        };
+        let mut storage = StorageFunction::new();
+        let stored = store_checkpoint(&mut storage, &checkpoint);
+        assert_eq!(stored.len(), 2);
+        for (name, version) in stored {
+            assert_eq!(version, 1);
+            let (bytes, _) = storage.get(&name).unwrap();
+            assert!(!bytes.is_empty());
+        }
+    }
+
+    #[test]
+    fn management_facade_migrates() {
+        let (mut e, clusters, refs) = engine_with_counters();
+        let (node0, capsule0, cluster0) = clusters[0];
+        let target = e.add_node(SyntaxId::Text);
+        let target_capsule = e.add_capsule(target).unwrap();
+        let new_cluster = {
+            let mut mgmt = ManagementFunctions::new(&mut e);
+            mgmt.migrate((node0, capsule0, cluster0), (target, target_capsule))
+                .unwrap()
+        };
+        assert_ne!(new_cluster, cluster0);
+        assert_eq!(e.lookup(refs[0].interface).unwrap().location.node, target);
+    }
+}

@@ -1,0 +1,190 @@
+//! The storage function (§8.3): a versioned repository of named byte
+//! strings used by deactivation (storing cluster checkpoints), the
+//! relocator's persistence, and applications.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rmodp_core::naming::Name;
+
+/// A storage failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No value is stored under the name.
+    NotFound { name: Name },
+    /// A compare-and-swap expectation failed.
+    VersionMismatch { name: Name, expected: u64, actual: u64 },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound { name } => write!(f, "nothing stored under {name}"),
+            StorageError::VersionMismatch { name, expected, actual } => write!(
+                f,
+                "version mismatch for {name}: expected {expected}, found {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    version: u64,
+    data: Vec<u8>,
+    history: Vec<Vec<u8>>,
+}
+
+/// A versioned key-value store.
+#[derive(Debug, Default)]
+pub struct StorageFunction {
+    entries: BTreeMap<Name, Entry>,
+}
+
+impl StorageFunction {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or overwrites) a value; returns the new version (1 for a
+    /// fresh name).
+    pub fn put(&mut self, name: Name, data: Vec<u8>) -> u64 {
+        let entry = self.entries.entry(name).or_insert(Entry {
+            version: 0,
+            data: Vec::new(),
+            history: Vec::new(),
+        });
+        if entry.version > 0 {
+            entry.history.push(std::mem::take(&mut entry.data));
+        }
+        entry.version += 1;
+        entry.data = data;
+        entry.version
+    }
+
+    /// Stores only if the current version matches `expected` (0 = must not
+    /// exist). Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::VersionMismatch`] on a stale expectation.
+    pub fn put_if(
+        &mut self,
+        name: Name,
+        expected: u64,
+        data: Vec<u8>,
+    ) -> Result<u64, StorageError> {
+        let actual = self.entries.get(&name).map(|e| e.version).unwrap_or(0);
+        if actual != expected {
+            return Err(StorageError::VersionMismatch { name, expected, actual });
+        }
+        Ok(self.put(name, data))
+    }
+
+    /// Reads the current value and version.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] for unknown names.
+    pub fn get(&self, name: &Name) -> Result<(&[u8], u64), StorageError> {
+        self.entries
+            .get(name)
+            .map(|e| (e.data.as_slice(), e.version))
+            .ok_or_else(|| StorageError::NotFound { name: name.clone() })
+    }
+
+    /// Reads a historical version (1-based; the current version included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::NotFound`] if the name or version is absent.
+    pub fn get_version(&self, name: &Name, version: u64) -> Result<&[u8], StorageError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| StorageError::NotFound { name: name.clone() })?;
+        if version == entry.version {
+            return Ok(&entry.data);
+        }
+        let idx = version.checked_sub(1).map(|v| v as usize);
+        match idx.and_then(|i| entry.history.get(i)) {
+            Some(d) => Ok(d),
+            None => Err(StorageError::NotFound { name: name.clone() }),
+        }
+    }
+
+    /// Deletes a name entirely; returns whether it existed.
+    pub fn delete(&mut self, name: &Name) -> bool {
+        self.entries.remove(name).is_some()
+    }
+
+    /// Names currently stored (sorted).
+    pub fn names(&self) -> impl Iterator<Item = &Name> {
+        self.entries.keys()
+    }
+
+    /// Number of stored names.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn put_get_versions() {
+        let mut s = StorageFunction::new();
+        assert_eq!(s.put(name("a/b"), vec![1]), 1);
+        assert_eq!(s.put(name("a/b"), vec![2]), 2);
+        let (data, version) = s.get(&name("a/b")).unwrap();
+        assert_eq!((data, version), (&[2u8][..], 2));
+        assert_eq!(s.get_version(&name("a/b"), 1).unwrap(), &[1]);
+        assert_eq!(s.get_version(&name("a/b"), 2).unwrap(), &[2]);
+        assert!(s.get_version(&name("a/b"), 3).is_err());
+    }
+
+    #[test]
+    fn put_if_enforces_versions() {
+        let mut s = StorageFunction::new();
+        assert_eq!(s.put_if(name("k"), 0, vec![1]).unwrap(), 1);
+        assert!(matches!(
+            s.put_if(name("k"), 0, vec![9]),
+            Err(StorageError::VersionMismatch { expected: 0, actual: 1, .. })
+        ));
+        assert_eq!(s.put_if(name("k"), 1, vec![2]).unwrap(), 2);
+    }
+
+    #[test]
+    fn delete_and_not_found() {
+        let mut s = StorageFunction::new();
+        s.put(name("x"), vec![1]);
+        assert!(s.delete(&name("x")));
+        assert!(!s.delete(&name("x")));
+        assert!(matches!(s.get(&name("x")), Err(StorageError::NotFound { .. })));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let mut s = StorageFunction::new();
+        s.put(name("b"), vec![]);
+        s.put(name("a"), vec![]);
+        let names: Vec<String> = s.names().map(|n| n.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cross-function integration: the relocator fed by migrations, storage
+//! holding checkpoints, events announcing them, groups tracking replica
+//! views — the §8 functions cooperating the way §9's transparencies need
+//! them to.
+
+use rmodp_core::codec::SyntaxId;
+use rmodp_core::naming::Name;
+use rmodp_core::value::Value;
+use rmodp_engineering::behaviour::CounterBehaviour;
+use rmodp_engineering::engine::Engine;
+use rmodp_functions::events::EventNotifier;
+use rmodp_functions::group::{GroupManager, ReplicationPolicy};
+use rmodp_functions::management::{store_checkpoint, CoordinatedCheckpoint, ManagementFunctions};
+use rmodp_functions::relation::RelationshipRepository;
+use rmodp_functions::relocator::Relocator;
+use rmodp_functions::storage::StorageFunction;
+
+fn engine_with_counter() -> (Engine, rmodp_engineering::structure::InterfaceRef, (rmodp_core::id::NodeId, rmodp_core::id::CapsuleId, rmodp_core::id::ClusterId)) {
+    let mut e = Engine::new(13);
+    e.behaviours_mut().register("counter", CounterBehaviour::default);
+    let node = e.add_node(SyntaxId::Binary);
+    let capsule = e.add_capsule(node).unwrap();
+    let cluster = e.add_cluster(node, capsule).unwrap();
+    let (_, refs) = e
+        .create_object(node, capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+        .unwrap();
+    (e, refs[0], (node, capsule, cluster))
+}
+
+#[test]
+fn relocator_tracks_engine_migrations_with_monotone_epochs() {
+    let (mut engine, iref, home) = engine_with_counter();
+    let mut relocator = Relocator::new();
+    relocator.register(iref).unwrap();
+
+    let mut last_epoch = iref.epoch;
+    let mut current = home;
+    for _ in 0..3 {
+        let node = engine.add_node(SyntaxId::Text);
+        let capsule = engine.add_capsule(node).unwrap();
+        let new_cluster = engine
+            .migrate_cluster(current.0, current.1, current.2, node, capsule)
+            .unwrap();
+        current = (node, capsule, new_cluster);
+        let fresh = engine.lookup(iref.interface).unwrap();
+        assert!(fresh.epoch > last_epoch);
+        relocator.register(fresh).unwrap();
+        // Replaying the stale registration is rejected.
+        assert!(relocator
+            .register(rmodp_engineering::structure::InterfaceRef {
+                epoch: last_epoch,
+                ..fresh
+            })
+            .is_err());
+        last_epoch = fresh.epoch;
+    }
+    assert_eq!(
+        relocator.lookup(iref.interface).unwrap().location.node,
+        current.0
+    );
+    assert_eq!(relocator.stats().stale_updates, 3);
+}
+
+#[test]
+fn coordinated_checkpoint_flows_into_storage_and_events() {
+    let (mut engine, iref, home) = engine_with_counter();
+    engine
+        .invoke_local(home.0, iref.interface, "Add", &Value::record([("k", Value::Int(9))]))
+        .unwrap();
+    let checkpoint: CoordinatedCheckpoint = {
+        let mut mgmt = ManagementFunctions::new(&mut engine);
+        mgmt.coordinated_checkpoint("nightly", &[home]).unwrap()
+    };
+    let mut storage = StorageFunction::new();
+    let stored = store_checkpoint(&mut storage, &checkpoint);
+    let mut events = EventNotifier::new();
+    let sub = events.subscribe("checkpoints", true);
+    for (name, version) in &stored {
+        events.emit(
+            "checkpoints",
+            Value::record([
+                ("name", Value::text(name.to_string())),
+                ("version", Value::Int(*version as i64)),
+            ]),
+        );
+    }
+    let delivered = events.poll(sub);
+    assert_eq!(delivered.len(), stored.len());
+    // The checkpoint bytes are durably addressable.
+    let name: Name = "checkpoints/nightly/0".parse().unwrap();
+    let (bytes, version) = storage.get(&name).unwrap();
+    assert_eq!(version, 1);
+    assert!(!bytes.is_empty());
+}
+
+#[test]
+fn relationship_repository_models_the_engineering_containment() {
+    let (engine, _iref, home) = engine_with_counter();
+    let mut rel = RelationshipRepository::new();
+    let (node, capsule, cluster) = home;
+    rel.relate("contains", node.raw(), capsule.raw());
+    rel.relate("contains", capsule.raw(), cluster.raw());
+    // Transitive reachability mirrors Figure 5's nesting.
+    let reachable = rel.reachable("contains", node.raw());
+    assert!(reachable.contains(&capsule.raw()));
+    assert!(reachable.contains(&cluster.raw()));
+    let _ = engine;
+}
+
+#[test]
+fn group_views_survive_member_churn_deterministically() {
+    let mut gm = GroupManager::new();
+    let members: Vec<rmodp_core::id::InterfaceId> =
+        (1..=5).map(rmodp_core::id::InterfaceId::new).collect();
+    let g = gm.create(ReplicationPolicy::PrimaryCopy, members.clone());
+    // Kill the primary repeatedly; the next-lowest member takes over.
+    for expected_primary in 2..=5u64 {
+        let view = gm
+            .leave(g, rmodp_core::id::InterfaceId::new(expected_primary - 1))
+            .unwrap();
+        assert_eq!(
+            view.primary,
+            Some(rmodp_core::id::InterfaceId::new(expected_primary))
+        );
+    }
+    assert_eq!(gm.view(g).unwrap().members.len(), 1);
+    assert_eq!(gm.view_log(g).len(), 5);
+}

@@ -1,0 +1,58 @@
+//! # rmodp-information — the information viewpoint (§4)
+//!
+//! The information language describes the state of an ODP application with
+//! three kinds of schema:
+//!
+//! - a [`schema::StaticSchema`] captures the state and
+//!   structure of an object at some particular instant — e.g. *at midnight
+//!   the amount-withdrawn-today is $0*;
+//! - an [`schema::InvariantSchema`] restricts the state at
+//!   all times — e.g. *the amount-withdrawn-today is ≤ $500*;
+//! - a [`schema::DynamicSchema`] defines a permitted change
+//!   of state — e.g. *a withdrawal of $X decreases the balance by $X and
+//!   increases the amount-withdrawn-today by $X* — **always constrained by
+//!   the invariant schemas**.
+//!
+//! [`object::InformationObject`] ties the three together
+//! and keeps a transition log; [`association`] provides relationship
+//! schemas (*owns account*) and composite schemas (*a bank branch is a set
+//! of customers, accounts, and the owns-account relationships*).
+//!
+//! # The paper's worked example
+//!
+//! ```
+//! use rmodp_information::object::InformationObject;
+//! use rmodp_information::schema::{DynamicSchema, InvariantSchema, StaticSchema};
+//! use rmodp_core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let account = StaticSchema::new(
+//!     "Account",
+//!     DataType::record([("balance", DataType::Int), ("withdrawn_today", DataType::Int)]),
+//!     Value::record([("balance", Value::Int(1_000)), ("withdrawn_today", Value::Int(0))]),
+//! )?;
+//! let limit = InvariantSchema::parse("DailyLimit", "withdrawn_today <= 500")?;
+//! let withdraw = DynamicSchema::builder("Withdraw")
+//!     .param("x", DataType::Int)
+//!     .guard("x > 0")
+//!     .effect("balance", "balance - x")
+//!     .effect("withdrawn_today", "withdrawn_today + x")
+//!     .build()?;
+//!
+//! let mut obj = InformationObject::new(1, account, vec![limit]);
+//! // $400 in the morning succeeds…
+//! obj.apply(&withdraw, Value::record([("x", Value::Int(400))]))?;
+//! // …but another $200 in the afternoon violates the invariant.
+//! assert!(obj.apply(&withdraw, Value::record([("x", Value::Int(200))])).is_err());
+//! assert_eq!(obj.state().field("balance"), Some(&Value::Int(600)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod association;
+pub mod object;
+pub mod schema;
+
+pub use association::{AssociationSchema, AssociationSet, Cardinality, CompositeSchema};
+pub use object::{InformationObject, TransitionRecord};
+pub use schema::{DynamicSchema, InvariantSchema, SchemaError, StaticSchema};

@@ -1,0 +1,621 @@
+//! Static, invariant and dynamic schemas.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rmodp_core::dtype::{DataType, TypeError};
+use rmodp_core::expr::{EvalError, Expr, ParseError, Scope};
+use rmodp_core::value::Value;
+
+/// An error raised while building or applying schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchemaError {
+    /// A predicate or effect failed to parse.
+    Parse(ParseError),
+    /// A predicate or effect failed to evaluate.
+    Eval(EvalError),
+    /// A value did not conform to a static schema's type.
+    Type(TypeError),
+    /// A dynamic schema's guard rejected the transition.
+    GuardFailed { schema: String },
+    /// The new state would violate an invariant schema.
+    InvariantViolated { invariant: String },
+    /// Arguments did not match the dynamic schema's parameters.
+    BadArguments { schema: String, detail: String },
+    /// An effect assigns to a field the state does not have.
+    UnknownField { schema: String, field: String },
+    /// The schema definition itself is inconsistent.
+    BadDefinition { detail: String },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Parse(e) => write!(f, "schema parse error: {e}"),
+            SchemaError::Eval(e) => write!(f, "schema evaluation error: {e}"),
+            SchemaError::Type(e) => write!(f, "schema type error: {e}"),
+            SchemaError::GuardFailed { schema } => {
+                write!(f, "guard of dynamic schema {schema} rejected the transition")
+            }
+            SchemaError::InvariantViolated { invariant } => {
+                write!(f, "invariant schema {invariant} violated")
+            }
+            SchemaError::BadArguments { schema, detail } => {
+                write!(f, "bad arguments for {schema}: {detail}")
+            }
+            SchemaError::UnknownField { schema, field } => {
+                write!(f, "{schema} assigns unknown field {field}")
+            }
+            SchemaError::BadDefinition { detail } => write!(f, "bad schema definition: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchemaError::Parse(e) => Some(e),
+            SchemaError::Eval(e) => Some(e),
+            SchemaError::Type(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for SchemaError {
+    fn from(e: ParseError) -> Self {
+        SchemaError::Parse(e)
+    }
+}
+
+impl From<EvalError> for SchemaError {
+    fn from(e: EvalError) -> Self {
+        SchemaError::Eval(e)
+    }
+}
+
+impl From<TypeError> for SchemaError {
+    fn from(e: TypeError) -> Self {
+        SchemaError::Type(e)
+    }
+}
+
+/// A static schema: the structure of an object's state (a record type) and
+/// a conforming initial state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticSchema {
+    name: String,
+    dtype: DataType,
+    initial: Value,
+}
+
+impl StaticSchema {
+    /// Creates a static schema, validating that the initial state conforms
+    /// to the type and that the type is a record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::BadDefinition`] for non-record types and
+    /// [`SchemaError::Type`] if the initial state does not conform.
+    pub fn new(
+        name: impl Into<String>,
+        dtype: DataType,
+        initial: Value,
+    ) -> Result<Self, SchemaError> {
+        if !matches!(dtype, DataType::Record(_)) {
+            return Err(SchemaError::BadDefinition {
+                detail: "static schema type must be a record".into(),
+            });
+        }
+        dtype.check(&initial)?;
+        Ok(Self {
+            name: name.into(),
+            dtype,
+            initial,
+        })
+    }
+
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The state type.
+    pub fn dtype(&self) -> &DataType {
+        &self.dtype
+    }
+
+    /// The initial state.
+    pub fn initial(&self) -> &Value {
+        &self.initial
+    }
+
+    /// Checks a state against the schema's type.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Type`] on mismatch.
+    pub fn check(&self, state: &Value) -> Result<(), SchemaError> {
+        Ok(self.dtype.check(state)?)
+    }
+}
+
+/// An invariant schema: a predicate that must hold in every state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvariantSchema {
+    name: String,
+    predicate: Expr,
+}
+
+impl InvariantSchema {
+    /// Creates an invariant from an already-parsed predicate.
+    pub fn new(name: impl Into<String>, predicate: Expr) -> Self {
+        Self {
+            name: name.into(),
+            predicate,
+        }
+    }
+
+    /// Parses the predicate from source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Parse`] for malformed predicates.
+    pub fn parse(name: impl Into<String>, predicate: &str) -> Result<Self, SchemaError> {
+        Ok(Self::new(name, Expr::parse(predicate)?))
+    }
+
+    /// The invariant name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The predicate.
+    pub fn predicate(&self) -> &Expr {
+        &self.predicate
+    }
+
+    /// Evaluates the invariant in a state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Eval`] if the predicate cannot be evaluated
+    /// in this state (e.g. missing fields).
+    pub fn holds(&self, state: &Value) -> Result<bool, SchemaError> {
+        Ok(self.predicate.eval_bool(state)?)
+    }
+}
+
+/// A dynamic schema: a guarded, parameterised state transition.
+///
+/// Effects are *simultaneous assignments*: every right-hand side is
+/// evaluated against the **old** state (plus parameters, plus `old.`-
+/// prefixed paths), then all assignments are applied at once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicSchema {
+    name: String,
+    params: Vec<(String, DataType)>,
+    guard: Option<Expr>,
+    effects: Vec<(String, Expr)>,
+}
+
+impl DynamicSchema {
+    /// Starts building a dynamic schema.
+    pub fn builder(name: impl Into<String>) -> DynamicSchemaBuilder {
+        DynamicSchemaBuilder {
+            name: name.into(),
+            params: Vec::new(),
+            guard: None,
+            effects: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// The schema name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The declared parameters.
+    pub fn params(&self) -> &[(String, DataType)] {
+        &self.params
+    }
+
+    /// Validates arguments against the declared parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::BadArguments`] on missing, extra or
+    /// ill-typed arguments.
+    pub fn check_args(&self, args: &Value) -> Result<(), SchemaError> {
+        let bad = |detail: String| SchemaError::BadArguments {
+            schema: self.name.clone(),
+            detail,
+        };
+        let record = args
+            .as_record()
+            .ok_or_else(|| bad(format!("arguments must be a record, got {}", args.kind())))?;
+        for (name, dtype) in &self.params {
+            let v = record
+                .get(name)
+                .ok_or_else(|| bad(format!("missing parameter {name}")))?;
+            dtype
+                .check(v)
+                .map_err(|e| bad(format!("parameter {name}: {e}")))?;
+        }
+        for key in record.keys() {
+            if !self.params.iter().any(|(n, _)| n == key) {
+                return Err(bad(format!("unexpected argument {key}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the successor state, without checking any invariants
+    /// (callers that hold invariants use
+    /// [`apply_checked`](Self::apply_checked)).
+    ///
+    /// # Errors
+    ///
+    /// Returns guard, argument or evaluation failures.
+    pub fn apply(&self, state: &Value, args: &Value) -> Result<Value, SchemaError> {
+        self.check_args(args)?;
+        let record = state.as_record().ok_or_else(|| SchemaError::BadDefinition {
+            detail: format!("state must be a record, got {}", state.kind()),
+        })?;
+
+        // Environment: state fields and parameters at top level (parameters
+        // shadow state fields), and the whole old state under `old`.
+        let mut scope = Scope::new();
+        for (k, v) in record {
+            scope.bind(k.clone(), v.clone());
+        }
+        if let Some(args_record) = args.as_record() {
+            for (k, v) in args_record {
+                scope.bind(k.clone(), v.clone());
+            }
+        }
+        scope.bind("old", state.clone());
+
+        if let Some(guard) = &self.guard {
+            if !guard.eval_bool(&scope)? {
+                return Err(SchemaError::GuardFailed {
+                    schema: self.name.clone(),
+                });
+            }
+        }
+
+        let mut new_state = state.clone();
+        for (field, expr) in &self.effects {
+            if record.get(field).is_none() {
+                return Err(SchemaError::UnknownField {
+                    schema: self.name.clone(),
+                    field: field.clone(),
+                });
+            }
+            let v = expr.eval(&scope)?;
+            new_state.set_field(field.clone(), v);
+        }
+        Ok(new_state)
+    }
+
+    /// Computes the successor state and checks it against a set of
+    /// invariants — "a dynamic schema is always constrained by the
+    /// invariant schemas" (§4).
+    ///
+    /// # Errors
+    ///
+    /// As [`apply`](Self::apply), plus
+    /// [`SchemaError::InvariantViolated`] naming the first failing
+    /// invariant.
+    pub fn apply_checked(
+        &self,
+        state: &Value,
+        args: &Value,
+        invariants: &[InvariantSchema],
+    ) -> Result<Value, SchemaError> {
+        let new_state = self.apply(state, args)?;
+        for inv in invariants {
+            if !inv.holds(&new_state)? {
+                return Err(SchemaError::InvariantViolated {
+                    invariant: inv.name().to_owned(),
+                });
+            }
+        }
+        Ok(new_state)
+    }
+}
+
+/// Builder for [`DynamicSchema`]; parse errors are deferred to
+/// [`build`](Self::build) so construction can be written fluently.
+#[derive(Debug)]
+pub struct DynamicSchemaBuilder {
+    name: String,
+    params: Vec<(String, DataType)>,
+    guard: Option<Expr>,
+    effects: Vec<(String, Expr)>,
+    error: Option<SchemaError>,
+}
+
+impl DynamicSchemaBuilder {
+    /// Declares a parameter.
+    pub fn param(mut self, name: impl Into<String>, dtype: DataType) -> Self {
+        self.params.push((name.into(), dtype));
+        self
+    }
+
+    /// Sets the guard predicate (source text).
+    pub fn guard(mut self, predicate: &str) -> Self {
+        match Expr::parse(predicate) {
+            Ok(e) => self.guard = Some(e),
+            Err(e) => self.error = self.error.or(Some(SchemaError::Parse(e))),
+        }
+        self
+    }
+
+    /// Adds an effect `field := expr` (source text).
+    pub fn effect(mut self, field: impl Into<String>, expr: &str) -> Self {
+        match Expr::parse(expr) {
+            Ok(e) => self.effects.push((field.into(), e)),
+            Err(e) => self.error = self.error.or(Some(SchemaError::Parse(e))),
+        }
+        self
+    }
+
+    /// Adds an effect with an already-parsed expression.
+    pub fn effect_expr(mut self, field: impl Into<String>, expr: Expr) -> Self {
+        self.effects.push((field.into(), expr));
+        self
+    }
+
+    /// Finishes the schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first deferred parse error, or
+    /// [`SchemaError::BadDefinition`] for duplicate parameters/effects or
+    /// an effect-free schema.
+    pub fn build(self) -> Result<DynamicSchema, SchemaError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.effects.is_empty() {
+            return Err(SchemaError::BadDefinition {
+                detail: format!("dynamic schema {} has no effects", self.name),
+            });
+        }
+        let mut seen = BTreeMap::new();
+        for (p, _) in &self.params {
+            if seen.insert(p.clone(), ()).is_some() {
+                return Err(SchemaError::BadDefinition {
+                    detail: format!("duplicate parameter {p}"),
+                });
+            }
+        }
+        let mut seen = BTreeMap::new();
+        for (f, _) in &self.effects {
+            if seen.insert(f.clone(), ()).is_some() {
+                return Err(SchemaError::BadDefinition {
+                    detail: format!("duplicate effect on field {f}"),
+                });
+            }
+        }
+        Ok(DynamicSchema {
+            name: self.name,
+            params: self.params,
+            guard: self.guard,
+            effects: self.effects,
+        })
+    }
+}
+
+/// Evaluates a set of invariants in a state, returning the names of all
+/// violated ones (empty when the state is consistent).
+///
+/// # Errors
+///
+/// Returns [`SchemaError::Eval`] if any predicate cannot be evaluated.
+pub fn violated<'a>(
+    invariants: &'a [InvariantSchema],
+    state: &Value,
+) -> Result<Vec<&'a str>, SchemaError> {
+    let mut out = Vec::new();
+    for inv in invariants {
+        if !inv.holds(state)? {
+            out.push(inv.name());
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn account_schema() -> StaticSchema {
+        StaticSchema::new(
+            "Account",
+            DataType::record([
+                ("balance", DataType::Int),
+                ("withdrawn_today", DataType::Int),
+            ]),
+            Value::record([
+                ("balance", Value::Int(1_000)),
+                ("withdrawn_today", Value::Int(0)),
+            ]),
+        )
+        .unwrap()
+    }
+
+    fn withdraw() -> DynamicSchema {
+        DynamicSchema::builder("Withdraw")
+            .param("x", DataType::Int)
+            .guard("x > 0 and balance - x >= 0")
+            .effect("balance", "balance - x")
+            .effect("withdrawn_today", "withdrawn_today + x")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn static_schema_validates_initial_state() {
+        let err = StaticSchema::new(
+            "Bad",
+            DataType::record([("x", DataType::Int)]),
+            Value::record([("x", Value::text("oops"))]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SchemaError::Type(_)));
+        let err = StaticSchema::new("Bad", DataType::Int, Value::Int(1)).unwrap_err();
+        assert!(matches!(err, SchemaError::BadDefinition { .. }));
+    }
+
+    #[test]
+    fn dynamic_schema_applies_simultaneously() {
+        // swap(a, b) must read both old values.
+        let swap = DynamicSchema::builder("Swap")
+            .effect("a", "b")
+            .effect("b", "a")
+            .build()
+            .unwrap();
+        let state = Value::record([("a", Value::Int(1)), ("b", Value::Int(2))]);
+        let new = swap.apply(&state, &Value::record::<&str, _>([])).unwrap();
+        assert_eq!(new.field("a"), Some(&Value::Int(2)));
+        assert_eq!(new.field("b"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn old_prefix_reads_pre_state_even_when_shadowed() {
+        // Parameter `balance` shadows the state field; `old.balance` still
+        // reaches the pre-state.
+        let schema = DynamicSchema::builder("Set")
+            .param("balance", DataType::Int)
+            .effect("balance", "old.balance + balance")
+            .build()
+            .unwrap();
+        let state = Value::record([("balance", Value::Int(10))]);
+        let new = schema
+            .apply(&state, &Value::record([("balance", Value::Int(5))]))
+            .unwrap();
+        assert_eq!(new.field("balance"), Some(&Value::Int(15)));
+    }
+
+    #[test]
+    fn guard_rejects() {
+        let state = account_schema().initial().clone();
+        let err = withdraw()
+            .apply(&state, &Value::record([("x", Value::Int(-5))]))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::GuardFailed { .. }));
+        let err = withdraw()
+            .apply(&state, &Value::record([("x", Value::Int(2_000))]))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::GuardFailed { .. }));
+    }
+
+    #[test]
+    fn argument_validation() {
+        let state = account_schema().initial().clone();
+        let w = withdraw();
+        for (args, expect) in [
+            (Value::record::<&str, _>([]), "missing parameter"),
+            (Value::record([("x", Value::text("9"))]), "parameter x"),
+            (
+                Value::record([("x", Value::Int(1)), ("y", Value::Int(2))]),
+                "unexpected argument",
+            ),
+            (Value::Int(0), "must be a record"),
+        ] {
+            let err = w.apply(&state, &args).unwrap_err();
+            match err {
+                SchemaError::BadArguments { detail, .. } => {
+                    assert!(detail.contains(expect), "{detail} !~ {expect}")
+                }
+                other => panic!("expected BadArguments, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_effect_field_is_rejected() {
+        let schema = DynamicSchema::builder("Oops")
+            .effect("ghost", "1")
+            .build()
+            .unwrap();
+        let err = schema
+            .apply(&Value::record([("x", Value::Int(1))]), &Value::record::<&str, _>([]))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::UnknownField { .. }));
+    }
+
+    #[test]
+    fn invariants_constrain_dynamic_schemas() {
+        // The paper's exact scenario: $400 then $200 against a $500 limit.
+        let limit = InvariantSchema::parse("DailyLimit", "withdrawn_today <= 500").unwrap();
+        let invariants = vec![limit];
+        let w = withdraw();
+        let s0 = account_schema().initial().clone();
+        let s1 = w
+            .apply_checked(&s0, &Value::record([("x", Value::Int(400))]), &invariants)
+            .unwrap();
+        assert_eq!(s1.field("withdrawn_today"), Some(&Value::Int(400)));
+        let err = w
+            .apply_checked(&s1, &Value::record([("x", Value::Int(200))]), &invariants)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::InvariantViolated { invariant: "DailyLimit".into() }
+        );
+    }
+
+    #[test]
+    fn builder_rejects_malformed_definitions() {
+        assert!(matches!(
+            DynamicSchema::builder("E").build(),
+            Err(SchemaError::BadDefinition { .. })
+        ));
+        assert!(matches!(
+            DynamicSchema::builder("E").effect("x", "1 +").build(),
+            Err(SchemaError::Parse(_))
+        ));
+        assert!(matches!(
+            DynamicSchema::builder("E").guard("(").effect("x", "1").build(),
+            Err(SchemaError::Parse(_))
+        ));
+        assert!(matches!(
+            DynamicSchema::builder("E")
+                .param("a", DataType::Int)
+                .param("a", DataType::Int)
+                .effect("x", "1")
+                .build(),
+            Err(SchemaError::BadDefinition { .. })
+        ));
+        assert!(matches!(
+            DynamicSchema::builder("E")
+                .effect("x", "1")
+                .effect("x", "2")
+                .build(),
+            Err(SchemaError::BadDefinition { .. })
+        ));
+    }
+
+    #[test]
+    fn violated_lists_all_failures() {
+        let invs = vec![
+            InvariantSchema::parse("A", "x >= 0").unwrap(),
+            InvariantSchema::parse("B", "x <= 10").unwrap(),
+            InvariantSchema::parse("C", "x != 99").unwrap(),
+        ];
+        let state = Value::record([("x", Value::Int(99))]);
+        assert_eq!(violated(&invs, &state).unwrap(), vec!["B", "C"]);
+        let state = Value::record([("x", Value::Int(5))]);
+        assert!(violated(&invs, &state).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invariant_eval_errors_surface() {
+        let inv = InvariantSchema::parse("Bad", "missing > 0").unwrap();
+        let err = inv.holds(&Value::record::<&str, _>([])).unwrap_err();
+        assert!(matches!(err, SchemaError::Eval(_)));
+    }
+}

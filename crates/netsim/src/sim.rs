@@ -1,0 +1,780 @@
+//! The discrete-event simulation engine.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+use crate::trace::{Metrics, TraceEntry, TraceKind};
+
+/// Index of a node within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIdx(pub u32);
+
+impl fmt::Display for NodeIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A process address: a node plus a port on that node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr {
+    /// The node hosting the process.
+    pub node: NodeIdx,
+    /// The port the process listens on.
+    pub port: u32,
+}
+
+impl Addr {
+    /// Creates an address.
+    pub const fn new(node: NodeIdx, port: u32) -> Self {
+        Self { node, port }
+    }
+
+    /// The conventional source address for messages injected from outside
+    /// the simulation (drivers, test harnesses).
+    pub const EXTERNAL: Addr = Addr::new(NodeIdx(u32::MAX), 0);
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Addr::EXTERNAL {
+            write!(f, "external")
+        } else {
+            write!(f, "{}:{}", self.node, self.port)
+        }
+    }
+}
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Sender address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+    /// When the sender handed it to the network.
+    pub sent_at: SimTime,
+}
+
+/// Identifies a timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(u64);
+
+/// A simulated process: reacts to messages and timers.
+///
+/// Processes run to completion on each event (no blocking); long-running
+/// behaviour is expressed by setting timers.
+pub trait Process: 'static {
+    /// Handles a delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message);
+
+    /// Handles a fired timer; `tag` is the value given to
+    /// [`Ctx::set_timer`]. The default implementation ignores timers.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        let _ = (ctx, tag);
+    }
+}
+
+/// Object-safe wrapper adding downcasting to [`Process`], so harnesses can
+/// inspect process state after a run.
+trait AnyProcess: Process {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Process + Any> AnyProcess for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// The capabilities available to a process while handling an event.
+///
+/// Effects (sends, timers, notes) are buffered and applied by the engine
+/// after the handler returns, which keeps event handling deterministic.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_addr: Addr,
+    rng: &'a mut StdRng,
+    next_timer: &'a mut u64,
+    out: Vec<Command>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The address of the process handling this event.
+    pub fn self_addr(&self) -> Addr {
+        self.self_addr
+    }
+
+    /// Sends a message from this process.
+    pub fn send(&mut self, dst: Addr, payload: Vec<u8>) {
+        self.out.push(Command::Send { dst, payload });
+    }
+
+    /// Schedules a timer to fire after `delay` with the given tag.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.out.push(Command::SetTimer { at: self.now + delay, tag, id });
+        id
+    }
+
+    /// Cancels a previously set timer. Cancelling an already-fired timer is
+    /// a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.out.push(Command::CancelTimer(id));
+    }
+
+    /// Draws a deterministic random float in `[0, 1)`.
+    pub fn random_f64(&mut self) -> f64 {
+        self.rng.gen()
+    }
+
+    /// Draws a deterministic random integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn random_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "random_below(0)");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Records an application-level note in the trace.
+    pub fn note(&mut self, detail: impl Into<String>) {
+        self.out.push(Command::Note(detail.into()));
+    }
+}
+
+#[derive(Debug)]
+enum Command {
+    Send { dst: Addr, payload: Vec<u8> },
+    SetTimer { at: SimTime, tag: u64, id: TimerId },
+    CancelTimer(TimerId),
+    Note(String),
+}
+
+#[derive(Debug)]
+enum Pending {
+    Deliver(Message),
+    Timer { addr: Addr, tag: u64, id: TimerId },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    pending: Pending,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so the BinaryHeap pops the earliest event; ties broken by
+        // scheduling order for determinism.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The simulation engine. See the [crate docs](crate) for an example.
+pub struct Sim {
+    now: SimTime,
+    seq: u64,
+    next_timer: u64,
+    queue: BinaryHeap<Scheduled>,
+    procs: BTreeMap<Addr, Box<dyn AnyProcess>>,
+    topology: Topology,
+    rng: StdRng,
+    nodes: u32,
+    cancelled: BTreeSet<TimerId>,
+    metrics: Metrics,
+    trace: Vec<TraceEntry>,
+    tracing: bool,
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes)
+            .field("procs", &self.procs.len())
+            .field("queued", &self.queue.len())
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates a simulator with a seeded RNG and a default full-mesh
+    /// topology.
+    pub fn new(seed: u64) -> Self {
+        Self::with_topology(seed, Topology::full_mesh(Default::default()))
+    }
+
+    /// Creates a simulator with an explicit topology.
+    pub fn with_topology(seed: u64, topology: Topology) -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            queue: BinaryHeap::new(),
+            procs: BTreeMap::new(),
+            topology,
+            rng: StdRng::seed_from_u64(seed),
+            nodes: 0,
+            cancelled: BTreeSet::new(),
+            metrics: Metrics::default(),
+            trace: Vec::new(),
+            tracing: false,
+        }
+    }
+
+    /// Adds a node and returns its index.
+    pub fn add_node(&mut self) -> NodeIdx {
+        let idx = NodeIdx(self.nodes);
+        self.nodes += 1;
+        idx
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> u32 {
+        self.nodes
+    }
+
+    /// Attaches a process at an address, replacing any previous process
+    /// there. Returns `true` if a process was replaced.
+    pub fn attach<P: Process>(&mut self, addr: Addr, process: P) -> bool {
+        self.procs.insert(addr, Box::new(process)).is_some()
+    }
+
+    /// Detaches the process at an address (used by migration).
+    pub fn detach(&mut self, addr: Addr) -> bool {
+        self.procs.remove(&addr).is_some()
+    }
+
+    /// Whether a process is attached at the address.
+    pub fn is_attached(&self, addr: Addr) -> bool {
+        self.procs.contains_key(&addr)
+    }
+
+    /// Immutable access to an attached process of a known concrete type.
+    pub fn inspect<P: Process>(&self, addr: Addr) -> Option<&P> {
+        self.procs.get(&addr)?.as_any().downcast_ref::<P>()
+    }
+
+    /// Mutable access to an attached process of a known concrete type.
+    pub fn inspect_mut<P: Process>(&mut self, addr: Addr) -> Option<&mut P> {
+        self.procs.get_mut(&addr)?.as_any_mut().downcast_mut::<P>()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology (for configuring links, partitions and crashes).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// The topology, immutably.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Cumulative counters.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics
+    }
+
+    /// Enables or disables trace collection.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// Takes the collected trace, leaving it empty.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Injects a message into the network as if sent by `src` now.
+    ///
+    /// Drivers typically use [`Addr::EXTERNAL`] as the source.
+    pub fn send_from(&mut self, src: Addr, dst: Addr, payload: Vec<u8>) {
+        self.do_send(src, dst, payload);
+    }
+
+    /// Schedules a timer for an address from outside the simulation.
+    pub fn schedule_timer(&mut self, addr: Addr, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(self.next_timer);
+        self.next_timer += 1;
+        let at = self.now + delay;
+        self.push(at, Pending::Timer { addr, tag, id });
+        id
+    }
+
+    /// Executes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.at >= self.now, "time went backwards");
+        self.now = scheduled.at;
+        match scheduled.pending {
+            Pending::Deliver(msg) => self.deliver(msg),
+            Pending::Timer { addr, tag, id } => self.fire_timer(addr, tag, id),
+        }
+        true
+    }
+
+    /// Runs until the queue drains.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 50 million events — a runaway-loop backstop far above
+    /// any legitimate workload in this workspace.
+    pub fn run_until_idle(&mut self) -> u64 {
+        let mut steps = 0u64;
+        while self.step() {
+            steps += 1;
+            assert!(steps < 50_000_000, "simulation did not quiesce");
+        }
+        steps
+    }
+
+    /// Runs until virtual time reaches `deadline` (events after it stay
+    /// queued); the clock is advanced to the deadline.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut steps = 0u64;
+        while let Some(next) = self.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+            steps += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        steps
+    }
+
+    /// Runs for a span of virtual time.
+    pub fn run_for(&mut self, d: SimDuration) -> u64 {
+        self.run_until(self.now + d)
+    }
+
+    fn push(&mut self, at: SimTime, pending: Pending) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, pending });
+    }
+
+    fn record(&mut self, kind: TraceKind, addr: Addr, detail: impl Into<String>) {
+        if self.tracing {
+            self.trace.push(TraceEntry {
+                at: self.now,
+                kind,
+                addr,
+                detail: detail.into(),
+            });
+        }
+    }
+
+    fn do_send(&mut self, src: Addr, dst: Addr, payload: Vec<u8>) {
+        self.metrics.sent += 1;
+        self.record(TraceKind::Send, src, format!("-> {dst} ({} bytes)", payload.len()));
+        if self.topology.is_crashed(dst.node) || self.topology.is_crashed(src.node) {
+            self.metrics.dropped_crash += 1;
+            self.record(TraceKind::Drop, dst, "endpoint crashed");
+            return;
+        }
+        let cross_node = src.node != dst.node && src != Addr::EXTERNAL;
+        if cross_node && !self.topology.connected(src.node, dst.node) {
+            self.metrics.dropped_partition += 1;
+            self.record(TraceKind::Drop, dst, "partitioned");
+            return;
+        }
+        let latency = if !cross_node {
+            self.topology.local_latency()
+        } else {
+            let link = self.topology.link(src.node, dst.node);
+            if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
+                self.metrics.dropped_loss += 1;
+                self.record(TraceKind::Drop, dst, "random loss");
+                return;
+            }
+            let jitter_us = link.jitter.as_micros();
+            let extra = if jitter_us > 0 {
+                SimDuration::from_micros(self.rng.gen_range(0..=jitter_us))
+            } else {
+                SimDuration::ZERO
+            };
+            link.latency + extra
+        };
+        let msg = Message {
+            src,
+            dst,
+            payload,
+            sent_at: self.now,
+        };
+        self.push(self.now + latency, Pending::Deliver(msg));
+    }
+
+    fn deliver(&mut self, msg: Message) {
+        let dst = msg.dst;
+        if self.topology.is_crashed(dst.node) {
+            self.metrics.dropped_crash += 1;
+            self.record(TraceKind::Drop, dst, "destination crashed in flight");
+            return;
+        }
+        let Some(mut process) = self.procs.remove(&dst) else {
+            self.metrics.dropped_unroutable += 1;
+            self.record(TraceKind::Drop, dst, "no process attached");
+            return;
+        };
+        self.metrics.delivered += 1;
+        self.metrics.bytes_delivered += msg.payload.len() as u64;
+        self.record(TraceKind::Deliver, dst, format!("<- {} ({} bytes)", msg.src, msg.payload.len()));
+        let mut ctx = Ctx {
+            now: self.now,
+            self_addr: dst,
+            rng: &mut self.rng,
+            next_timer: &mut self.next_timer,
+            out: Vec::new(),
+        };
+        process.on_message(&mut ctx, msg);
+        let commands = ctx.out;
+        // Reinsert unless the handler's own node was detached meanwhile —
+        // it cannot have been, since we hold &mut self.
+        self.procs.insert(dst, process);
+        self.apply(dst, commands);
+    }
+
+    fn fire_timer(&mut self, addr: Addr, tag: u64, id: TimerId) {
+        if self.cancelled.remove(&id) {
+            return;
+        }
+        if self.topology.is_crashed(addr.node) {
+            self.record(TraceKind::Drop, addr, format!("timer {tag} on crashed node"));
+            return;
+        }
+        let Some(mut process) = self.procs.remove(&addr) else {
+            return;
+        };
+        self.metrics.timers_fired += 1;
+        self.record(TraceKind::Timer, addr, format!("tag={tag}"));
+        let mut ctx = Ctx {
+            now: self.now,
+            self_addr: addr,
+            rng: &mut self.rng,
+            next_timer: &mut self.next_timer,
+            out: Vec::new(),
+        };
+        process.on_timer(&mut ctx, tag);
+        let commands = ctx.out;
+        self.procs.insert(addr, process);
+        self.apply(addr, commands);
+    }
+
+    fn apply(&mut self, from: Addr, commands: Vec<Command>) {
+        for cmd in commands {
+            match cmd {
+                Command::Send { dst, payload } => self.do_send(from, dst, payload),
+                Command::SetTimer { at, tag, id } => {
+                    self.push(at, Pending::Timer { addr: from, tag, id })
+                }
+                Command::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+                Command::Note(detail) => self.record(TraceKind::Note, from, detail),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkConfig;
+
+    /// Records everything it receives; replies when `echo` is set.
+    struct Recorder {
+        echo: bool,
+        received: Vec<Vec<u8>>,
+        timer_tags: Vec<u64>,
+    }
+
+    impl Recorder {
+        fn new(echo: bool) -> Self {
+            Self {
+                echo,
+                received: Vec::new(),
+                timer_tags: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Recorder {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            self.received.push(msg.payload.clone());
+            if self.echo {
+                ctx.send(msg.src, msg.payload);
+            }
+        }
+
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, tag: u64) {
+            self.timer_tags.push(tag);
+        }
+    }
+
+    fn two_node_sim(link: LinkConfig) -> (Sim, Addr, Addr) {
+        let mut sim = Sim::with_topology(1, Topology::full_mesh(link));
+        let a = sim.add_node();
+        let b = sim.add_node();
+        let pa = Addr::new(a, 0);
+        let pb = Addr::new(b, 0);
+        sim.attach(pa, Recorder::new(true));
+        sim.attach(pb, Recorder::new(false));
+        (sim, pa, pb)
+    }
+
+    #[test]
+    fn message_round_trip_with_latency() {
+        let (mut sim, pa, pb) =
+            two_node_sim(LinkConfig::with_latency(SimDuration::from_millis(3)));
+        sim.send_from(pb, pa, b"ping".to_vec());
+        sim.run_until_idle();
+        // pb -> pa (3ms) then echo pa -> pb (3ms).
+        assert_eq!(sim.now(), SimTime::from_micros(6_000));
+        assert_eq!(sim.inspect::<Recorder>(pa).unwrap().received.len(), 1);
+        assert_eq!(
+            sim.inspect::<Recorder>(pb).unwrap().received,
+            vec![b"ping".to_vec()]
+        );
+        assert_eq!(sim.metrics().delivered, 2);
+    }
+
+    #[test]
+    fn same_node_delivery_uses_local_latency() {
+        let mut sim = Sim::new(1);
+        let n = sim.add_node();
+        let p0 = Addr::new(n, 0);
+        let p1 = Addr::new(n, 1);
+        sim.attach(p0, Recorder::new(false));
+        sim.attach(p1, Recorder::new(false));
+        sim.send_from(p0, p1, vec![1]);
+        sim.run_until_idle();
+        assert_eq!(sim.now(), SimTime::from_micros(1));
+        assert_eq!(sim.inspect::<Recorder>(p1).unwrap().received.len(), 1);
+    }
+
+    #[test]
+    fn loss_drops_messages_deterministically() {
+        let link = LinkConfig::with_latency(SimDuration::from_millis(1)).loss(0.5);
+        let (mut sim, pa, pb) = two_node_sim(link);
+        // Replace echo with silent sink so each send is independent.
+        sim.attach(pa, Recorder::new(false));
+        for _ in 0..1000 {
+            sim.send_from(pb, pa, vec![0]);
+        }
+        sim.run_until_idle();
+        let delivered = sim.inspect::<Recorder>(pa).unwrap().received.len();
+        let dropped = sim.metrics().dropped_loss as usize;
+        assert_eq!(delivered + dropped, 1000);
+        // With p=0.5 over 1000 trials this is > 12 sigma from the mean.
+        assert!((300..=700).contains(&delivered), "delivered={delivered}");
+    }
+
+    #[test]
+    fn partitions_block_and_heal_restores() {
+        let (mut sim, pa, pb) = two_node_sim(LinkConfig::ideal());
+        sim.topology_mut().partition(pa.node, pb.node);
+        sim.send_from(pb, pa, vec![1]);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().dropped_partition, 1);
+        sim.topology_mut().heal(pa.node, pb.node);
+        sim.send_from(pb, pa, vec![2]);
+        sim.run_until_idle();
+        assert_eq!(sim.inspect::<Recorder>(pa).unwrap().received, vec![vec![2]]);
+    }
+
+    #[test]
+    fn crashed_node_drops_messages_and_timers() {
+        let (mut sim, pa, pb) = two_node_sim(LinkConfig::ideal());
+        sim.schedule_timer(pa, SimDuration::from_millis(5), 42);
+        sim.topology_mut().crash(pa.node);
+        sim.send_from(pb, pa, vec![1]);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().dropped_crash, 1);
+        assert_eq!(sim.inspect::<Recorder>(pa).unwrap().timer_tags.len(), 0);
+        // After restart the node receives again.
+        sim.topology_mut().restart(pa.node);
+        sim.send_from(pb, pa, vec![2]);
+        sim.run_until_idle();
+        assert_eq!(sim.inspect::<Recorder>(pa).unwrap().received, vec![vec![2]]);
+    }
+
+    #[test]
+    fn in_flight_messages_to_crashing_node_are_lost() {
+        let (mut sim, pa, pb) =
+            two_node_sim(LinkConfig::with_latency(SimDuration::from_millis(10)));
+        sim.send_from(pb, pa, vec![1]);
+        // Crash before delivery time.
+        sim.topology_mut().crash(pa.node);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().dropped_crash, 1);
+        assert_eq!(sim.metrics().delivered, 0);
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        struct TimerProc {
+            fired: Vec<u64>,
+        }
+        impl Process for TimerProc {
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, _msg: Message) {
+                ctx.set_timer(SimDuration::from_millis(1), 1);
+                ctx.set_timer(SimDuration::from_millis(3), 3);
+                let id = ctx.set_timer(SimDuration::from_millis(2), 2);
+                ctx.cancel_timer(id);
+            }
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Sim::new(3);
+        let n = sim.add_node();
+        let p = Addr::new(n, 0);
+        sim.attach(p, TimerProc { fired: vec![] });
+        sim.send_from(Addr::EXTERNAL, p, vec![]);
+        sim.run_until_idle();
+        assert_eq!(sim.inspect::<TimerProc>(p).unwrap().fired, vec![1, 3]);
+        assert_eq!(sim.metrics().timers_fired, 2);
+    }
+
+    #[test]
+    fn unroutable_messages_are_counted() {
+        let mut sim = Sim::new(1);
+        let n = sim.add_node();
+        sim.send_from(Addr::EXTERNAL, Addr::new(n, 9), vec![1]);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().dropped_unroutable, 1);
+    }
+
+    #[test]
+    fn run_until_advances_clock_but_keeps_future_events() {
+        let (mut sim, pa, pb) =
+            two_node_sim(LinkConfig::with_latency(SimDuration::from_millis(10)));
+        sim.send_from(pb, pa, vec![1]);
+        sim.run_until(SimTime::from_micros(5_000));
+        assert_eq!(sim.now(), SimTime::from_micros(5_000));
+        assert_eq!(sim.metrics().delivered, 0);
+        sim.run_until_idle();
+        // Delivery at pa plus pa's echo delivered back at pb.
+        assert_eq!(sim.metrics().delivered, 2);
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_traces() {
+        fn run(seed: u64) -> Vec<String> {
+            let link = LinkConfig::with_latency(SimDuration::from_millis(1))
+                .jitter(SimDuration::from_millis(2))
+                .loss(0.2);
+            let mut sim = Sim::with_topology(seed, Topology::full_mesh(link));
+            let a = sim.add_node();
+            let b = sim.add_node();
+            let (pa, pb) = (Addr::new(a, 0), Addr::new(b, 0));
+            sim.attach(pa, Recorder::new(true));
+            sim.attach(pb, Recorder::new(false));
+            sim.set_tracing(true);
+            for i in 0..50 {
+                sim.send_from(pb, pa, vec![i]);
+            }
+            sim.run_until_idle();
+            sim.take_trace().iter().map(|e| e.to_string()).collect()
+        }
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    fn inspect_with_wrong_type_is_none() {
+        let (sim, pa, _) = two_node_sim(LinkConfig::ideal());
+        struct Other;
+        impl Process for Other {
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: Message) {}
+        }
+        assert!(sim.inspect::<Other>(pa).is_none());
+        assert!(sim.inspect::<Recorder>(pa).is_some());
+    }
+
+    #[test]
+    fn detach_makes_address_unroutable() {
+        let (mut sim, pa, pb) = two_node_sim(LinkConfig::ideal());
+        assert!(sim.detach(pa));
+        assert!(!sim.detach(pa));
+        assert!(!sim.is_attached(pa));
+        sim.send_from(pb, pa, vec![1]);
+        sim.run_until_idle();
+        assert_eq!(sim.metrics().dropped_unroutable, 1);
+    }
+
+    #[test]
+    fn jitter_varies_latency_within_bounds() {
+        let link = LinkConfig::with_latency(SimDuration::from_millis(1))
+            .jitter(SimDuration::from_millis(4));
+        let (mut sim, pa, pb) = two_node_sim(link);
+        sim.attach(pa, Recorder::new(false));
+        struct Stamp;
+        // Measure per-message delivery times through the trace.
+        sim.set_tracing(true);
+        let _ = Stamp;
+        for _ in 0..100 {
+            sim.send_from(pb, pa, vec![0]);
+        }
+        sim.run_until_idle();
+        let deliveries: Vec<SimTime> = sim
+            .take_trace()
+            .into_iter()
+            .filter(|e| e.kind == TraceKind::Deliver)
+            .map(|e| e.at)
+            .collect();
+        assert_eq!(deliveries.len(), 100);
+        let min = deliveries.iter().min().unwrap().as_micros();
+        let max = deliveries.iter().max().unwrap().as_micros();
+        assert!(min >= 1_000, "min={min}");
+        assert!(max <= 5_000, "max={max}");
+        assert!(max > min, "jitter should spread deliveries");
+    }
+}

@@ -1,0 +1,130 @@
+//! Trace collection and counters for experiment harnesses.
+
+use std::fmt;
+
+use crate::sim::Addr;
+use crate::time::SimTime;
+
+/// What kind of simulator event a trace entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was handed to the network.
+    Send,
+    /// A message arrived at its destination process.
+    Deliver,
+    /// A message was dropped (loss, partition or crash).
+    Drop,
+    /// A timer fired.
+    Timer,
+    /// A process emitted an application-level note.
+    Note,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceKind::Send => write!(f, "send"),
+            TraceKind::Deliver => write!(f, "deliver"),
+            TraceKind::Drop => write!(f, "drop"),
+            TraceKind::Timer => write!(f, "timer"),
+            TraceKind::Note => write!(f, "note"),
+        }
+    }
+}
+
+/// One recorded simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// When the event happened (virtual time).
+    pub at: SimTime,
+    /// The kind of event.
+    pub kind: TraceKind,
+    /// The address the event concerns.
+    pub addr: Addr,
+    /// Free-form detail (message size, drop reason, note text…).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} {}", self.at, self.kind, self.addr, self.detail)
+    }
+}
+
+/// Cumulative counters maintained by the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages delivered to a process.
+    pub delivered: u64,
+    /// Messages dropped by random loss.
+    pub dropped_loss: u64,
+    /// Messages dropped because the nodes were partitioned.
+    pub dropped_partition: u64,
+    /// Messages dropped because an endpoint was crashed.
+    pub dropped_crash: u64,
+    /// Messages dropped because no process was attached at the destination.
+    pub dropped_unroutable: u64,
+    /// Timers that fired.
+    pub timers_fired: u64,
+    /// Total payload bytes delivered.
+    pub bytes_delivered: u64,
+}
+
+impl Metrics {
+    /// All drops combined.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_loss + self.dropped_partition + self.dropped_crash + self.dropped_unroutable
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} dropped={} (loss={} partition={} crash={} unroutable={}) timers={} bytes={}",
+            self.sent,
+            self.delivered,
+            self.dropped(),
+            self.dropped_loss,
+            self.dropped_partition,
+            self.dropped_crash,
+            self.dropped_unroutable,
+            self.timers_fired,
+            self.bytes_delivered,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NodeIdx;
+
+    #[test]
+    fn dropped_sums_all_reasons() {
+        let m = Metrics {
+            dropped_loss: 1,
+            dropped_partition: 2,
+            dropped_crash: 3,
+            dropped_unroutable: 4,
+            ..Metrics::default()
+        };
+        assert_eq!(m.dropped(), 10);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = TraceEntry {
+            at: SimTime::from_micros(5),
+            kind: TraceKind::Send,
+            addr: Addr::new(NodeIdx(1), 2),
+            detail: "13 bytes".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("send"));
+        assert!(s.contains("t=5us"));
+        assert!(!Metrics::default().to_string().is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! # rmodp-trader — the trading function (§8.3.2)
+//!
+//! "The ODP Trader provides a *dating service for objects*; its purpose is
+//! to support dynamic binding by allowing services to be discovered at
+//! run-time. Servers advertise their services through a trader; the
+//! service advertisement specifies the interface type and service
+//! attributes. Servers manipulate their service advertisements by using
+//! the **export** operations… Clients choose services by specifying the
+//! required type and attributes in **import** operations."
+//!
+//! This crate implements:
+//!
+//! - [`offer`] — service offers with typed properties;
+//! - [`trader`] — export / withdraw / import with a constraint language
+//!   (the shared `rmodp-core` expression language), preference ordering,
+//!   and type-safe matching through the type repository's subtype
+//!   lattice;
+//! - [`federation`] — linked traders: imports flow across trader links
+//!   with bounded hops, mirroring the interworking the separate trader
+//!   standard (the paper's reference \[5\]) defines.
+//!
+//! # Example
+//!
+//! ```
+//! use rmodp_trader::prelude::*;
+//! use rmodp_core::id::InterfaceId;
+//! use rmodp_core::value::Value;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut trader = Trader::new("brisbane");
+//! trader.export(
+//!     "BankTeller",
+//!     InterfaceId::new(7),
+//!     Value::record([("latency_ms", Value::Int(12)), ("region", Value::text("bne"))]),
+//! )?;
+//! let matches = trader.import(
+//!     &ImportRequest::new("BankTeller")
+//!         .constraint("latency_ms <= 20 and region == \"bne\"")?,
+//!     None,
+//! );
+//! assert_eq!(matches.len(), 1);
+//! assert_eq!(matches[0].offer.interface, InterfaceId::new(7));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod federation;
+pub mod offer;
+pub mod trader;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::federation::Federation;
+    pub use crate::offer::ServiceOffer;
+    pub use crate::trader::{ImportRequest, Match, Preference, Trader, TraderError};
+}
+
+pub use prelude::*;

@@ -1,0 +1,558 @@
+//! The trader: export, withdraw, import.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rmodp_core::expr::{Expr, ParseError};
+use rmodp_core::id::{IdGen, InterfaceId, OfferId};
+use rmodp_core::value::Value;
+use rmodp_typerepo::TypeRepository;
+
+use crate::offer::ServiceOffer;
+
+/// A trading failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraderError {
+    /// The offer's properties are not a record.
+    BadProperties { got: String },
+    /// No such offer.
+    UnknownOffer { offer: OfferId },
+    /// A constraint or preference expression failed to parse.
+    BadExpression(ParseError),
+    /// An offer's properties do not conform to the declared property type
+    /// for its service type.
+    PropertyType { service_type: String, detail: String },
+    /// A constraint is statically ill-typed against the declared property
+    /// type.
+    ConstraintType { service_type: String, detail: String },
+}
+
+impl fmt::Display for TraderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraderError::BadProperties { got } => {
+                write!(f, "offer properties must be a record, got {got}")
+            }
+            TraderError::UnknownOffer { offer } => write!(f, "unknown offer {offer}"),
+            TraderError::BadExpression(e) => write!(f, "bad expression: {e}"),
+            TraderError::PropertyType { service_type, detail } => {
+                write!(f, "offer properties do not conform to {service_type}: {detail}")
+            }
+            TraderError::ConstraintType { service_type, detail } => {
+                write!(f, "constraint ill-typed for {service_type}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraderError {}
+
+impl From<ParseError> for TraderError {
+    fn from(e: ParseError) -> Self {
+        TraderError::BadExpression(e)
+    }
+}
+
+/// How an importer orders acceptable offers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Preference {
+    /// Offers in export order (the trader's arrival order).
+    #[default]
+    FirstFound,
+    /// Offers maximising an expression over their properties.
+    Max(Expr),
+    /// Offers minimising an expression over their properties.
+    Min(Expr),
+}
+
+/// An import request: the required type, a constraint over properties, a
+/// preference, and a cardinality bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportRequest {
+    /// The required interface type name.
+    pub service_type: String,
+    /// The constraint every returned offer must satisfy.
+    pub constraint: Option<Expr>,
+    /// How matches are ordered.
+    pub preference: Preference,
+    /// At most this many matches are returned.
+    pub max_matches: usize,
+    /// Whether subtypes of the requested type are acceptable
+    /// (substitutability, §5.1.1). On by default.
+    pub allow_subtypes: bool,
+}
+
+impl ImportRequest {
+    /// A request for a service type with no constraint.
+    pub fn new(service_type: impl Into<String>) -> Self {
+        Self {
+            service_type: service_type.into(),
+            constraint: None,
+            preference: Preference::FirstFound,
+            max_matches: usize::MAX,
+            allow_subtypes: true,
+        }
+    }
+
+    /// Builder: sets the constraint (source text).
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed constraints.
+    pub fn constraint(mut self, src: &str) -> Result<Self, TraderError> {
+        self.constraint = Some(Expr::parse(src)?);
+        Ok(self)
+    }
+
+    /// Builder: prefer offers maximising an expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed expressions.
+    pub fn prefer_max(mut self, src: &str) -> Result<Self, TraderError> {
+        self.preference = Preference::Max(Expr::parse(src)?);
+        Ok(self)
+    }
+
+    /// Builder: prefer offers minimising an expression.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed expressions.
+    pub fn prefer_min(mut self, src: &str) -> Result<Self, TraderError> {
+        self.preference = Preference::Min(Expr::parse(src)?);
+        Ok(self)
+    }
+
+    /// Builder: bounds the number of matches.
+    pub fn at_most(mut self, n: usize) -> Self {
+        self.max_matches = n;
+        self
+    }
+
+    /// Builder: requires the exact type (no subtype substitution).
+    pub fn exact_type(mut self) -> Self {
+        self.allow_subtypes = false;
+        self
+    }
+}
+
+/// One import match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Match {
+    /// The matching offer.
+    pub offer: ServiceOffer,
+    /// The preference score used for ordering (0 for `FirstFound`).
+    pub score: f64,
+}
+
+/// Counters the trader maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraderStats {
+    /// Offers exported over the trader's lifetime.
+    pub exports: u64,
+    /// Offers withdrawn.
+    pub withdrawals: u64,
+    /// Import operations served.
+    pub imports: u64,
+    /// Offers examined during imports.
+    pub offers_considered: u64,
+}
+
+/// A trader: a repository of service offers with type-safe, constrained,
+/// preference-ordered lookup.
+#[derive(Debug)]
+pub struct Trader {
+    name: String,
+    offers: BTreeMap<OfferId, ServiceOffer>,
+    /// Declared property types per service type (optional strictness).
+    property_types: BTreeMap<String, rmodp_core::dtype::DataType>,
+    gen: IdGen<OfferId>,
+    stats: TraderStats,
+    /// Names of linked traders (used by the federation).
+    pub(crate) links: Vec<String>,
+}
+
+impl Trader {
+    /// Creates an empty trader.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            offers: BTreeMap::new(),
+            property_types: BTreeMap::new(),
+            gen: IdGen::new(),
+            stats: TraderStats::default(),
+            links: Vec::new(),
+        }
+    }
+
+    /// The trader's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TraderStats {
+        self.stats
+    }
+
+    /// Number of live offers.
+    pub fn len(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// Whether the trader holds no offers.
+    pub fn is_empty(&self) -> bool {
+        self.offers.is_empty()
+    }
+
+    /// Declares the property type offers of a service type must carry.
+    /// Subsequent exports of that type are checked against it, and import
+    /// constraints are statically type-checked before any offer is
+    /// examined.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraderError::BadProperties`] unless the type is a record.
+    pub fn declare_property_type(
+        &mut self,
+        service_type: impl Into<String>,
+        properties: rmodp_core::dtype::DataType,
+    ) -> Result<(), TraderError> {
+        if !matches!(properties, rmodp_core::dtype::DataType::Record(_)) {
+            return Err(TraderError::BadProperties {
+                got: properties.to_string(),
+            });
+        }
+        self.property_types.insert(service_type.into(), properties);
+        Ok(())
+    }
+
+    /// The declared property type for a service type, if any.
+    pub fn property_type(&self, service_type: &str) -> Option<&rmodp_core::dtype::DataType> {
+        self.property_types.get(service_type)
+    }
+
+    /// Statically validates an import request's constraint against a
+    /// declared property type: the constraint must type-check and be
+    /// boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraderError::ConstraintType`] when a declaration exists
+    /// and the constraint does not fit it.
+    pub fn check_request(&self, request: &ImportRequest) -> Result<(), TraderError> {
+        let Some(ptype) = self.property_types.get(&request.service_type) else {
+            return Ok(());
+        };
+        if let Some(constraint) = &request.constraint {
+            let inferred = constraint.infer(ptype).map_err(|e| TraderError::ConstraintType {
+                service_type: request.service_type.clone(),
+                detail: e.to_string(),
+            })?;
+            if inferred != rmodp_core::dtype::DataType::Bool {
+                return Err(TraderError::ConstraintType {
+                    service_type: request.service_type.clone(),
+                    detail: format!("constraint has type {inferred}, expected bool"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Exports a service offer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraderError::BadProperties`] unless properties are a
+    /// record, or [`TraderError::PropertyType`] if a declared property
+    /// type for the service type is not satisfied.
+    pub fn export(
+        &mut self,
+        service_type: impl Into<String>,
+        interface: InterfaceId,
+        properties: Value,
+    ) -> Result<OfferId, TraderError> {
+        if properties.as_record().is_none() {
+            return Err(TraderError::BadProperties {
+                got: properties.kind().to_owned(),
+            });
+        }
+        let service_type = service_type.into();
+        if let Some(ptype) = self.property_types.get(&service_type) {
+            ptype.check(&properties).map_err(|e| TraderError::PropertyType {
+                service_type: service_type.clone(),
+                detail: e.to_string(),
+            })?;
+        }
+        let id = self.gen.fresh();
+        self.offers.insert(
+            id,
+            ServiceOffer {
+                id,
+                service_type,
+                interface,
+                properties,
+                held_by: self.name.clone(),
+            },
+        );
+        self.stats.exports += 1;
+        Ok(id)
+    }
+
+    /// Withdraws an offer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraderError::UnknownOffer`] if absent.
+    pub fn withdraw(&mut self, offer: OfferId) -> Result<ServiceOffer, TraderError> {
+        let o = self
+            .offers
+            .remove(&offer)
+            .ok_or(TraderError::UnknownOffer { offer })?;
+        self.stats.withdrawals += 1;
+        Ok(o)
+    }
+
+    /// Replaces an offer's properties (e.g. a server updating its load).
+    ///
+    /// # Errors
+    ///
+    /// Unknown offer or non-record properties.
+    pub fn modify(&mut self, offer: OfferId, properties: Value) -> Result<(), TraderError> {
+        if properties.as_record().is_none() {
+            return Err(TraderError::BadProperties {
+                got: properties.kind().to_owned(),
+            });
+        }
+        let o = self
+            .offers
+            .get_mut(&offer)
+            .ok_or(TraderError::UnknownOffer { offer })?;
+        o.properties = properties;
+        Ok(())
+    }
+
+    /// Looks up an offer.
+    pub fn offer(&self, offer: OfferId) -> Option<&ServiceOffer> {
+        self.offers.get(&offer)
+    }
+
+    /// Serves an import: type conformance (exact or subtype via the type
+    /// repository), constraint satisfaction, preference ordering,
+    /// cardinality bound.
+    ///
+    /// Offers whose properties do not bind every constraint variable, or
+    /// on which the constraint fails to evaluate to a boolean, simply do
+    /// not match — a malformed *offer* must not fail the *import*.
+    pub fn import(&mut self, request: &ImportRequest, repo: Option<&TypeRepository>) -> Vec<Match> {
+        self.stats.imports += 1;
+        let constraint_vars = request
+            .constraint
+            .as_ref()
+            .map(|c| c.variables())
+            .unwrap_or_default();
+        let mut matches: Vec<Match> = Vec::new();
+        for offer in self.offers.values() {
+            self.stats.offers_considered += 1;
+            let type_ok = offer.service_type == request.service_type
+                || (request.allow_subtypes
+                    && repo.is_some_and(|r| {
+                        r.is_subtype(&offer.service_type, &request.service_type)
+                    }));
+            if !type_ok {
+                continue;
+            }
+            if !offer.binds(&constraint_vars) {
+                continue;
+            }
+            if let Some(constraint) = &request.constraint {
+                match constraint.eval_bool(&offer.properties) {
+                    Ok(true) => {}
+                    _ => continue,
+                }
+            }
+            let score = match &request.preference {
+                Preference::FirstFound => 0.0,
+                Preference::Max(e) | Preference::Min(e) => {
+                    match e.eval(&offer.properties).ok().and_then(|v| v.as_float()) {
+                        Some(x) => x,
+                        None => continue,
+                    }
+                }
+            };
+            matches.push(Match {
+                offer: offer.clone(),
+                score,
+            });
+        }
+        match &request.preference {
+            Preference::FirstFound => {}
+            Preference::Max(_) => {
+                matches.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.offer.id.cmp(&b.offer.id)))
+            }
+            Preference::Min(_) => {
+                matches.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.offer.id.cmp(&b.offer.id)))
+            }
+        }
+        matches.truncate(request.max_matches);
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmodp_computational::signature::{InterfaceSignature, OperationalSignature};
+    use rmodp_core::dtype::DataType;
+
+    fn printer_trader() -> Trader {
+        let mut t = Trader::new("office");
+        t.export(
+            "Printer",
+            InterfaceId::new(1),
+            Value::record([
+                ("ppm", Value::Int(30)),
+                ("colour", Value::Bool(true)),
+                ("floor", Value::Int(2)),
+            ]),
+        )
+        .unwrap();
+        t.export(
+            "Printer",
+            InterfaceId::new(2),
+            Value::record([
+                ("ppm", Value::Int(55)),
+                ("colour", Value::Bool(false)),
+                ("floor", Value::Int(1)),
+            ]),
+        )
+        .unwrap();
+        t.export(
+            "Scanner",
+            InterfaceId::new(3),
+            Value::record([("dpi", Value::Int(600))]),
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn import_filters_by_type_and_constraint() {
+        let mut t = printer_trader();
+        let req = ImportRequest::new("Printer")
+            .constraint("ppm >= 40")
+            .unwrap();
+        let matches = t.import(&req, None);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].offer.interface, InterfaceId::new(2));
+        // No constraint: both printers, never the scanner.
+        let all = t.import(&ImportRequest::new("Printer"), None);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn preference_orders_matches() {
+        let mut t = printer_trader();
+        let fastest = t.import(
+            &ImportRequest::new("Printer").prefer_max("ppm").unwrap(),
+            None,
+        );
+        assert_eq!(fastest[0].offer.interface, InterfaceId::new(2));
+        assert_eq!(fastest[0].score, 55.0);
+        let lowest_floor = t.import(
+            &ImportRequest::new("Printer").prefer_min("floor").unwrap(),
+            None,
+        );
+        assert_eq!(lowest_floor[0].offer.interface, InterfaceId::new(2));
+        let limited = t.import(
+            &ImportRequest::new("Printer").prefer_max("ppm").unwrap().at_most(1),
+            None,
+        );
+        assert_eq!(limited.len(), 1);
+    }
+
+    #[test]
+    fn offers_missing_constrained_properties_do_not_match() {
+        let mut t = printer_trader();
+        // Only the scanner has dpi; constraining on dpi excludes printers
+        // without failing the import.
+        let req = ImportRequest::new("Printer").constraint("dpi > 0").unwrap();
+        assert!(t.import(&req, None).is_empty());
+    }
+
+    #[test]
+    fn subtype_offers_match_via_type_repository() {
+        let mut repo = TypeRepository::new();
+        let teller = OperationalSignature::new("BankTeller")
+            .announcement("Deposit", [("d", DataType::Int)]);
+        let manager = OperationalSignature::new("BankManager")
+            .announcement("Deposit", [("d", DataType::Int)])
+            .announcement("CreateAccount", [("c", DataType::Int)]);
+        repo.register(InterfaceSignature::Operational(teller)).unwrap();
+        repo.register(InterfaceSignature::Operational(manager)).unwrap();
+
+        let mut t = Trader::new("bank");
+        t.export("BankManager", InterfaceId::new(9), Value::record::<&str, _>([]))
+            .unwrap();
+        // A BankManager offer satisfies a BankTeller import (Figure 3).
+        let matches = t.import(&ImportRequest::new("BankTeller"), Some(&repo));
+        assert_eq!(matches.len(), 1);
+        // …but not with exact typing.
+        let exact = t.import(&ImportRequest::new("BankTeller").exact_type(), Some(&repo));
+        assert!(exact.is_empty());
+        // And never the reverse direction.
+        let t2 = &mut Trader::new("bank2");
+        t2.export("BankTeller", InterfaceId::new(1), Value::record::<&str, _>([]))
+            .unwrap();
+        assert!(t2.import(&ImportRequest::new("BankManager"), Some(&repo)).is_empty());
+    }
+
+    #[test]
+    fn withdraw_and_modify() {
+        let mut t = printer_trader();
+        let id = t.import(&ImportRequest::new("Scanner"), None)[0].offer.id;
+        t.modify(id, Value::record([("dpi", Value::Int(1200))])).unwrap();
+        let m = t.import(
+            &ImportRequest::new("Scanner").constraint("dpi >= 1200").unwrap(),
+            None,
+        );
+        assert_eq!(m.len(), 1);
+        t.withdraw(id).unwrap();
+        assert!(matches!(t.withdraw(id), Err(TraderError::UnknownOffer { .. })));
+        assert!(t.import(&ImportRequest::new("Scanner"), None).is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn export_validates_properties() {
+        let mut t = Trader::new("x");
+        assert!(matches!(
+            t.export("T", InterfaceId::new(1), Value::Int(5)),
+            Err(TraderError::BadProperties { .. })
+        ));
+        let id = t
+            .export("T", InterfaceId::new(1), Value::record::<&str, _>([]))
+            .unwrap();
+        assert!(matches!(
+            t.modify(id, Value::Null),
+            Err(TraderError::BadProperties { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_activity() {
+        let mut t = printer_trader();
+        t.import(&ImportRequest::new("Printer"), None);
+        let s = t.stats();
+        assert_eq!(s.exports, 3);
+        assert_eq!(s.imports, 1);
+        assert_eq!(s.offers_considered, 3);
+    }
+
+    #[test]
+    fn malformed_request_expressions_fail_fast() {
+        assert!(ImportRequest::new("T").constraint("a >").is_err());
+        assert!(ImportRequest::new("T").prefer_max("(").is_err());
+    }
+}

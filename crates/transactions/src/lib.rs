@@ -1,0 +1,52 @@
+//! # rmodp-transactions — the transaction function (§8.2.1)
+//!
+//! RM-ODP defines a *generalised* transaction function parameterised by
+//! the desired degrees of **visibility** (when intermediate effects become
+//! observable), **recoverability** (what is undone on failure) and
+//! **permanence** (whether completed effects survive failures) — and an
+//! **ACID specialisation**, which the paper predicts will be "the only
+//! style of transaction mechanism supported by most ODP systems for a
+//! number of years".
+//!
+//! This crate implements both:
+//!
+//! - [`lock`] — a strict two-phase lock manager with shared/exclusive
+//!   modes and waits-for deadlock detection;
+//! - [`log`] — a write-ahead log with redo/undo records and
+//!   crash-recovery analysis;
+//! - [`rm`] — a [`rm::ResourceManager`]: a transactional
+//!   store combining locks and the WAL, configurable along the
+//!   generalised function's axes, survivable across crashes;
+//! - [`twopc`] — distributed atomic commitment: a two-phase-commit
+//!   coordinator and participants running as simulator processes, with
+//!   retransmission and crash handling.
+//!
+//! # Example: the ACID profile
+//!
+//! ```
+//! use rmodp_transactions::rm::{ResourceManager, TxProfile};
+//! use rmodp_core::value::Value;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rm = ResourceManager::new("bank", TxProfile::acid());
+//! let tx = rm.begin();
+//! rm.write(tx, "alice", Value::Int(100))?;
+//! rm.write(tx, "bob", Value::Int(50))?;
+//! rm.commit(tx)?;
+//!
+//! // A crash destroys volatile state; recovery replays the log.
+//! rm.crash();
+//! rm.recover();
+//! assert_eq!(rm.read_committed("alice"), Some(Value::Int(100)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod lock;
+pub mod log;
+pub mod rm;
+pub mod twopc;
+
+pub use lock::{LockManager, LockMode, LockOutcome};
+pub use rm::{ResourceManager, RmError, TxProfile};
+pub use twopc::{Coordinator, Participant, TxOutcome, TxRequest};

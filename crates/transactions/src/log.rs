@@ -1,0 +1,262 @@
+//! The write-ahead log.
+//!
+//! Permanence (§8.2.1) is realised by logging every effect before it is
+//! applied, then replaying the log after a crash. The log distinguishes
+//! "stable" storage (what survives a crash) from the volatile tail via a
+//! flush point, so tests can exercise crashes with unflushed records.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rmodp_core::id::TxId;
+use rmodp_core::value::Value;
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A transaction began.
+    Begin { tx: TxId },
+    /// A write, with before- and after-images (undo/redo information).
+    Write {
+        tx: TxId,
+        item: String,
+        before: Option<Value>,
+        after: Value,
+    },
+    /// The transaction is prepared (2PC phase 1 promise).
+    Prepare { tx: TxId },
+    /// The transaction committed.
+    Commit { tx: TxId },
+    /// The transaction aborted.
+    Abort { tx: TxId },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to.
+    pub fn tx(&self) -> TxId {
+        match self {
+            LogRecord::Begin { tx }
+            | LogRecord::Prepare { tx }
+            | LogRecord::Commit { tx }
+            | LogRecord::Abort { tx } => *tx,
+            LogRecord::Write { tx, .. } => *tx,
+        }
+    }
+}
+
+/// The write-ahead log with an explicit stable/volatile boundary.
+#[derive(Debug, Default)]
+pub struct WriteAheadLog {
+    records: Vec<LogRecord>,
+    /// Records before this index survive a crash.
+    flushed: usize,
+}
+
+/// What recovery analysis concluded about the logged transactions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryAnalysis {
+    /// Committed transactions (redo).
+    pub committed: BTreeSet<TxId>,
+    /// Aborted transactions (undo, already resolved).
+    pub aborted: BTreeSet<TxId>,
+    /// Prepared but unresolved — in 2PC these are *in doubt* and must ask
+    /// the coordinator.
+    pub in_doubt: BTreeSet<TxId>,
+    /// Active (neither prepared nor resolved) — undo.
+    pub active: BTreeSet<TxId>,
+}
+
+impl WriteAheadLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record (volatile until [`flush`](Self::flush)).
+    pub fn append(&mut self, record: LogRecord) {
+        self.records.push(record);
+    }
+
+    /// Makes everything appended so far stable.
+    pub fn flush(&mut self) {
+        self.flushed = self.records.len();
+    }
+
+    /// Simulates a crash: the volatile tail is lost.
+    pub fn crash(&mut self) {
+        self.records.truncate(self.flushed);
+    }
+
+    /// All records (stable prefix after a crash).
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// How many records are stable.
+    pub fn stable_len(&self) -> usize {
+        self.flushed.min(self.records.len())
+    }
+
+    /// Classifies every logged transaction for recovery.
+    pub fn analyze(&self) -> RecoveryAnalysis {
+        let mut analysis = RecoveryAnalysis::default();
+        let mut seen = BTreeSet::new();
+        for r in &self.records {
+            seen.insert(r.tx());
+            match r {
+                LogRecord::Commit { tx } => {
+                    analysis.committed.insert(*tx);
+                    analysis.in_doubt.remove(tx);
+                    analysis.active.remove(tx);
+                }
+                LogRecord::Abort { tx } => {
+                    analysis.aborted.insert(*tx);
+                    analysis.in_doubt.remove(tx);
+                    analysis.active.remove(tx);
+                }
+                LogRecord::Prepare { tx } => {
+                    if !analysis.committed.contains(tx) && !analysis.aborted.contains(tx) {
+                        analysis.in_doubt.insert(*tx);
+                        analysis.active.remove(tx);
+                    }
+                }
+                LogRecord::Begin { tx } | LogRecord::Write { tx, .. } => {
+                    if !analysis.committed.contains(tx)
+                        && !analysis.aborted.contains(tx)
+                        && !analysis.in_doubt.contains(tx)
+                    {
+                        analysis.active.insert(*tx);
+                    }
+                }
+            }
+        }
+        analysis
+    }
+
+    /// Replays the log into a data store: redo committed writes in order,
+    /// skip writes of aborted/active transactions. In-doubt transactions'
+    /// writes are **not** applied (they are re-applied when the
+    /// coordinator's decision arrives).
+    pub fn replay(&self) -> BTreeMap<String, Value> {
+        let analysis = self.analyze();
+        let mut store = BTreeMap::new();
+        for r in &self.records {
+            if let LogRecord::Write { tx, item, after, .. } = r {
+                if analysis.committed.contains(tx) {
+                    store.insert(item.clone(), after.clone());
+                }
+            }
+        }
+        store
+    }
+
+    /// The undo images of a transaction, newest first.
+    pub fn undo_images(&self, tx: TxId) -> Vec<(String, Option<Value>)> {
+        self.records
+            .iter()
+            .rev()
+            .filter_map(|r| match r {
+                LogRecord::Write { tx: t, item, before, .. } if *t == tx => {
+                    Some((item.clone(), before.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: TxId = TxId::new(1);
+    const T2: TxId = TxId::new(2);
+    const T3: TxId = TxId::new(3);
+
+    fn write(tx: TxId, item: &str, before: Option<i64>, after: i64) -> LogRecord {
+        LogRecord::Write {
+            tx,
+            item: item.to_owned(),
+            before: before.map(Value::Int),
+            after: Value::Int(after),
+        }
+    }
+
+    #[test]
+    fn analysis_classifies_transactions() {
+        let mut log = WriteAheadLog::new();
+        log.append(LogRecord::Begin { tx: T1 });
+        log.append(write(T1, "x", None, 1));
+        log.append(LogRecord::Commit { tx: T1 });
+        log.append(LogRecord::Begin { tx: T2 });
+        log.append(write(T2, "y", None, 2));
+        log.append(LogRecord::Prepare { tx: T2 });
+        log.append(LogRecord::Begin { tx: T3 });
+        log.append(write(T3, "z", None, 3));
+        let a = log.analyze();
+        assert!(a.committed.contains(&T1));
+        assert!(a.in_doubt.contains(&T2));
+        assert!(a.active.contains(&T3));
+        assert!(a.aborted.is_empty());
+    }
+
+    #[test]
+    fn replay_applies_only_committed() {
+        let mut log = WriteAheadLog::new();
+        log.append(write(T1, "x", None, 1));
+        log.append(LogRecord::Commit { tx: T1 });
+        log.append(write(T2, "x", Some(1), 99)); // active: lost
+        log.append(write(T3, "y", None, 3));
+        log.append(LogRecord::Abort { tx: T3 });
+        let store = log.replay();
+        assert_eq!(store.get("x"), Some(&Value::Int(1)));
+        assert_eq!(store.get("y"), None);
+    }
+
+    #[test]
+    fn later_committed_writes_win() {
+        let mut log = WriteAheadLog::new();
+        log.append(write(T1, "x", None, 1));
+        log.append(LogRecord::Commit { tx: T1 });
+        log.append(write(T2, "x", Some(1), 2));
+        log.append(LogRecord::Commit { tx: T2 });
+        assert_eq!(log.replay().get("x"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn crash_loses_unflushed_tail() {
+        let mut log = WriteAheadLog::new();
+        log.append(write(T1, "x", None, 1));
+        log.append(LogRecord::Commit { tx: T1 });
+        log.flush();
+        log.append(write(T2, "y", None, 2));
+        log.append(LogRecord::Commit { tx: T2 });
+        // T2's commit was never flushed.
+        log.crash();
+        let store = log.replay();
+        assert_eq!(store.get("x"), Some(&Value::Int(1)));
+        assert_eq!(store.get("y"), None);
+        assert_eq!(log.stable_len(), 2);
+    }
+
+    #[test]
+    fn undo_images_come_newest_first() {
+        let mut log = WriteAheadLog::new();
+        log.append(write(T1, "x", None, 1));
+        log.append(write(T1, "x", Some(1), 2));
+        log.append(write(T1, "y", Some(7), 8));
+        let undo = log.undo_images(T1);
+        assert_eq!(undo.len(), 3);
+        assert_eq!(undo[0], ("y".to_owned(), Some(Value::Int(7))));
+        assert_eq!(undo[2], ("x".to_owned(), None));
+    }
+
+    #[test]
+    fn prepared_then_committed_is_committed() {
+        let mut log = WriteAheadLog::new();
+        log.append(LogRecord::Prepare { tx: T1 });
+        log.append(LogRecord::Commit { tx: T1 });
+        let a = log.analyze();
+        assert!(a.committed.contains(&T1));
+        assert!(!a.in_doubt.contains(&T1));
+    }
+}

@@ -1,0 +1,538 @@
+//! The resource manager: a transactional store combining the lock manager
+//! and the write-ahead log, configurable along the generalised transaction
+//! function's axes (§8.2.1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rmodp_core::id::{IdGen, TxId};
+use rmodp_core::value::Value;
+
+use crate::lock::{LockManager, LockMode, LockOutcome};
+use crate::log::{LogRecord, WriteAheadLog};
+
+/// When other transactions may observe a transaction's writes
+/// (the *visibility* axis of the generalised transaction function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visibility {
+    /// Reads see only committed data and take shared locks (serialisable
+    /// with strict 2PL).
+    ReadCommitted,
+    /// Reads see in-flight writes and take no locks (the paper's
+    /// generalised function permits weaker coordination).
+    ReadUncommitted,
+}
+
+/// Whether effects of incomplete transactions are undone
+/// (the *recoverability* axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recoverability {
+    /// Aborts restore before-images.
+    Undoable,
+    /// Aborts leave effects in place (no rollback).
+    None,
+}
+
+/// Whether committed effects survive crashes (the *permanence* axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Permanence {
+    /// Committed writes are replayable from the stable log.
+    Durable,
+    /// Nothing survives a crash.
+    Volatile,
+}
+
+/// A profile along the three axes. [`TxProfile::acid`] is the ACID
+/// specialisation the paper singles out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxProfile {
+    /// Visibility of intermediate effects.
+    pub visibility: Visibility,
+    /// Recoverability of incomplete transactions.
+    pub recoverability: Recoverability,
+    /// Permanence of completed transactions.
+    pub permanence: Permanence,
+}
+
+impl TxProfile {
+    /// The ACID profile: read-committed visibility, undoable, durable.
+    pub fn acid() -> Self {
+        Self {
+            visibility: Visibility::ReadCommitted,
+            recoverability: Recoverability::Undoable,
+            permanence: Permanence::Durable,
+        }
+    }
+
+    /// A deliberately weak profile: dirty reads, no undo, volatile.
+    pub fn best_effort() -> Self {
+        Self {
+            visibility: Visibility::ReadUncommitted,
+            recoverability: Recoverability::None,
+            permanence: Permanence::Volatile,
+        }
+    }
+}
+
+/// A resource-manager failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RmError {
+    /// The transaction is not active.
+    NotActive { tx: TxId },
+    /// The transaction must wait for a lock (retry after the blockers
+    /// finish).
+    WouldBlock { tx: TxId, item: String, blockers: Vec<TxId> },
+    /// Granting the lock would deadlock; the transaction was aborted.
+    Deadlock { tx: TxId, cycle: Vec<TxId> },
+    /// The transaction is prepared; only commit/abort are legal.
+    Prepared { tx: TxId },
+}
+
+impl fmt::Display for RmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmError::NotActive { tx } => write!(f, "{tx} is not active"),
+            RmError::WouldBlock { tx, item, .. } => {
+                write!(f, "{tx} must wait for a lock on {item:?}")
+            }
+            RmError::Deadlock { tx, .. } => write!(f, "{tx} aborted: deadlock"),
+            RmError::Prepared { tx } => write!(f, "{tx} is prepared"),
+        }
+    }
+}
+
+impl std::error::Error for RmError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxState {
+    Active,
+    Prepared,
+}
+
+/// A transactional key-value resource manager.
+pub struct ResourceManager {
+    name: String,
+    profile: TxProfile,
+    committed: BTreeMap<String, Value>,
+    /// Per-transaction uncommitted write sets.
+    write_sets: BTreeMap<TxId, BTreeMap<String, Value>>,
+    tx_states: BTreeMap<TxId, TxState>,
+    locks: LockManager,
+    log: WriteAheadLog,
+    tx_gen: IdGen<TxId>,
+    /// Statistics: (commits, aborts, deadlocks).
+    stats: (u64, u64, u64),
+}
+
+impl fmt::Debug for ResourceManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResourceManager")
+            .field("name", &self.name)
+            .field("items", &self.committed.len())
+            .field("active", &self.tx_states.len())
+            .finish()
+    }
+}
+
+impl ResourceManager {
+    /// Creates an empty resource manager.
+    pub fn new(name: impl Into<String>, profile: TxProfile) -> Self {
+        Self {
+            name: name.into(),
+            profile,
+            committed: BTreeMap::new(),
+            write_sets: BTreeMap::new(),
+            tx_states: BTreeMap::new(),
+            locks: LockManager::new(),
+            log: WriteAheadLog::new(),
+            tx_gen: IdGen::new(),
+            stats: (0, 0, 0),
+        }
+    }
+
+    /// The manager's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The profile in force.
+    pub fn profile(&self) -> TxProfile {
+        self.profile
+    }
+
+    /// (commits, aborts, deadlock-aborts) so far.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        self.stats
+    }
+
+    /// Begins a transaction.
+    pub fn begin(&mut self) -> TxId {
+        let tx = self.tx_gen.fresh();
+        self.tx_states.insert(tx, TxState::Active);
+        self.write_sets.insert(tx, BTreeMap::new());
+        self.log.append(LogRecord::Begin { tx });
+        tx
+    }
+
+    /// Begins a transaction with a caller-chosen identity (used by the
+    /// distributed coordinator so every participant shares the global id).
+    pub fn begin_with_id(&mut self, tx: TxId) {
+        self.tx_states.insert(tx, TxState::Active);
+        self.write_sets.entry(tx).or_default();
+        self.log.append(LogRecord::Begin { tx });
+    }
+
+    /// Transactionally reads an item.
+    ///
+    /// # Errors
+    ///
+    /// Lock waits/deadlocks under `ReadCommitted`; `NotActive` for unknown
+    /// transactions.
+    pub fn read(&mut self, tx: TxId, item: &str) -> Result<Option<Value>, RmError> {
+        self.check_active(tx)?;
+        // Own writes are always visible.
+        if let Some(v) = self.write_sets.get(&tx).and_then(|ws| ws.get(item)) {
+            return Ok(Some(v.clone()));
+        }
+        match self.profile.visibility {
+            Visibility::ReadUncommitted => {
+                // Latest in-flight write by anyone, else committed.
+                let dirty = self
+                    .write_sets
+                    .values()
+                    .filter_map(|ws| ws.get(item))
+                    .next_back()
+                    .cloned();
+                Ok(dirty.or_else(|| self.committed.get(item).cloned()))
+            }
+            Visibility::ReadCommitted => {
+                self.lock(tx, item, LockMode::Shared)?;
+                Ok(self.committed.get(item).cloned())
+            }
+        }
+    }
+
+    /// Reads the committed value outside any transaction.
+    pub fn read_committed(&self, item: &str) -> Option<Value> {
+        self.committed.get(item).cloned()
+    }
+
+    /// Transactionally writes an item.
+    ///
+    /// # Errors
+    ///
+    /// Lock waits/deadlocks; `NotActive`/`Prepared` state errors.
+    pub fn write(&mut self, tx: TxId, item: &str, value: Value) -> Result<(), RmError> {
+        self.check_active(tx)?;
+        self.lock(tx, item, LockMode::Exclusive)?;
+        let before = self
+            .write_sets
+            .get(&tx)
+            .and_then(|ws| ws.get(item))
+            .or_else(|| self.committed.get(item))
+            .cloned();
+        self.log.append(LogRecord::Write {
+            tx,
+            item: item.to_owned(),
+            before,
+            after: value.clone(),
+        });
+        self.write_sets
+            .get_mut(&tx)
+            .expect("active tx has a write set")
+            .insert(item.to_owned(), value);
+        Ok(())
+    }
+
+    /// Prepares the transaction (2PC phase 1): after a successful prepare
+    /// the manager guarantees it can commit.
+    ///
+    /// # Errors
+    ///
+    /// `NotActive` for unknown/finished transactions.
+    pub fn prepare(&mut self, tx: TxId) -> Result<(), RmError> {
+        match self.tx_states.get(&tx) {
+            Some(TxState::Active) => {
+                self.tx_states.insert(tx, TxState::Prepared);
+                self.log.append(LogRecord::Prepare { tx });
+                self.log.flush();
+                Ok(())
+            }
+            Some(TxState::Prepared) => Ok(()),
+            None => Err(RmError::NotActive { tx }),
+        }
+    }
+
+    /// Commits the transaction: applies its write set, logs and flushes,
+    /// releases locks.
+    ///
+    /// # Errors
+    ///
+    /// `NotActive` for unknown transactions.
+    pub fn commit(&mut self, tx: TxId) -> Result<(), RmError> {
+        if self.tx_states.remove(&tx).is_none() {
+            return Err(RmError::NotActive { tx });
+        }
+        let writes = self.write_sets.remove(&tx).unwrap_or_default();
+        for (item, value) in writes {
+            self.committed.insert(item, value);
+        }
+        self.log.append(LogRecord::Commit { tx });
+        if self.profile.permanence == Permanence::Durable {
+            self.log.flush();
+        }
+        self.locks.release_all(tx);
+        self.stats.0 += 1;
+        Ok(())
+    }
+
+    /// Aborts the transaction: discards its write set (under
+    /// `Recoverability::Undoable`) or applies it anyway (under
+    /// `Recoverability::None`, modelling the generalised function's
+    /// weakest setting), then releases locks.
+    ///
+    /// # Errors
+    ///
+    /// `NotActive` for unknown transactions.
+    pub fn abort(&mut self, tx: TxId) -> Result<(), RmError> {
+        if self.tx_states.remove(&tx).is_none() {
+            return Err(RmError::NotActive { tx });
+        }
+        let writes = self.write_sets.remove(&tx).unwrap_or_default();
+        if self.profile.recoverability == Recoverability::None {
+            for (item, value) in writes {
+                self.committed.insert(item, value);
+            }
+        }
+        self.log.append(LogRecord::Abort { tx });
+        self.locks.release_all(tx);
+        self.stats.1 += 1;
+        Ok(())
+    }
+
+    /// Whether the transaction is prepared (in doubt after a crash).
+    pub fn is_prepared(&self, tx: TxId) -> bool {
+        self.tx_states.get(&tx) == Some(&TxState::Prepared)
+    }
+
+    /// Simulates a crash: volatile state is lost; the stable log prefix
+    /// survives.
+    pub fn crash(&mut self) {
+        self.committed.clear();
+        self.write_sets.clear();
+        self.tx_states.clear();
+        self.locks = LockManager::new();
+        self.log.crash();
+    }
+
+    /// Recovers after a crash: replays committed writes from the log and
+    /// restores in-doubt (prepared) transactions, whose write sets are
+    /// rebuilt from their log records so a later decision can apply them.
+    pub fn recover(&mut self) {
+        if self.profile.permanence != Permanence::Durable {
+            return;
+        }
+        self.committed = self.log.replay();
+        let analysis = self.log.analyze();
+        for tx in &analysis.in_doubt {
+            self.tx_states.insert(*tx, TxState::Prepared);
+            let mut ws = BTreeMap::new();
+            for r in self.log.records() {
+                if let LogRecord::Write { tx: t, item, after, .. } = r {
+                    if t == tx {
+                        ws.insert(item.clone(), after.clone());
+                    }
+                }
+            }
+            self.write_sets.insert(*tx, ws);
+        }
+    }
+
+    /// The in-doubt transactions after [`recover`](Self::recover).
+    pub fn in_doubt(&self) -> BTreeSet<TxId> {
+        self.tx_states
+            .iter()
+            .filter(|(_, s)| **s == TxState::Prepared)
+            .map(|(t, _)| *t)
+            .collect()
+    }
+
+    fn check_active(&self, tx: TxId) -> Result<(), RmError> {
+        match self.tx_states.get(&tx) {
+            Some(TxState::Active) => Ok(()),
+            Some(TxState::Prepared) => Err(RmError::Prepared { tx }),
+            None => Err(RmError::NotActive { tx }),
+        }
+    }
+
+    fn lock(&mut self, tx: TxId, item: &str, mode: LockMode) -> Result<(), RmError> {
+        match self.locks.acquire(tx, item, mode) {
+            LockOutcome::Granted => Ok(()),
+            LockOutcome::Wait { blockers } => Err(RmError::WouldBlock {
+                tx,
+                item: item.to_owned(),
+                blockers,
+            }),
+            LockOutcome::Deadlock { cycle } => {
+                self.abort(tx).ok();
+                self.stats.2 += 1;
+                Err(RmError::Deadlock { tx, cycle })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acid() -> ResourceManager {
+        ResourceManager::new("test", TxProfile::acid())
+    }
+
+    #[test]
+    fn commit_makes_writes_visible() {
+        let mut rm = acid();
+        let tx = rm.begin();
+        rm.write(tx, "x", Value::Int(1)).unwrap();
+        // Not visible outside before commit.
+        assert_eq!(rm.read_committed("x"), None);
+        // Visible to itself.
+        assert_eq!(rm.read(tx, "x").unwrap(), Some(Value::Int(1)));
+        rm.commit(tx).unwrap();
+        assert_eq!(rm.read_committed("x"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn abort_discards_writes_under_acid() {
+        let mut rm = acid();
+        let t0 = rm.begin();
+        rm.write(t0, "x", Value::Int(1)).unwrap();
+        rm.commit(t0).unwrap();
+        let tx = rm.begin();
+        rm.write(tx, "x", Value::Int(99)).unwrap();
+        rm.abort(tx).unwrap();
+        assert_eq!(rm.read_committed("x"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn best_effort_abort_leaks_effects() {
+        // The generalised function's weakest recoverability: effects of
+        // failed transactions are not undone.
+        let mut rm = ResourceManager::new("weak", TxProfile::best_effort());
+        let tx = rm.begin();
+        rm.write(tx, "x", Value::Int(9)).unwrap();
+        rm.abort(tx).unwrap();
+        assert_eq!(rm.read_committed("x"), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn read_committed_blocks_on_writers() {
+        let mut rm = acid();
+        let w = rm.begin();
+        rm.write(w, "x", Value::Int(5)).unwrap();
+        let r = rm.begin();
+        let err = rm.read(r, "x").unwrap_err();
+        assert!(matches!(err, RmError::WouldBlock { .. }));
+        rm.commit(w).unwrap();
+        // Lock was granted to r on release; the retry succeeds.
+        assert_eq!(rm.read(r, "x").unwrap(), Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn read_uncommitted_sees_dirty_data() {
+        let mut rm = ResourceManager::new(
+            "dirty",
+            TxProfile {
+                visibility: Visibility::ReadUncommitted,
+                ..TxProfile::acid()
+            },
+        );
+        let w = rm.begin();
+        rm.write(w, "x", Value::Int(5)).unwrap();
+        let r = rm.begin();
+        assert_eq!(rm.read(r, "x").unwrap(), Some(Value::Int(5)));
+        rm.abort(w).unwrap();
+        // The dirty read observed a value that never committed.
+        assert_eq!(rm.read_committed("x"), None);
+    }
+
+    #[test]
+    fn deadlock_aborts_the_victim() {
+        let mut rm = acid();
+        let t1 = rm.begin();
+        let t2 = rm.begin();
+        rm.write(t1, "a", Value::Int(1)).unwrap();
+        rm.write(t2, "b", Value::Int(2)).unwrap();
+        assert!(matches!(rm.write(t1, "b", Value::Int(3)), Err(RmError::WouldBlock { .. })));
+        let err = rm.write(t2, "a", Value::Int(4)).unwrap_err();
+        assert!(matches!(err, RmError::Deadlock { .. }));
+        // The victim is gone; t1 can proceed.
+        assert!(matches!(rm.write(t2, "a", Value::Int(4)), Err(RmError::NotActive { .. })));
+        rm.write(t1, "b", Value::Int(3)).unwrap();
+        rm.commit(t1).unwrap();
+        assert_eq!(rm.stats().2, 1);
+    }
+
+    #[test]
+    fn prepared_transactions_refuse_new_work_and_survive_crash() {
+        let mut rm = acid();
+        let tx = rm.begin();
+        rm.write(tx, "x", Value::Int(7)).unwrap();
+        rm.prepare(tx).unwrap();
+        assert!(matches!(rm.write(tx, "y", Value::Int(1)), Err(RmError::Prepared { .. })));
+        assert!(rm.is_prepared(tx));
+
+        rm.crash();
+        rm.recover();
+        // In doubt: neither visible nor forgotten.
+        assert_eq!(rm.read_committed("x"), None);
+        assert!(rm.in_doubt().contains(&tx));
+        // Coordinator decides commit: the write set was rebuilt.
+        rm.commit(tx).unwrap();
+        assert_eq!(rm.read_committed("x"), Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn durable_commits_survive_crash_volatile_do_not() {
+        let mut rm = acid();
+        let tx = rm.begin();
+        rm.write(tx, "x", Value::Int(1)).unwrap();
+        rm.commit(tx).unwrap();
+        rm.crash();
+        rm.recover();
+        assert_eq!(rm.read_committed("x"), Some(Value::Int(1)));
+
+        let mut weak = ResourceManager::new("v", TxProfile::best_effort());
+        let tx = weak.begin();
+        weak.write(tx, "x", Value::Int(1)).unwrap();
+        weak.commit(tx).unwrap();
+        weak.crash();
+        weak.recover();
+        assert_eq!(weak.read_committed("x"), None);
+    }
+
+    #[test]
+    fn unflushed_commit_is_lost_by_crash() {
+        // Commit flushes under Durable, so force the scenario through an
+        // active transaction instead: its writes must not survive.
+        let mut rm = acid();
+        let tx = rm.begin();
+        rm.write(tx, "x", Value::Int(1)).unwrap();
+        rm.crash();
+        rm.recover();
+        assert_eq!(rm.read_committed("x"), None);
+        assert!(rm.in_doubt().is_empty());
+    }
+
+    #[test]
+    fn operations_on_unknown_tx_fail() {
+        let mut rm = acid();
+        let ghost = TxId::new(99);
+        assert!(matches!(rm.read(ghost, "x"), Err(RmError::NotActive { .. })));
+        assert!(matches!(rm.write(ghost, "x", Value::Null), Err(RmError::NotActive { .. })));
+        assert!(matches!(rm.commit(ghost), Err(RmError::NotActive { .. })));
+        assert!(matches!(rm.abort(ghost), Err(RmError::NotActive { .. })));
+        assert!(matches!(rm.prepare(ghost), Err(RmError::NotActive { .. })));
+    }
+}

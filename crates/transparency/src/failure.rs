@@ -1,0 +1,267 @@
+//! Failure transparency: masking the failure and recovery of objects.
+//!
+//! A [`FailureGuard`] watches over one cluster: it takes periodic
+//! checkpoints and, when the cluster's home node crashes, recovers the
+//! cluster from the last checkpoint onto a backup node and republishes
+//! locations — so clients (whose proxies already mask relocation) simply
+//! keep calling. Work since the last checkpoint is lost: failure
+//! transparency "masks the failure and possible recovery of objects, to
+//! enhance fault tolerance", it does not promise exactly-once effects.
+
+use std::fmt;
+
+use rmodp_core::id::{CapsuleId, ClusterId, InterfaceId, NodeId};
+use rmodp_engineering::engine::{EngError, Engine};
+use rmodp_engineering::structure::ClusterCheckpoint;
+
+use crate::proxy::OdpInfra;
+
+/// A failure-handling error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailureError {
+    /// Engineering failure.
+    Eng(EngError),
+    /// No checkpoint has been taken yet.
+    NoCheckpoint,
+    /// The home node is still alive; nothing to recover from.
+    NotFailed,
+}
+
+impl fmt::Display for FailureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureError::Eng(e) => write!(f, "{e}"),
+            FailureError::NoCheckpoint => write!(f, "no checkpoint available"),
+            FailureError::NotFailed => write!(f, "home node has not failed"),
+        }
+    }
+}
+
+impl std::error::Error for FailureError {}
+
+impl From<EngError> for FailureError {
+    fn from(e: EngError) -> Self {
+        FailureError::Eng(e)
+    }
+}
+
+/// Guards one cluster with checkpointing and backup-node recovery.
+#[derive(Debug)]
+pub struct FailureGuard {
+    home: (NodeId, CapsuleId, ClusterId),
+    backup: (NodeId, CapsuleId),
+    interfaces: Vec<InterfaceId>,
+    last_checkpoint: Option<ClusterCheckpoint>,
+    recoveries: u64,
+}
+
+impl FailureGuard {
+    /// Creates a guard for a cluster with a designated backup location.
+    pub fn new(
+        home: (NodeId, CapsuleId, ClusterId),
+        backup: (NodeId, CapsuleId),
+        interfaces: Vec<InterfaceId>,
+    ) -> Self {
+        Self {
+            home,
+            backup,
+            interfaces,
+            last_checkpoint: None,
+            recoveries: 0,
+        }
+    }
+
+    /// The cluster's current home.
+    pub fn home(&self) -> (NodeId, CapsuleId, ClusterId) {
+        self.home
+    }
+
+    /// How many recoveries this guard has performed.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Takes a checkpoint of the guarded cluster (call periodically; the
+    /// recovery point is the last successful call).
+    ///
+    /// # Errors
+    ///
+    /// Engineering failures (e.g. the home already crashed — then the
+    /// previous checkpoint remains the recovery point).
+    pub fn checkpoint_now(&mut self, engine: &mut Engine) -> Result<(), FailureError> {
+        let (node, capsule, cluster) = self.home;
+        let cp = engine.checkpoint_cluster(node, capsule, cluster)?;
+        self.last_checkpoint = Some(cp);
+        Ok(())
+    }
+
+    /// Whether the home node is currently crashed.
+    pub fn home_failed(&self, engine: &Engine) -> bool {
+        engine
+            .sim_node(self.home.0)
+            .map(|idx| engine.sim().topology().is_crashed(idx))
+            .unwrap_or(true)
+    }
+
+    /// Recovers the cluster onto the backup from the last checkpoint and
+    /// republishes interface locations. The guard's home becomes the
+    /// backup (a subsequent failure needs a new backup designation via
+    /// [`set_backup`](Self::set_backup)).
+    ///
+    /// # Errors
+    ///
+    /// [`FailureError::NotFailed`] when the home is alive,
+    /// [`FailureError::NoCheckpoint`] without a recovery point, or
+    /// engineering failures.
+    pub fn recover(
+        &mut self,
+        engine: &mut Engine,
+        infra: &mut OdpInfra,
+    ) -> Result<ClusterId, FailureError> {
+        if !self.home_failed(engine) {
+            return Err(FailureError::NotFailed);
+        }
+        let cp = self
+            .last_checkpoint
+            .clone()
+            .ok_or(FailureError::NoCheckpoint)?;
+        let (backup_node, backup_capsule) = self.backup;
+        let new_cluster = engine.reactivate_cluster(backup_node, backup_capsule, &cp)?;
+        for ifc in &self.interfaces {
+            infra.publish(engine, *ifc)?;
+        }
+        self.home = (backup_node, backup_capsule, new_cluster);
+        self.recoveries += 1;
+        Ok(new_cluster)
+    }
+
+    /// Designates a new backup location (after a recovery consumed the
+    /// previous one).
+    pub fn set_backup(&mut self, backup: (NodeId, CapsuleId)) {
+        self.backup = backup;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proxy::TransparentProxy;
+    use crate::selection::{Transparency, TransparencySet};
+    use rmodp_core::codec::SyntaxId;
+    use rmodp_core::value::Value;
+    use rmodp_engineering::behaviour::CounterBehaviour;
+
+    struct World {
+        engine: Engine,
+        infra: OdpInfra,
+        guard: FailureGuard,
+        client: NodeId,
+        interface: InterfaceId,
+    }
+
+    fn world() -> World {
+        let mut engine = Engine::new(31);
+        engine
+            .behaviours_mut()
+            .register("counter", CounterBehaviour::default);
+        let home = engine.add_node(SyntaxId::Binary);
+        let backup = engine.add_node(SyntaxId::Binary);
+        let client = engine.add_node(SyntaxId::Binary);
+        let home_capsule = engine.add_capsule(home).unwrap();
+        let backup_capsule = engine.add_capsule(backup).unwrap();
+        let cluster = engine.add_cluster(home, home_capsule).unwrap();
+        let (_, refs) = engine
+            .create_object(home, home_capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+            .unwrap();
+        let mut infra = OdpInfra::new();
+        infra.publish(&engine, refs[0].interface).unwrap();
+        let guard = FailureGuard::new(
+            (home, home_capsule, cluster),
+            (backup, backup_capsule),
+            vec![refs[0].interface],
+        );
+        World {
+            engine,
+            infra,
+            guard,
+            client,
+            interface: refs[0].interface,
+        }
+    }
+
+    fn add(k: i64) -> Value {
+        Value::record([("k", Value::Int(k))])
+    }
+
+    #[test]
+    fn crash_then_recover_masks_failure_up_to_the_checkpoint() {
+        let mut w = world();
+        let mut proxy = TransparentProxy::new(
+            w.client,
+            w.interface,
+            TransparencySet::none().with(Transparency::Relocation),
+        );
+        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(10)).unwrap();
+        w.guard.checkpoint_now(&mut w.engine).unwrap();
+        // Post-checkpoint work that will be lost by the failure.
+        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(5)).unwrap();
+
+        // The home node crashes.
+        let idx = w.engine.sim_node(w.guard.home().0).unwrap();
+        w.engine.sim_mut().topology_mut().crash(idx);
+        assert!(w.guard.home_failed(&w.engine));
+
+        w.guard.recover(&mut w.engine, &mut w.infra).unwrap();
+        assert_eq!(w.guard.recoveries(), 1);
+
+        // The client's next call is transparently routed to the recovered
+        // replica; state is the checkpointed 10, not 15.
+        let t = proxy
+            .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+            .unwrap();
+        assert_eq!(t.results.field("n"), Some(&Value::Int(10)));
+    }
+
+    #[test]
+    fn recover_requires_failure_and_a_checkpoint() {
+        let mut w = world();
+        assert!(matches!(
+            w.guard.recover(&mut w.engine, &mut w.infra),
+            Err(FailureError::NotFailed)
+        ));
+        let idx = w.engine.sim_node(w.guard.home().0).unwrap();
+        w.engine.sim_mut().topology_mut().crash(idx);
+        assert!(matches!(
+            w.guard.recover(&mut w.engine, &mut w.infra),
+            Err(FailureError::NoCheckpoint)
+        ));
+    }
+
+    #[test]
+    fn guard_survives_successive_failures_with_new_backups() {
+        let mut w = world();
+        let mut proxy = TransparentProxy::new(
+            w.client,
+            w.interface,
+            TransparencySet::none().with(Transparency::Relocation),
+        );
+        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(1)).unwrap();
+        w.guard.checkpoint_now(&mut w.engine).unwrap();
+
+        for round in 0..2 {
+            let idx = w.engine.sim_node(w.guard.home().0).unwrap();
+            w.engine.sim_mut().topology_mut().crash(idx);
+            w.guard.recover(&mut w.engine, &mut w.infra).unwrap();
+            let t = proxy
+                .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+                .unwrap();
+            assert_eq!(t.results.field("n"), Some(&Value::Int(1)), "round {round}");
+            // Prepare the next backup and refresh the recovery point.
+            let next = w.engine.add_node(SyntaxId::Binary);
+            let next_capsule = w.engine.add_capsule(next).unwrap();
+            w.guard.set_backup((next, next_capsule));
+            w.guard.checkpoint_now(&mut w.engine).unwrap();
+        }
+        assert_eq!(w.guard.recoveries(), 2);
+    }
+}

@@ -1,0 +1,305 @@
+//! Persistence transparency: masking deactivation and reactivation.
+//!
+//! Cluster checkpoints are serialised through the storage function; a
+//! [`PersistenceManager`] remembers where each persistent cluster lives so
+//! it can be deactivated to storage and restored on demand — including
+//! transparently, when a proxy finds the target gone.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rmodp_core::codec::{syntax_for, SyntaxId};
+use rmodp_core::id::{CapsuleId, ClusterId, InterfaceId, NodeId, ObjectId};
+use rmodp_core::naming::Name;
+use rmodp_core::value::Value;
+use rmodp_engineering::engine::{EngError, Engine};
+use rmodp_engineering::structure::{BeoRecord, ClusterCheckpoint, ObjectCheckpoint};
+use rmodp_functions::storage::StorageFunction;
+
+/// A persistence failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistenceError {
+    /// Engineering failure during deactivate/reactivate.
+    Eng(EngError),
+    /// Nothing stored under this name.
+    NotStored { name: String },
+    /// Stored bytes could not be decoded as a checkpoint.
+    Corrupt { name: String, detail: String },
+}
+
+impl fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistenceError::Eng(e) => write!(f, "{e}"),
+            PersistenceError::NotStored { name } => write!(f, "no checkpoint stored as {name}"),
+            PersistenceError::Corrupt { name, detail } => {
+                write!(f, "checkpoint {name} is corrupt: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistenceError {}
+
+impl From<EngError> for PersistenceError {
+    fn from(e: EngError) -> Self {
+        PersistenceError::Eng(e)
+    }
+}
+
+/// Serialises a cluster checkpoint with the binary transfer syntax.
+pub fn encode_checkpoint(cp: &ClusterCheckpoint) -> Vec<u8> {
+    let objects = Value::Seq(
+        cp.objects
+            .iter()
+            .map(|o| {
+                Value::record([
+                    ("object", Value::Int(o.record.object.raw() as i64)),
+                    ("name", Value::text(o.record.name.clone())),
+                    ("behaviour", Value::text(o.record.behaviour.clone())),
+                    (
+                        "interfaces",
+                        Value::Seq(
+                            o.record
+                                .interfaces
+                                .iter()
+                                .map(|i| Value::Int(i.raw() as i64))
+                                .collect(),
+                        ),
+                    ),
+                    ("state", o.state.clone()),
+                ])
+            })
+            .collect(),
+    );
+    let v = Value::record([
+        ("cluster", Value::Int(cp.cluster.raw() as i64)),
+        ("epoch", Value::Int(cp.epoch as i64)),
+        ("objects", objects),
+    ]);
+    syntax_for(SyntaxId::Binary).encode(&v)
+}
+
+/// Deserialises a cluster checkpoint.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<ClusterCheckpoint, String> {
+    let v = syntax_for(SyntaxId::Binary)
+        .decode(bytes)
+        .map_err(|e| e.to_string())?;
+    let cluster = v
+        .field("cluster")
+        .and_then(Value::as_int)
+        .ok_or("missing cluster id")?;
+    let epoch = v.field("epoch").and_then(Value::as_int).ok_or("missing epoch")?;
+    let mut objects = Vec::new();
+    for o in v.field("objects").and_then(Value::as_seq).ok_or("missing objects")? {
+        let record = BeoRecord {
+            object: ObjectId::new(
+                o.field("object").and_then(Value::as_int).ok_or("missing object id")? as u64,
+            ),
+            name: o
+                .field("name")
+                .and_then(Value::as_text)
+                .ok_or("missing object name")?
+                .to_owned(),
+            behaviour: o
+                .field("behaviour")
+                .and_then(Value::as_text)
+                .ok_or("missing behaviour")?
+                .to_owned(),
+            interfaces: o
+                .field("interfaces")
+                .and_then(Value::as_seq)
+                .ok_or("missing interfaces")?
+                .iter()
+                .filter_map(Value::as_int)
+                .map(|i| InterfaceId::new(i as u64))
+                .collect(),
+        };
+        let state = o.field("state").cloned().ok_or("missing state")?;
+        objects.push(ObjectCheckpoint { record, state });
+    }
+    Ok(ClusterCheckpoint {
+        cluster: ClusterId::new(cluster as u64),
+        objects,
+        epoch: epoch as u64,
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Home {
+    node: NodeId,
+    capsule: CapsuleId,
+}
+
+/// Manages persistent clusters: deactivation to the storage function and
+/// (transparent) reactivation from it.
+#[derive(Debug, Default)]
+pub struct PersistenceManager {
+    homes: BTreeMap<String, Home>,
+    /// Which persistent cluster each interface belongs to (so a proxy can
+    /// restore by interface).
+    interface_index: BTreeMap<InterfaceId, String>,
+}
+
+impl PersistenceManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deactivates a cluster to storage under a label, remembering its
+    /// home so it can be restored there.
+    ///
+    /// # Errors
+    ///
+    /// Engineering failures.
+    pub fn deactivate_to_storage(
+        &mut self,
+        engine: &mut Engine,
+        storage: &mut StorageFunction,
+        label: &str,
+        node: NodeId,
+        capsule: CapsuleId,
+        cluster: ClusterId,
+    ) -> Result<(), PersistenceError> {
+        let cp = engine.deactivate_cluster(node, capsule, cluster)?;
+        let name: Name = format!("persistent/{label}")
+            .parse()
+            .expect("label forms a valid name");
+        storage.put(name, encode_checkpoint(&cp));
+        self.homes.insert(label.to_owned(), Home { node, capsule });
+        for o in &cp.objects {
+            for ifc in &o.record.interfaces {
+                self.interface_index.insert(*ifc, label.to_owned());
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores a cluster from storage at its remembered home; returns the
+    /// fresh cluster id.
+    ///
+    /// # Errors
+    ///
+    /// Missing/corrupt checkpoints or engineering failures.
+    pub fn restore(
+        &mut self,
+        engine: &mut Engine,
+        storage: &StorageFunction,
+        label: &str,
+    ) -> Result<ClusterId, PersistenceError> {
+        let home = self
+            .homes
+            .get(label)
+            .copied()
+            .ok_or_else(|| PersistenceError::NotStored { name: label.to_owned() })?;
+        let name: Name = format!("persistent/{label}")
+            .parse()
+            .expect("label forms a valid name");
+        let (bytes, _) = storage
+            .get(&name)
+            .map_err(|_| PersistenceError::NotStored { name: label.to_owned() })?;
+        let cp = decode_checkpoint(bytes).map_err(|detail| PersistenceError::Corrupt {
+            name: label.to_owned(),
+            detail,
+        })?;
+        Ok(engine.reactivate_cluster(home.node, home.capsule, &cp)?)
+    }
+
+    /// The persistent label covering an interface, if any.
+    pub fn label_for(&self, interface: InterfaceId) -> Option<&str> {
+        self.interface_index.get(&interface).map(String::as_str)
+    }
+
+    /// Labels of all persistent clusters.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.homes.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmodp_engineering::behaviour::CounterBehaviour;
+    use rmodp_engineering::channel::ChannelConfig;
+
+    fn checkpoint_sample() -> ClusterCheckpoint {
+        ClusterCheckpoint {
+            cluster: ClusterId::new(3),
+            epoch: 7,
+            objects: vec![ObjectCheckpoint {
+                record: BeoRecord {
+                    object: ObjectId::new(1),
+                    name: "counter".into(),
+                    behaviour: "counter".into(),
+                    interfaces: vec![InterfaceId::new(10), InterfaceId::new(11)],
+                },
+                state: Value::record([("n", Value::Int(42))]),
+            }],
+        }
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips() {
+        let cp = checkpoint_sample();
+        let bytes = encode_checkpoint(&cp);
+        let back = decode_checkpoint(&bytes).unwrap();
+        assert_eq!(back, cp);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_checkpoint(&[1, 2, 3]).is_err());
+        let not_a_checkpoint = syntax_for(SyntaxId::Binary).encode(&Value::Int(5));
+        assert!(decode_checkpoint(&not_a_checkpoint).is_err());
+    }
+
+    #[test]
+    fn deactivate_then_restore_preserves_state() {
+        let mut engine = Engine::new(11);
+        engine
+            .behaviours_mut()
+            .register("counter", CounterBehaviour::default);
+        let node = engine.add_node(SyntaxId::Binary);
+        let client = engine.add_node(SyntaxId::Binary);
+        let capsule = engine.add_capsule(node).unwrap();
+        let cluster = engine.add_cluster(node, capsule).unwrap();
+        let (_, refs) = engine
+            .create_object(node, capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+            .unwrap();
+        let ch = engine
+            .open_channel(client, refs[0].interface, ChannelConfig::default())
+            .unwrap();
+        engine
+            .call(ch, "Add", &Value::record([("k", Value::Int(33))]))
+            .unwrap();
+
+        let mut storage = StorageFunction::new();
+        let mut pm = PersistenceManager::new();
+        pm.deactivate_to_storage(&mut engine, &mut storage, "acct", node, capsule, cluster)
+            .unwrap();
+        assert_eq!(engine.lookup(refs[0].interface), None);
+        assert_eq!(pm.label_for(refs[0].interface), Some("acct"));
+
+        pm.restore(&mut engine, &storage, "acct").unwrap();
+        let fresh = engine.lookup(refs[0].interface).unwrap();
+        engine.redirect_channel(ch, fresh).unwrap();
+        let t = engine.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+        assert_eq!(t.results.field("n"), Some(&Value::Int(33)));
+    }
+
+    #[test]
+    fn restore_of_unknown_label_fails() {
+        let mut engine = Engine::new(1);
+        let storage = StorageFunction::new();
+        let mut pm = PersistenceManager::new();
+        assert!(matches!(
+            pm.restore(&mut engine, &storage, "ghost"),
+            Err(PersistenceError::NotStored { .. })
+        ));
+    }
+}

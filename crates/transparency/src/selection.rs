@@ -1,0 +1,191 @@
+//! Selecting transparencies and deriving channel configurations.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rmodp_core::codec::SyntaxId;
+use rmodp_engineering::channel::{ChannelConfig, RetryPolicy};
+use rmodp_netsim::time::SimDuration;
+
+/// The distribution transparencies defined in RM-ODP (§9). "Not intended
+/// to be the complete set, merely a starting point of common
+/// requirements."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Transparency {
+    /// Hides differences in data representation and invocation mechanism.
+    Access,
+    /// Masks the use of physical addresses.
+    Location,
+    /// Hides relocation of an object from objects bound to it.
+    Relocation,
+    /// Masks relocation from the object itself and its peers.
+    Migration,
+    /// Masks deactivation and reactivation.
+    Persistence,
+    /// Masks failure and possible recovery of objects.
+    Failure,
+    /// Maintains consistency of a group of replicas behind one interface.
+    Replication,
+    /// Hides the coordination needed for transactional properties.
+    Transaction,
+}
+
+impl Transparency {
+    /// All eight transparencies.
+    pub const ALL: [Transparency; 8] = [
+        Transparency::Access,
+        Transparency::Location,
+        Transparency::Relocation,
+        Transparency::Migration,
+        Transparency::Persistence,
+        Transparency::Failure,
+        Transparency::Replication,
+        Transparency::Transaction,
+    ];
+}
+
+impl fmt::Display for Transparency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Transparency::Access => "access",
+            Transparency::Location => "location",
+            Transparency::Relocation => "relocation",
+            Transparency::Migration => "migration",
+            Transparency::Persistence => "persistence",
+            Transparency::Failure => "failure",
+            Transparency::Replication => "replication",
+            Transparency::Transaction => "transaction",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A set of selected transparencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransparencySet {
+    selected: BTreeSet<Transparency>,
+}
+
+impl TransparencySet {
+    /// No transparencies selected.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every transparency selected.
+    pub fn all() -> Self {
+        Self {
+            selected: Transparency::ALL.into_iter().collect(),
+        }
+    }
+
+    /// Builder: adds a transparency (and its prerequisites — relocation,
+    /// migration, persistence and failure all presuppose location
+    /// transparency, and everything presupposes access transparency).
+    pub fn with(mut self, t: Transparency) -> Self {
+        self.selected.insert(Transparency::Access);
+        if matches!(
+            t,
+            Transparency::Relocation
+                | Transparency::Migration
+                | Transparency::Persistence
+                | Transparency::Failure
+        ) {
+            self.selected.insert(Transparency::Location);
+        }
+        self.selected.insert(t);
+        self
+    }
+
+    /// Whether a transparency is selected.
+    pub fn has(&self, t: Transparency) -> bool {
+        self.selected.contains(&t)
+    }
+
+    /// Iterates the selected transparencies.
+    pub fn iter(&self) -> impl Iterator<Item = Transparency> + '_ {
+        self.selected.iter().copied()
+    }
+
+    /// Number of selected transparencies.
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Whether nothing is selected.
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// Derives a channel configuration realising the selection: access
+    /// transparency installs marshalling (always structurally present;
+    /// the wire syntax choice is what exercises it), failure transparency
+    /// turns on retransmission.
+    pub fn channel_config(&self, wire_syntax: SyntaxId) -> ChannelConfig {
+        ChannelConfig {
+            wire_syntax,
+            sequence: false,
+            audit: false,
+            retry: if self.has(Transparency::Failure) {
+                Some(RetryPolicy {
+                    timeout: SimDuration::from_millis(30),
+                    retries: 3,
+                })
+            } else {
+                None
+            },
+        }
+    }
+}
+
+impl FromIterator<Transparency> for TransparencySet {
+    fn from_iter<I: IntoIterator<Item = Transparency>>(iter: I) -> Self {
+        iter.into_iter().fold(Self::none(), Self::with)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prerequisites_are_implied() {
+        let s = TransparencySet::none().with(Transparency::Relocation);
+        assert!(s.has(Transparency::Relocation));
+        assert!(s.has(Transparency::Location));
+        assert!(s.has(Transparency::Access));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn all_has_eight() {
+        assert_eq!(TransparencySet::all().len(), 8);
+        assert!(TransparencySet::none().is_empty());
+    }
+
+    #[test]
+    fn failure_selection_enables_retransmission() {
+        let with = TransparencySet::none().with(Transparency::Failure);
+        assert!(with.channel_config(SyntaxId::Binary).retry.is_some());
+        let without = TransparencySet::none().with(Transparency::Access);
+        assert!(without.channel_config(SyntaxId::Binary).retry.is_none());
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: TransparencySet = [Transparency::Migration, Transparency::Replication]
+            .into_iter()
+            .collect();
+        assert!(s.has(Transparency::Migration));
+        assert!(s.has(Transparency::Replication));
+        assert!(s.has(Transparency::Location));
+    }
+
+    #[test]
+    fn display_names() {
+        for t in Transparency::ALL {
+            assert!(!t.to_string().is_empty());
+        }
+        assert_eq!(Transparency::Relocation.to_string(), "relocation");
+    }
+}

@@ -1,0 +1,39 @@
+//! # rmodp-typerepo — the type repository function (§8.3.1)
+//!
+//! "ODP systems must make type information available through the ODP
+//! system itself; the primary need is to support type checking during
+//! trading and interface binding. In RM-ODP, the type repository is a
+//! registry for type definitions, particularly for interface types. The
+//! type registry maintains a type hierarchy (subtype relationships) and
+//! other relationships between types."
+//!
+//! [`TypeRepository`] registers [`InterfaceSignature`](rmodp_computational::signature::InterfaceSignature)s, derives the
+//! structural subtype lattice **to a fixpoint** (so mutually referential
+//! interface types resolve), answers hierarchy queries, and records
+//! arbitrary named relationships between types.
+//!
+//! # Example
+//!
+//! ```
+//! use rmodp_typerepo::TypeRepository;
+//! use rmodp_computational::signature::{InterfaceSignature, OperationalSignature};
+//! use rmodp_core::dtype::DataType;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut repo = TypeRepository::new();
+//! let teller = OperationalSignature::new("BankTeller")
+//!     .announcement("Deposit", [("d", DataType::Int)]);
+//! let manager = OperationalSignature::new("BankManager")
+//!     .announcement("Deposit", [("d", DataType::Int)])
+//!     .announcement("CreateAccount", [("c", DataType::Text)]);
+//! repo.register(InterfaceSignature::Operational(teller))?;
+//! repo.register(InterfaceSignature::Operational(manager))?;
+//! assert!(repo.is_subtype("BankManager", "BankTeller"));
+//! assert!(!repo.is_subtype("BankTeller", "BankManager"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod repo;
+
+pub use repo::{TypeRelationship, TypeRepoError, TypeRepository};

@@ -1,0 +1,79 @@
+//! Figure 2: the bank branch object with its BankTeller and BankManager
+//! interfaces, bound to customer objects over real channels — including
+//! the paper's "$400 in the morning, $200 refused in the afternoon"
+//! scenario and the interest-rate obligation.
+//!
+//! Run with: `cargo run --example bank_branch`
+
+use rmodp::bank;
+use rmodp::enterprise::prelude::ObligationState;
+use rmodp::prelude::*;
+use rmodp::OdpSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = OdpSystem::new(1993);
+    let branch = bank::deploy_branch(&mut sys.engine, SyntaxId::Binary)?;
+    sys.publish(branch.teller.interface)?;
+    sys.publish(branch.manager.interface)?;
+
+    // Two customer objects on their own (heterogeneous) nodes — Figure 2
+    // shows each customer bound to one branch interface.
+    let customer1 = sys.engine.add_node(SyntaxId::Text);
+    let customer2 = sys.engine.add_node(SyntaxId::Binary);
+    let teller_ch = sys
+        .engine
+        .open_channel(customer1, branch.teller.interface, ChannelConfig::default())?;
+    let manager_ch = sys
+        .engine
+        .open_channel(customer2, branch.manager.interface, ChannelConfig::default())?;
+
+    // Accounts can be created only through the bank manager interface.
+    let t = sys.engine.call(
+        manager_ch,
+        "CreateAccount",
+        &Value::record([("c", Value::Int(1)), ("opening", Value::Int(1_000))]),
+    )?;
+    let acct = t.results.field("a").and_then(Value::as_int).expect("OK carries a");
+    println!("manager opened account {acct} with $1000");
+
+    let dwa = |c: i64, d: i64| {
+        Value::record([
+            ("c", Value::Int(c)),
+            ("a", Value::Int(acct)),
+            ("d", Value::Int(d)),
+        ])
+    };
+
+    // Both interfaces can deposit and withdraw.
+    let t = sys.engine.call(teller_ch, "Deposit", &dwa(1, 200))?;
+    println!("teller deposit $200 -> {} {}", t.name, t.results);
+
+    // The paper's daily-limit scenario, across the wire.
+    let t = sys.engine.call(teller_ch, "Withdraw", &dwa(1, 400))?;
+    println!("morning withdraw $400 -> {} {}", t.name, t.results);
+    let t = sys.engine.call(teller_ch, "Withdraw", &dwa(1, 200))?;
+    println!("afternoon withdraw $200 -> {} {}", t.name, t.results);
+    assert_eq!(t.name, "NotToday");
+
+    // Midnight: the nucleus runs the reset; the limit reopens.
+    sys.engine.call(manager_ch, "ResetDay", &Value::record::<&str, _>([]))?;
+    let t = sys.engine.call(teller_ch, "Withdraw", &dwa(1, 200))?;
+    println!("next morning withdraw $200 -> {} {}", t.name, t.results);
+
+    // Enterprise viewpoint alongside: the rate change obliges the manager.
+    let roster = bank::enterprise::BranchRoster::default();
+    let mut policies = bank::enterprise::branch_policies();
+    policies.tick(sys.engine.sim().now().as_micros());
+    let obligations = bank::enterprise::change_interest_rate(&mut policies, &roster, 4.75, None);
+    for id in &obligations {
+        policies.discharge(*id)?;
+    }
+    println!(
+        "rate change: {} obligations created, {} fulfilled",
+        obligations.len(),
+        policies.obligations_in(ObligationState::Fulfilled).len()
+    );
+
+    println!("network: {}", sys.engine.sim().metrics());
+    Ok(())
+}

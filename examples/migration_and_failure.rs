@@ -1,0 +1,92 @@
+//! Relocation, migration and failure transparency in action: a counter
+//! service keeps serving one oblivious client while its cluster is
+//! migrated twice and then crash-recovered from a checkpoint on a backup
+//! node (§9.2, §8.1, §8.2).
+//!
+//! Run with: `cargo run --example migration_and_failure`
+
+use rmodp::engineering::behaviour::CounterBehaviour;
+use rmodp::prelude::*;
+use rmodp::transparency::failure::FailureGuard;
+use rmodp::transparency::proxy::migrate_transparently;
+use rmodp::OdpSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = OdpSystem::new(42);
+    sys.engine
+        .behaviours_mut()
+        .register("counter", CounterBehaviour::default);
+
+    // Home, first target, backup, and the client.
+    let home = sys.engine.add_node(SyntaxId::Binary);
+    let target = sys.engine.add_node(SyntaxId::Text);
+    let backup = sys.engine.add_node(SyntaxId::Binary);
+    let client = sys.engine.add_node(SyntaxId::Binary);
+    let home_capsule = sys.engine.add_capsule(home)?;
+    let target_capsule = sys.engine.add_capsule(target)?;
+    let backup_capsule = sys.engine.add_capsule(backup)?;
+    let cluster = sys.engine.add_cluster(home, home_capsule)?;
+    let (_, refs) = sys.engine.create_object(
+        home,
+        home_capsule,
+        cluster,
+        "counter",
+        "counter",
+        CounterBehaviour::initial_state(),
+        1,
+    )?;
+    let interface = refs[0].interface;
+    sys.publish(interface)?;
+
+    let mut proxy = sys.proxy(
+        client,
+        interface,
+        TransparencySet::none()
+            .with(Transparency::Migration)
+            .with(Transparency::Failure),
+    );
+    let add = |k: i64| Value::record([("k", Value::Int(k))]);
+
+    let t = proxy.call(&mut sys.engine, &mut sys.infra, "Add", &add(10))?;
+    println!("counter at {} after Add(10): {}", home, t.results);
+
+    // Migrate the whole cluster to a text-native node; the client's next
+    // call is transparently replayed at the new location.
+    let new_cluster = migrate_transparently(
+        &mut sys.engine,
+        &mut sys.infra,
+        (home, home_capsule, cluster),
+        (target, target_capsule),
+        &[interface],
+    )?;
+    let t = proxy.call(&mut sys.engine, &mut sys.infra, "Add", &add(5))?;
+    println!("after migration to {target}: Add(5) -> {}", t.results);
+
+    // Guard the migrated cluster; checkpoint; then crash the node.
+    let mut guard = FailureGuard::new(
+        (target, target_capsule, new_cluster),
+        (backup, backup_capsule),
+        vec![interface],
+    );
+    guard.checkpoint_now(&mut sys.engine)?;
+    let idx = sys.engine.sim_node(target)?;
+    sys.engine.sim_mut().topology_mut().crash(idx);
+    println!("node {target} crashed; recovering on {backup}…");
+    guard.recover(&mut sys.engine, &mut sys.infra)?;
+
+    // The oblivious client keeps calling.
+    let t = proxy.call(
+        &mut sys.engine,
+        &mut sys.infra,
+        "Get",
+        &Value::record::<&str, _>([]),
+    )?;
+    println!(
+        "after recovery: Get -> {} (relocations masked: {}, recoveries: {})",
+        t.results,
+        proxy.stats().relocations_masked,
+        guard.recoveries()
+    );
+    assert_eq!(t.results.field("n"), Some(&Value::Int(15)));
+    Ok(())
+}

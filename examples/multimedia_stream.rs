@@ -1,0 +1,127 @@
+//! Stream interfaces (§5.1): "stream interfaces have been included in
+//! RM-ODP to cater for multi-media and telecommunications applications."
+//!
+//! A producer pushes an audio-like flow to a consumer over a lossy,
+//! jittery link; the environment contract (§5.3) demands a minimum
+//! delivered throughput, and the run reports whether the environment
+//! honoured it.
+//!
+//! Run with: `cargo run --example multimedia_stream`
+
+use rmodp::computational::signature::{FlowDirection, Invocation, StreamSignature, Termination};
+use rmodp::core::contract::{QosOffer, QosRequirement, SecurityLevel};
+use rmodp::core::dtype::DataType;
+use rmodp::engineering::behaviour::ServerBehaviour;
+use rmodp::engineering::channel::ChannelConfig;
+use rmodp::netsim::time::SimDuration;
+use rmodp::netsim::topology::LinkConfig;
+use rmodp::prelude::*;
+use rmodp::OdpSystem;
+use std::time::Duration;
+
+/// Counts frames and bytes of the flows it consumes.
+#[derive(Debug, Default)]
+struct MediaSink;
+
+impl ServerBehaviour for MediaSink {
+    fn invoke(&mut self, state: &mut Value, _invocation: &Invocation) -> Termination {
+        Termination::ok(state.clone())
+    }
+
+    fn on_flow(&mut self, state: &mut Value, _flow: &str, item: &Value) {
+        let frames = state.field("frames").and_then(Value::as_int).unwrap_or(0);
+        let bytes = state.field("bytes").and_then(Value::as_int).unwrap_or(0);
+        let size = match item {
+            Value::Blob(b) => b.len() as i64,
+            other => other.size() as i64,
+        };
+        state.set_field("frames", Value::Int(frames + 1));
+        state.set_field("bytes", Value::Int(bytes + size));
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The computational specification: an AV stream interface.
+    let av = StreamSignature::new("AudioVideo")
+        .flow("audio", DataType::Blob, FlowDirection::Produced)
+        .flow("video", DataType::Blob, FlowDirection::Produced);
+    println!("stream interface {} with {} flows", av.name(), av.flows().len());
+
+    // The environment contract: at least 800 delivered frames per virtual
+    // second, latency under 20ms.
+    let requirement = QosRequirement::none()
+        .with_min_throughput(800.0)
+        .with_max_latency(Duration::from_millis(20));
+
+    let mut sys = OdpSystem::new(8);
+    sys.engine.behaviours_mut().register("sink", MediaSink::default);
+
+    let producer_node = sys.engine.add_node(SyntaxId::Binary);
+    let consumer_node = sys.engine.add_node(SyntaxId::Binary);
+    let capsule = sys.engine.add_capsule(consumer_node)?;
+    let cluster = sys.engine.add_cluster(consumer_node, capsule)?;
+    let (sink, refs) = sys.engine.create_object(
+        consumer_node,
+        capsule,
+        cluster,
+        "sink",
+        "sink",
+        Value::record([("frames", Value::Int(0)), ("bytes", Value::Int(0))]),
+        1,
+    )?;
+
+    // A lossy, jittery link between producer and consumer.
+    let loss = 0.05;
+    let p = sys.engine.sim_node(producer_node)?;
+    let c = sys.engine.sim_node(consumer_node)?;
+    sys.engine.sim_mut().topology_mut().set_link(
+        p,
+        c,
+        LinkConfig::with_latency(SimDuration::from_millis(5))
+            .jitter(SimDuration::from_millis(10))
+            .loss(loss),
+    );
+
+    let ch = sys
+        .engine
+        .open_channel(producer_node, refs[0].interface, ChannelConfig::default())?;
+
+    // Produce one virtual second of 1000 fps audio frames, paced at one
+    // frame per virtual millisecond.
+    let frames = 1_000u64;
+    let start = sys.engine.sim().now();
+    for _ in 0..frames {
+        sys.engine.send_flow(ch, "audio", &Value::Blob(vec![0u8; 160]))?;
+        sys.engine.sim_mut().run_for(SimDuration::from_millis(1));
+    }
+    sys.engine.run_until_idle();
+    let elapsed = sys.engine.sim().now().since(start);
+
+    let state = sys
+        .engine
+        .object_state(consumer_node, sink)?
+        .expect("sink exists");
+    let delivered = state.field("frames").and_then(Value::as_int).unwrap_or(0);
+    let bytes = state.field("bytes").and_then(Value::as_int).unwrap_or(0);
+    let throughput = delivered as f64 / elapsed.as_secs_f64();
+    println!(
+        "produced {frames} frames over {elapsed}; delivered {delivered} ({bytes} bytes) \
+         = {throughput:.0} frames/s at {loss:.0$}% loss",
+        0,
+        loss = loss * 100.0
+    );
+
+    // Check the delivered QoS against the environment contract.
+    let offered = QosOffer {
+        latency: Duration::from_millis(15), // worst case: 5ms + 10ms jitter
+        throughput,
+        availability: 1.0 - loss,
+        reliable_delivery: false,
+        security: SecurityLevel::None,
+    };
+    match offered.satisfies(&requirement) {
+        Ok(()) => println!("environment contract HELD: {throughput:.0} >= 800 frames/s"),
+        Err(v) => println!("environment contract VIOLATED: {v}"),
+    }
+    Ok(())
+}

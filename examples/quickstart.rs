@@ -1,0 +1,61 @@
+//! Quickstart: deploy the paper's bank branch, discover it through the
+//! trader, and interact through a fully transparent proxy.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rmodp::prelude::*;
+use rmodp::OdpSystem;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One system: engine + relocator + trader + type repository.
+    let mut sys = OdpSystem::new(2026);
+
+    // Deploy the bank branch (engineering viewpoint) and make it
+    // discoverable (type repository + trader).
+    let branch = rmodp::bank::deploy_branch(&mut sys.engine, SyntaxId::Binary)?;
+    rmodp::bank::deployment::register_types(&mut sys.types)?;
+    rmodp::bank::deployment::export_to_trader(&mut sys.trader, &branch)?;
+    sys.publish(branch.teller.interface)?;
+    sys.publish(branch.manager.interface)?;
+    println!("deployed branch on {} (teller={}, manager={})",
+        branch.node, branch.teller.interface, branch.manager.interface);
+
+    // A client on a *text-native* node: access transparency will marshal.
+    let client = sys.engine.add_node(SyntaxId::Text);
+
+    // Dynamic binding: import a BankManager from the trader.
+    let manager = sys
+        .find("BankManager", None)?
+        .expect("the branch exported a manager interface");
+    println!("trader resolved BankManager -> {manager}");
+
+    let mut proxy = sys.proxy(client, manager, TransparencySet::all());
+
+    // Open an account and bank a little.
+    let t = proxy.call(
+        &mut sys.engine,
+        &mut sys.infra,
+        "CreateAccount",
+        &Value::record([("c", Value::Int(1)), ("opening", Value::Int(500))]),
+    )?;
+    let account = t.results.field("a").and_then(Value::as_int).expect("OK carries a");
+    println!("opened account {account}");
+
+    for (op, amount) in [("Deposit", 250), ("Withdraw", 100)] {
+        let t = proxy.call(
+            &mut sys.engine,
+            &mut sys.infra,
+            op,
+            &Value::record([
+                ("c", Value::Int(1)),
+                ("a", Value::Int(account)),
+                ("d", Value::Int(amount)),
+            ]),
+        )?;
+        println!("{op} ${amount} -> {} {}", t.name, t.results);
+    }
+
+    let metrics = sys.engine.sim().metrics();
+    println!("network: {metrics}");
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! # rmodp — a Rust realisation of the Reference Model of Open Distributed Processing
+//!
+//! This crate re-exports the whole workspace and adds [`OdpSystem`], a
+//! facade wiring the pieces together the way the tutorial describes them
+//! cooperating:
+//!
+//! - the **engineering engine** (`rmodp-engineering`) running nodes,
+//!   capsules, clusters and channels over a deterministic network
+//!   simulator (`rmodp-netsim`);
+//! - the **ODP functions**: trader (`rmodp-trader`), type repository
+//!   (`rmodp-typerepo`), relocator / storage / events / groups / security
+//!   (`rmodp-functions`), transactions (`rmodp-transactions`);
+//! - the **viewpoint languages**: enterprise (`rmodp-enterprise`),
+//!   information (`rmodp-information`), computational
+//!   (`rmodp-computational`);
+//! - the **distribution transparencies** (`rmodp-transparency`);
+//! - the paper's running example (`rmodp-bank`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rmodp::OdpSystem;
+//! use rmodp::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sys = OdpSystem::new(7);
+//! // Deploy the paper's bank branch and look it up through the trader.
+//! let branch = rmodp::bank::deploy_branch(&mut sys.engine, SyntaxId::Binary)?;
+//! rmodp::bank::deployment::register_types(&mut sys.types)?;
+//! rmodp::bank::deployment::export_to_trader(&mut sys.trader, &branch)?;
+//! sys.publish(branch.teller.interface)?;
+//! sys.publish(branch.manager.interface)?;
+//!
+//! let client = sys.engine.add_node(SyntaxId::Text);
+//! let teller = sys.find("BankTeller", None)?.expect("the branch is exported");
+//! let mut proxy = sys.proxy(client, teller, TransparencySet::all());
+//! let t = proxy.call(
+//!     &mut sys.engine,
+//!     &mut sys.infra,
+//!     "CreateAccount",
+//!     &Value::record([("c", Value::Int(1)), ("opening", Value::Int(100))]),
+//! )?;
+//! assert!(t.is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use rmodp_bank as bank;
+pub use rmodp_computational as computational;
+pub use rmodp_core as core;
+pub use rmodp_engineering as engineering;
+pub use rmodp_enterprise as enterprise;
+pub use rmodp_functions as functions;
+pub use rmodp_information as information;
+pub use rmodp_netsim as netsim;
+pub use rmodp_trader as trader;
+pub use rmodp_transactions as transactions;
+pub use rmodp_transparency as transparency;
+pub use rmodp_typerepo as typerepo;
+
+/// The commonly needed names from across the workspace.
+pub mod prelude {
+    pub use rmodp_computational::signature::{Invocation, Termination};
+    pub use rmodp_core::codec::SyntaxId;
+    pub use rmodp_core::id::*;
+    pub use rmodp_core::value::Value;
+    pub use rmodp_engineering::prelude::*;
+    pub use rmodp_trader::{ImportRequest, Trader};
+    pub use rmodp_transparency::{OdpInfra, Transparency, TransparencySet, TransparentProxy};
+    pub use rmodp_typerepo::TypeRepository;
+}
+
+use rmodp_core::id::InterfaceId;
+use rmodp_core::id::NodeId;
+use rmodp_engineering::engine::{EngError, Engine};
+use rmodp_trader::{ImportRequest, Trader, TraderError};
+use rmodp_transparency::{OdpInfra, TransparencySet, TransparentProxy};
+use rmodp_typerepo::TypeRepository;
+
+/// One assembled ODP system: engine + infrastructure functions + type
+/// repository + trader, sharing a deterministic seed.
+#[derive(Debug)]
+pub struct OdpSystem {
+    /// The engineering runtime.
+    pub engine: Engine,
+    /// Relocator, storage, events, groups, persistence.
+    pub infra: OdpInfra,
+    /// The type repository (§8.3.1).
+    pub types: TypeRepository,
+    /// The trader (§8.3.2).
+    pub trader: Trader,
+}
+
+impl OdpSystem {
+    /// Creates a system with the given simulation seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            engine: Engine::new(seed),
+            infra: OdpInfra::new(),
+            types: TypeRepository::new(),
+            trader: Trader::new("system"),
+        }
+    }
+
+    /// Publishes an interface's location from the engine into the
+    /// relocator — done whenever a binding is set up.
+    ///
+    /// # Errors
+    ///
+    /// Unknown interface.
+    pub fn publish(&mut self, interface: InterfaceId) -> Result<(), EngError> {
+        self.infra.publish(&self.engine, interface)
+    }
+
+    /// Imports from the trader: finds the first offer of a service type
+    /// (optionally constrained), with subtype substitution through the
+    /// type repository.
+    ///
+    /// # Errors
+    ///
+    /// Malformed constraint text.
+    pub fn find(
+        &mut self,
+        service_type: &str,
+        constraint: Option<&str>,
+    ) -> Result<Option<InterfaceId>, TraderError> {
+        let mut request = ImportRequest::new(service_type).at_most(1);
+        if let Some(c) = constraint {
+            request = request.constraint(c)?;
+        }
+        let matches = self.trader.import(&request, Some(&self.types));
+        Ok(matches.first().map(|m| m.offer.interface))
+    }
+
+    /// Builds a transparent proxy from a client node to an interface.
+    pub fn proxy(
+        &self,
+        client: NodeId,
+        target: InterfaceId,
+        selection: TransparencySet,
+    ) -> TransparentProxy {
+        TransparentProxy::new(client, target, selection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    #[test]
+    fn system_wires_trader_types_and_proxy_together() {
+        let mut sys = OdpSystem::new(3);
+        let branch = bank::deploy_branch(&mut sys.engine, SyntaxId::Binary).unwrap();
+        bank::deployment::register_types(&mut sys.types).unwrap();
+        bank::deployment::export_to_trader(&mut sys.trader, &branch).unwrap();
+        sys.publish(branch.teller.interface).unwrap();
+        sys.publish(branch.manager.interface).unwrap();
+
+        // Subtype substitution: asking for a teller may yield the manager.
+        let teller = sys.find("BankTeller", None).unwrap();
+        assert!(teller.is_some());
+        // Constrained: only the teller offer carries daily_limit.
+        let constrained = sys.find("BankTeller", Some("daily_limit == 500")).unwrap();
+        assert_eq!(constrained, Some(branch.teller.interface));
+        // Nothing matches a bogus constraint.
+        assert_eq!(sys.find("BankTeller", Some("daily_limit == 1")).unwrap(), None);
+    }
+
+    #[test]
+    fn proxy_round_trip_through_system() {
+        let mut sys = OdpSystem::new(4);
+        let branch = bank::deploy_branch(&mut sys.engine, SyntaxId::Binary).unwrap();
+        sys.publish(branch.manager.interface).unwrap();
+        let client = sys.engine.add_node(SyntaxId::Text);
+        let mut proxy = sys.proxy(
+            client,
+            branch.manager.interface,
+            TransparencySet::none().with(Transparency::Location),
+        );
+        let t = proxy
+            .call(
+                &mut sys.engine,
+                &mut sys.infra,
+                "CreateAccount",
+                &Value::record([("c", Value::Int(9)), ("opening", Value::Int(50))]),
+            )
+            .unwrap();
+        assert!(t.is_ok());
+    }
+}

@@ -1,0 +1,216 @@
+//! Whole-system integration: the bank deployed through `OdpSystem`, used
+//! through trading, typed binding, transparent proxies, policies and
+//! schemas — every viewpoint exercised in one scenario.
+
+use rmodp::bank;
+use rmodp::enterprise::prelude::*;
+use rmodp::prelude::*;
+use rmodp::OdpSystem;
+
+fn banked_system(seed: u64) -> (OdpSystem, bank::BankDeployment, NodeId) {
+    let mut sys = OdpSystem::new(seed);
+    let branch = bank::deploy_branch(&mut sys.engine, SyntaxId::Binary).unwrap();
+    bank::deployment::register_types(&mut sys.types).unwrap();
+    bank::deployment::export_to_trader(&mut sys.trader, &branch).unwrap();
+    sys.publish(branch.teller.interface).unwrap();
+    sys.publish(branch.manager.interface).unwrap();
+    let client = sys.engine.add_node(SyntaxId::Text);
+    (sys, branch, client)
+}
+
+fn dwa(c: i64, a: i64, d: i64) -> Value {
+    Value::record([
+        ("c", Value::Int(c)),
+        ("a", Value::Int(a)),
+        ("d", Value::Int(d)),
+    ])
+}
+
+#[test]
+fn trade_bind_and_bank_under_full_transparency() {
+    let (mut sys, _branch, client) = banked_system(101);
+    // Dynamic binding: discover the manager via the trader.
+    let manager = sys.find("BankManager", None).unwrap().unwrap();
+    let mut proxy = sys.proxy(client, manager, TransparencySet::all());
+
+    let t = proxy
+        .call(
+            &mut sys.engine,
+            &mut sys.infra,
+            "CreateAccount",
+            &Value::record([("c", Value::Int(1)), ("opening", Value::Int(900))]),
+        )
+        .unwrap();
+    let a = t.results.field("a").unwrap().as_int().unwrap();
+
+    // The paper's scenario through the full stack.
+    let t = proxy
+        .call(&mut sys.engine, &mut sys.infra, "Withdraw", &dwa(1, a, 400))
+        .unwrap();
+    assert!(t.is_ok());
+    let t = proxy
+        .call(&mut sys.engine, &mut sys.infra, "Withdraw", &dwa(1, a, 200))
+        .unwrap();
+    assert_eq!(t.name, "NotToday");
+}
+
+#[test]
+fn policies_schemas_and_runtime_agree_on_the_daily_limit() {
+    // The enterprise policy, the information invariant and the deployed
+    // behaviour must all draw the line at the same place.
+    let (mut sys, branch, client) = banked_system(102);
+    let roster = bank::enterprise::BranchRoster::default();
+    let community = bank::enterprise::branch_community(&roster);
+    let mut policies = bank::enterprise::branch_policies();
+
+    let ch = sys
+        .engine
+        .open_channel(client, branch.manager.interface, ChannelConfig::default())
+        .unwrap();
+    let t = sys
+        .engine
+        .call(
+            ch,
+            "CreateAccount",
+            &Value::record([("c", Value::Int(10)), ("opening", Value::Int(10_000))]),
+        )
+        .unwrap();
+    let a = t.results.field("a").unwrap().as_int().unwrap();
+
+    let mut withdrawn = 0i64;
+    for amount in [100, 250, 150, 100] {
+        // Ask the policy engine first (enterprise viewpoint).
+        let request = ActionRequest::new(roster.customers[0], "withdraw").with_context(
+            Value::record([
+                ("amount", Value::Int(amount)),
+                ("withdrawn_today", Value::Int(withdrawn)),
+            ]),
+        );
+        let decision = policies.decide(&community, &request).unwrap();
+        // Then perform it through the engineering runtime.
+        let t = sys
+            .engine
+            .call(ch, "Withdraw", &dwa(10, a, amount))
+            .unwrap();
+        match (decision.is_allowed(), t.name.as_str()) {
+            (true, "OK") => withdrawn += amount,
+            (false, "NotToday") => {}
+            (policy, runtime) => {
+                panic!("policy said allowed={policy} but runtime said {runtime}")
+            }
+        }
+    }
+    assert_eq!(withdrawn, 500);
+}
+
+#[test]
+fn migration_during_banking_is_invisible_to_the_customer() {
+    let (mut sys, branch, client) = banked_system(103);
+    let teller = sys
+        .find("BankTeller", Some("daily_limit == 500"))
+        .unwrap()
+        .unwrap();
+    let mut proxy = sys.proxy(client, teller, TransparencySet::all());
+    let manager_ch = sys
+        .engine
+        .open_channel(client, branch.manager.interface, ChannelConfig::default())
+        .unwrap();
+    let t = sys
+        .engine
+        .call(
+            manager_ch,
+            "CreateAccount",
+            &Value::record([("c", Value::Int(1)), ("opening", Value::Int(1_000))]),
+        )
+        .unwrap();
+    let a = t.results.field("a").unwrap().as_int().unwrap();
+
+    proxy
+        .call(&mut sys.engine, &mut sys.infra, "Deposit", &dwa(1, a, 10))
+        .unwrap();
+
+    // Move the whole branch to another node mid-session.
+    let new_node = sys.engine.add_node(SyntaxId::Text);
+    let new_capsule = sys.engine.add_capsule(new_node).unwrap();
+    rmodp::transparency::proxy::migrate_transparently(
+        &mut sys.engine,
+        &mut sys.infra,
+        (branch.node, branch.capsule, branch.cluster),
+        (new_node, new_capsule),
+        &[branch.teller.interface, branch.manager.interface],
+    )
+    .unwrap();
+
+    // The customer's session continues; balances survived the move.
+    let t = proxy
+        .call(&mut sys.engine, &mut sys.infra, "Deposit", &dwa(1, a, 5))
+        .unwrap();
+    assert_eq!(t.results.field("new_balance"), Some(&Value::Int(1_015)));
+    assert_eq!(proxy.stats().relocations_masked, 1);
+}
+
+#[test]
+fn two_branches_federated_trading_picks_by_constraint() {
+    let mut sys = OdpSystem::new(104);
+    let branch_a = bank::deploy_branch(&mut sys.engine, SyntaxId::Binary).unwrap();
+    let branch_b = bank::deploy_branch(&mut sys.engine, SyntaxId::Text).unwrap();
+    bank::deployment::register_types(&mut sys.types).unwrap();
+    sys.trader
+        .export(
+            "BankTeller",
+            branch_a.teller.interface,
+            Value::record([("branch", Value::text("toowong")), ("queue_len", Value::Int(9))]),
+        )
+        .unwrap();
+    sys.trader
+        .export(
+            "BankTeller",
+            branch_b.teller.interface,
+            Value::record([("branch", Value::text("st-lucia")), ("queue_len", Value::Int(2))]),
+        )
+        .unwrap();
+    sys.publish(branch_a.teller.interface).unwrap();
+    sys.publish(branch_b.teller.interface).unwrap();
+
+    // Prefer the shortest queue.
+    let matches = sys.trader.import(
+        &ImportRequest::new("BankTeller").prefer_min("queue_len").unwrap(),
+        Some(&sys.types),
+    );
+    assert_eq!(matches[0].offer.interface, branch_b.teller.interface);
+
+    // And it actually answers.
+    let client = sys.engine.add_node(SyntaxId::Binary);
+    let mut proxy = sys.proxy(client, matches[0].offer.interface, TransparencySet::all());
+    let t = proxy
+        .call(&mut sys.engine, &mut sys.infra, "Withdraw", &dwa(1, 99, 10))
+        .unwrap();
+    assert_eq!(t.name, "Error"); // no account yet — but the service responded
+}
+
+#[test]
+fn determinism_of_a_full_session() {
+    fn run(seed: u64) -> (u64, Vec<String>) {
+        let (mut sys, _branch, client) = banked_system(seed);
+        let manager = sys.find("BankManager", None).unwrap().unwrap();
+        let mut proxy = sys.proxy(client, manager, TransparencySet::all());
+        let mut outcomes = Vec::new();
+        let t = proxy
+            .call(
+                &mut sys.engine,
+                &mut sys.infra,
+                "CreateAccount",
+                &Value::record([("c", Value::Int(1)), ("opening", Value::Int(100))]),
+            )
+            .unwrap();
+        let a = t.results.field("a").unwrap().as_int().unwrap();
+        for amount in [30, 80, 400, 20] {
+            let t = proxy
+                .call(&mut sys.engine, &mut sys.infra, "Withdraw", &dwa(1, a, amount))
+                .unwrap();
+            outcomes.push(format!("{} {}", t.name, t.results));
+        }
+        (sys.engine.sim().now().as_micros(), outcomes)
+    }
+    assert_eq!(run(777), run(777));
+}

@@ -1,0 +1,78 @@
+//! The paper's own notation, end to end: parse the §5.1 `BankTeller`
+//! text, register the parsed type, trade against it, and drive the real
+//! branch through an interface discovered by the *textual* specification.
+
+use rmodp::bank;
+use rmodp::computational::notation::{parse_interface_type, BANK_TELLER_NOTATION};
+use rmodp::computational::signature::InterfaceSignature;
+use rmodp::computational::subtype::is_operational_subtype;
+use rmodp::prelude::*;
+use rmodp::OdpSystem;
+
+#[test]
+fn parsed_notation_matches_the_deployed_interfaces() {
+    let parsed = parse_interface_type(BANK_TELLER_NOTATION).unwrap();
+    // The deployed branch's teller interface is exactly substitutable for
+    // the paper's textual specification, in both directions.
+    let built = bank::computational::bank_teller();
+    assert!(is_operational_subtype(&parsed, &built).is_ok());
+    assert!(is_operational_subtype(&built, &parsed).is_ok());
+    // And the manager is a proper subtype of the parsed teller.
+    let manager = bank::computational::bank_manager();
+    assert!(is_operational_subtype(&manager, &parsed).is_ok());
+    assert!(is_operational_subtype(&parsed, &manager).is_err());
+}
+
+#[test]
+fn notation_registered_type_drives_trading_and_invocation() {
+    let mut sys = OdpSystem::new(66);
+    // Register the *parsed* teller, plus the manager built in code: the
+    // lattice must connect them structurally.
+    let parsed = parse_interface_type(BANK_TELLER_NOTATION).unwrap();
+    sys.types
+        .register(InterfaceSignature::Operational(parsed))
+        .unwrap();
+    sys.types
+        .register(InterfaceSignature::Operational(bank::computational::bank_manager()))
+        .unwrap();
+    assert!(sys.types.is_subtype("BankManager", "BankTeller"));
+
+    let branch = bank::deploy_branch(&mut sys.engine, SyntaxId::Binary).unwrap();
+    sys.publish(branch.manager.interface).unwrap();
+    sys.trader
+        .export("BankManager", branch.manager.interface, Value::record::<&str, _>([]))
+        .unwrap();
+
+    // Importing by the textual type name finds the manager offer.
+    let found = sys.find("BankTeller", None).unwrap().unwrap();
+    assert_eq!(found, branch.manager.interface);
+
+    // And the discovered interface serves the notation's operations with
+    // the notation's terminations.
+    let client = sys.engine.add_node(SyntaxId::Text);
+    let ch = sys
+        .engine
+        .open_channel(client, found, ChannelConfig::default())
+        .unwrap();
+    let t = sys
+        .engine
+        .call(
+            ch,
+            "CreateAccount",
+            &Value::record([("c", Value::Int(1)), ("opening", Value::Int(600))]),
+        )
+        .unwrap();
+    let a = t.results.field("a").unwrap().as_int().unwrap();
+    let t = sys
+        .engine
+        .call(
+            ch,
+            "Withdraw",
+            &Value::record([("c", Value::Int(1)), ("a", Value::Int(a)), ("d", Value::Int(501))]),
+        )
+        .unwrap();
+    // Either refusal is legitimate per the notation: NotToday (limit) —
+    // here the limit binds first.
+    assert_eq!(t.name, "NotToday");
+    assert!(t.results.field("daily_limit").is_some());
+}
