@@ -50,7 +50,7 @@ pub fn loans_officer() -> OperationalSignature {
         "ApproveLoan",
         [("c", DataType::Int), ("amount", DataType::Int)],
         vec![
-            TerminationSignature::new("OK", []as [(&str, DataType); 0]),
+            TerminationSignature::new("OK", [] as [(&str, DataType); 0]),
             TerminationSignature::new("Declined", [("reason", DataType::Text)]),
         ],
     )

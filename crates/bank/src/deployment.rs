@@ -68,10 +68,7 @@ impl BranchBehaviour {
                     .unwrap_or(Value::Int(0));
                 Termination::new(
                     "NotToday",
-                    Value::record([
-                        ("today", today),
-                        ("daily_limit", Value::Int(DAILY_LIMIT)),
-                    ]),
+                    Value::record([("today", today), ("daily_limit", Value::Int(DAILY_LIMIT))]),
                 )
             }
             Err(SchemaError::InvariantViolated { invariant })
@@ -152,9 +149,7 @@ impl ServerBehaviour for BranchBehaviour {
                 };
                 let key = Self::account_key(a);
                 match state.path(&["accounts", &key, "balance"]) {
-                    Some(balance) => {
-                        Termination::ok(Value::record([("balance", balance.clone())]))
-                    }
+                    Some(balance) => Termination::ok(Value::record([("balance", balance.clone())])),
                     None => Termination::error(format!("no such account {a}")),
                 }
             }
@@ -358,7 +353,9 @@ mod tests {
             .as_text()
             .unwrap()
             .contains("no such account"));
-        let t = e.call(ch, "Deposit", &Value::record([("a", Value::Int(1))])).unwrap();
+        let t = e
+            .call(ch, "Deposit", &Value::record([("a", Value::Int(1))]))
+            .unwrap();
         assert_eq!(t.name, "Error");
     }
 
@@ -378,7 +375,13 @@ mod tests {
         let a = t.results.field("a").unwrap().as_int().unwrap();
         let t = e.call(mch, "Withdraw", &dwa(1, a, 400)).unwrap();
         assert_eq!(t.name, "Error");
-        assert!(t.results.field("reason").unwrap().as_text().unwrap().contains("insufficient"));
+        assert!(t
+            .results
+            .field("reason")
+            .unwrap()
+            .as_text()
+            .unwrap()
+            .contains("insufficient"));
         let t = e.call(mch, "Withdraw", &dwa(1, a, -5)).unwrap();
         assert_eq!(t.name, "Error");
         let t = e

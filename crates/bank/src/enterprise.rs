@@ -69,10 +69,18 @@ pub fn branch_policies() -> PolicyEngine {
             .expect("static predicate"),
     )
     .expect("fresh engine");
-    e.adopt(Policy::permission("manager-creates-accounts", "manager", "create_account"))
-        .expect("fresh engine");
-    e.adopt(Policy::obligation("advise-rate-change", "manager", "notify_customer"))
-        .expect("fresh engine");
+    e.adopt(Policy::permission(
+        "manager-creates-accounts",
+        "manager",
+        "create_account",
+    ))
+    .expect("fresh engine");
+    e.adopt(Policy::obligation(
+        "advise-rate-change",
+        "manager",
+        "notify_customer",
+    ))
+    .expect("fresh engine");
     e
 }
 
@@ -142,7 +150,10 @@ mod tests {
         let community = branch_community(&roster);
         let mut engine = branch_policies();
         let manager_req = ActionRequest::new(roster.manager, "create_account");
-        assert!(engine.decide(&community, &manager_req).unwrap().is_allowed());
+        assert!(engine
+            .decide(&community, &manager_req)
+            .unwrap()
+            .is_allowed());
         let teller_req = ActionRequest::new(roster.tellers[0], "create_account");
         assert!(!engine.decide(&community, &teller_req).unwrap().is_allowed());
     }

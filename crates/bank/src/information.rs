@@ -31,8 +31,7 @@ pub fn account_schema(opening_balance: i64) -> StaticSchema {
 /// never goes negative, and the balance never goes negative.
 pub fn account_invariants() -> Vec<InvariantSchema> {
     vec![
-        InvariantSchema::parse("DailyLimit", "withdrawn_today <= 500")
-            .expect("static predicate"),
+        InvariantSchema::parse("DailyLimit", "withdrawn_today <= 500").expect("static predicate"),
         InvariantSchema::parse("NonNegativeWithdrawn", "withdrawn_today >= 0")
             .expect("static predicate"),
         InvariantSchema::parse("NonNegativeBalance", "balance >= 0").expect("static predicate"),
@@ -127,10 +126,15 @@ mod tests {
         let err = account.apply(&withdraw, args(200)).unwrap_err();
         assert_eq!(
             err,
-            SchemaError::InvariantViolated { invariant: "DailyLimit".into() }
+            SchemaError::InvariantViolated {
+                invariant: "DailyLimit".into()
+            }
         );
         // State unchanged by the rejected transition.
-        assert_eq!(account.state().field("withdrawn_today"), Some(&Value::Int(400)));
+        assert_eq!(
+            account.state().field("withdrawn_today"),
+            Some(&Value::Int(400))
+        );
     }
 
     #[test]
@@ -142,7 +146,10 @@ mod tests {
         account
             .apply(&midnight_reset_schema(), Value::record::<&str, _>([]))
             .unwrap();
-        assert_eq!(account.state().field("withdrawn_today"), Some(&Value::Int(0)));
+        assert_eq!(
+            account.state().field("withdrawn_today"),
+            Some(&Value::Int(0))
+        );
         account.apply(&withdraw, args(100)).unwrap();
         assert_eq!(account.state().field("balance"), Some(&Value::Int(400)));
     }
@@ -153,7 +160,9 @@ mod tests {
         let err = account.apply(&withdraw_schema(), args(200)).unwrap_err();
         assert_eq!(
             err,
-            SchemaError::InvariantViolated { invariant: "NonNegativeBalance".into() }
+            SchemaError::InvariantViolated {
+                invariant: "NonNegativeBalance".into()
+            }
         );
     }
 

@@ -20,20 +20,23 @@ use rmodp_typerepo::TypeRepository;
 /// from requirements (enterprise) to implementation (technology), as one
 /// measured unit of work.
 fn fig1_viewpoint_pipeline(c: &mut Criterion) {
+    // Timed loops run with the observability bus off (see rmodp_bench::capture).
+    rmodp_observe::bus::set_enabled(false);
     let mut group = c.benchmark_group("fig1_viewpoint_pipeline");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     group.bench_function("bank_five_viewpoints", |b| {
         b.iter(|| {
             // Enterprise: community + policies + one decision.
             let roster = bank::enterprise::BranchRoster::default();
             let community = bank::enterprise::branch_community(&roster);
             let mut policies = bank::enterprise::branch_policies();
-            let request = ActionRequest::new(roster.customers[0], "withdraw").with_context(
-                Value::record([
+            let request =
+                ActionRequest::new(roster.customers[0], "withdraw").with_context(Value::record([
                     ("amount", Value::Int(100)),
                     ("withdrawn_today", Value::Int(0)),
-                ]),
-            );
+                ]));
             let decision = policies.decide(&community, &request).unwrap();
             assert!(decision.is_allowed());
             // Information: schema transition under invariants.
@@ -74,7 +77,9 @@ fn fig1_viewpoint_pipeline(c: &mut Criterion) {
 /// remote (cross-node, marshalled) vs local (same node, no network).
 fn fig2_operation_invocation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2_operation_invocation");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
 
     let mut rig = counter_rig(2, SyntaxId::Text);
     let ch = open(&mut rig, ChannelConfig::default());
@@ -103,7 +108,9 @@ fn fig2_operation_invocation(c: &mut Criterion) {
 /// the signatures widen.
 fn fig3_subtype_checking(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_subtype_checking");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     for ops in [4usize, 16, 64] {
         let sup = wide_signature("Sup", ops, 4);
         let mut sub = wide_signature("Sub", ops, 4);
@@ -139,7 +146,9 @@ fn fig3_subtype_checking(c: &mut Criterion) {
 /// layer costs per invocation.
 fn fig4_channel_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_channel_ablation");
-    group.measurement_time(Duration::from_secs(3)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(30);
     let configs: [(&str, ChannelConfig); 4] = [
         ("bare", ChannelConfig::default()),
         (
@@ -181,7 +190,9 @@ fn fig4_channel_ablation(c: &mut Criterion) {
 /// structuring-rule validator at scale.
 fn fig5_node_structure(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_node_structure");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     for objects in [10usize, 100] {
         group.bench_with_input(BenchmarkId::new("populate", objects), &objects, |b, &n| {
             b.iter(|| {
@@ -221,7 +232,15 @@ fn fig5_node_structure(c: &mut Criterion) {
             let cluster = engine.add_cluster(node, capsule).unwrap();
             for _ in 0..10.min(objects) {
                 engine
-                    .create_object(node, capsule, cluster, "o", "counter", CounterBehaviour::initial_state(), 1)
+                    .create_object(
+                        node,
+                        capsule,
+                        cluster,
+                        "o",
+                        "counter",
+                        CounterBehaviour::initial_state(),
+                        1,
+                    )
                     .unwrap();
             }
         }
@@ -241,7 +260,9 @@ fn fig5_node_structure(c: &mut Criterion) {
 /// amortise bookkeeping but move more state).
 fn fig5_migration_vs_cluster_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_migration_vs_cluster_size");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     for objects in [1usize, 8, 32] {
         group.bench_with_input(
             BenchmarkId::new("migrate_cluster", objects),

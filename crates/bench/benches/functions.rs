@@ -18,25 +18,30 @@ use rmodp_transactions::twopc::{Coordinator, Participant, TxRequest};
 
 /// E1 — policy decisions as the policy set grows.
 fn e1_policy_engine(c: &mut Criterion) {
+    // Timed loops run with the observability bus off (see rmodp_bench::capture).
+    rmodp_observe::bus::set_enabled(false);
     let mut group = c.benchmark_group("e1_policy_engine");
-    group.measurement_time(Duration::from_secs(3)).sample_size(40);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(40);
     for policies in [5usize, 50, 200] {
         let roster = bank::enterprise::BranchRoster::default();
         let community = bank::enterprise::branch_community(&roster);
         let mut engine = bank::enterprise::branch_policies();
         for i in 0..policies.saturating_sub(5) {
             engine
-                .adopt(
-                    Policy::permission(format!("extra-{i}"), "auditor", format!("audit-{i}")),
-                )
+                .adopt(Policy::permission(
+                    format!("extra-{i}"),
+                    "auditor",
+                    format!("audit-{i}"),
+                ))
                 .unwrap();
         }
-        let request = ActionRequest::new(roster.customers[0], "withdraw").with_context(
-            Value::record([
+        let request =
+            ActionRequest::new(roster.customers[0], "withdraw").with_context(Value::record([
                 ("amount", Value::Int(100)),
                 ("withdrawn_today", Value::Int(100)),
-            ]),
-        );
+            ]));
         group.bench_with_input(BenchmarkId::new("decide", policies), &policies, |b, _| {
             b.iter(|| engine.decide(&community, &request).unwrap());
         });
@@ -48,7 +53,9 @@ fn e1_policy_engine(c: &mut Criterion) {
 /// mechanism on the hot path of every bank operation).
 fn e2_schema_checking(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_schema_checking");
-    group.measurement_time(Duration::from_secs(3)).sample_size(40);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(40);
     let withdraw = bank::information::withdraw_schema();
     let invariants = bank::information::account_invariants();
     let state = bank::information::account_schema(100_000).initial().clone();
@@ -65,7 +72,11 @@ fn e2_schema_checking(c: &mut Criterion) {
         ("withdrawn_today", Value::Int(500)),
     ]);
     group.bench_function("withdraw_rejected", |b| {
-        b.iter(|| withdraw.apply_checked(&maxed, &args, &invariants).unwrap_err());
+        b.iter(|| {
+            withdraw
+                .apply_checked(&maxed, &args, &invariants)
+                .unwrap_err()
+        });
     });
     group.finish();
 }
@@ -74,7 +85,9 @@ fn e2_schema_checking(c: &mut Criterion) {
 /// federation hops.
 fn e3_trader_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_trader_scaling");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
     for offers in [10usize, 100, 1_000, 10_000] {
         let mut trader = populated_trader(offers);
         let request = ImportRequest::new("Printer")
@@ -96,7 +109,9 @@ fn e3_trader_scaling(c: &mut Criterion) {
             "(ppm >= 50 or queue_len <= 3) and floor <= 6 and not (colour and ppm < 60)",
         ),
     ] {
-        let request = ImportRequest::new("Printer").constraint(constraint).unwrap();
+        let request = ImportRequest::new("Printer")
+            .constraint(constraint)
+            .unwrap();
         group.bench_function(BenchmarkId::new("constraint", name), |b| {
             b.iter(|| trader.import(&request, None));
         });
@@ -118,10 +133,14 @@ fn e3_trader_scaling(c: &mut Criterion) {
                     .unwrap();
             }
             if i > 0 {
-                federation.link(&format!("t{}", i - 1), &format!("t{i}")).unwrap();
+                federation
+                    .link(&format!("t{}", i - 1), &format!("t{i}"))
+                    .unwrap();
             }
         }
-        let request = ImportRequest::new("Printer").constraint("ppm >= 70").unwrap();
+        let request = ImportRequest::new("Printer")
+            .constraint("ppm >= 70")
+            .unwrap();
         group.bench_with_input(BenchmarkId::new("federated", hops), &hops, |b, &hops| {
             b.iter(|| {
                 federation
@@ -137,7 +156,9 @@ fn e3_trader_scaling(c: &mut Criterion) {
 /// distributed 2PC latency vs participant count.
 fn e4_transactions(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_transactions");
-    group.measurement_time(Duration::from_secs(3)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(3))
+        .sample_size(20);
 
     // Local: N sequential transactions over a keyspace whose size sets the
     // conflict (and deadlock-retry) probability when interleaved pairwise.

@@ -7,6 +7,7 @@
 //! the workspace root for the index). This crate holds the workload
 //! builders the `benches/` targets share, so they are also unit-testable.
 
+use rmodp_computational::signature::{OperationalSignature, TerminationSignature};
 use rmodp_core::codec::SyntaxId;
 use rmodp_core::dtype::DataType;
 use rmodp_core::id::{CapsuleId, ClusterId, InterfaceId, NodeId};
@@ -14,7 +15,6 @@ use rmodp_core::value::Value;
 use rmodp_engineering::behaviour::CounterBehaviour;
 use rmodp_engineering::channel::ChannelConfig;
 use rmodp_engineering::engine::Engine;
-use rmodp_computational::signature::{OperationalSignature, TerminationSignature};
 use rmodp_trader::Trader;
 
 /// A deployed counter reachable from a client node — the standard unit of
@@ -121,9 +121,46 @@ pub fn nested_value(depth: usize, width: usize) -> Value {
     if depth == 0 {
         return Value::Int(42);
     }
-    Value::record(
-        (0..width).map(|i| (format!("f{i}"), nested_value(depth - 1, width))),
-    )
+    Value::record((0..width).map(|i| (format!("f{i}"), nested_value(depth - 1, width))))
+}
+
+/// Per-mechanism metric capture: runs a workload once with the
+/// observability bus recording and reports which instrumented mechanisms
+/// fired, how often, and at what sim-time latency — alongside the
+/// wall-clock numbers the timed benchmarks produce.
+pub mod capture {
+    use rmodp_observe::bus;
+    use rmodp_observe::metrics::Registry;
+
+    /// Runs `f` against a clean bus with recording forced on and returns
+    /// its result together with the metrics registry it filled. The bus is
+    /// cleared again afterwards (recording returns to its prior setting),
+    /// so timed iterations are unaffected. Build the simulation inside
+    /// `f`: constructing a `Sim`/`Engine` resets the bus, so metrics
+    /// recorded before the last construction would be lost.
+    pub fn capture_metrics<T>(f: impl FnOnce() -> T) -> (T, Registry) {
+        bus::reset();
+        let was_enabled = bus::is_enabled();
+        bus::set_enabled(true);
+        let out = f();
+        let registry = bus::snapshot_metrics();
+        bus::set_enabled(was_enabled);
+        bus::reset();
+        (out, registry)
+    }
+
+    /// Renders a labelled per-mechanism report of a captured registry.
+    pub fn mechanism_report(label: &str, registry: &Registry) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("── mechanism metrics: {label} ──\n"));
+        let body = registry.render();
+        if body.is_empty() {
+            out.push_str("(no instrumented mechanism fired)\n");
+        } else {
+            out.push_str(&body);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +191,34 @@ mod tests {
     fn nested_value_size_grows() {
         assert_eq!(nested_value(0, 4).size(), 1);
         assert!(nested_value(3, 3).size() > nested_value(2, 3).size());
+    }
+
+    #[test]
+    fn capture_reports_fired_mechanisms() {
+        let (_, registry) = capture::capture_metrics(|| {
+            let mut rig = counter_rig(1, SyntaxId::Binary);
+            let ch = open(&mut rig, ChannelConfig::default());
+            rig.engine.call(ch, "Add", &add_one()).unwrap();
+        });
+        assert!(registry.counter("engineering.calls") >= 1);
+        assert!(registry.counter("netsim.sent") >= 1);
+        let report = capture::mechanism_report("smoke", &registry);
+        assert!(report.contains("engineering.calls"));
+        assert!(report.contains("smoke"));
+    }
+
+    #[test]
+    fn capture_leaves_bus_state_as_it_found_it() {
+        rmodp_observe::bus::set_enabled(false);
+        let (_, registry) = capture::capture_metrics(|| {
+            rmodp_observe::bus::counter_add("probe", 1);
+        });
+        assert_eq!(
+            registry.counter("probe"),
+            1,
+            "recording is on inside capture"
+        );
+        assert!(!rmodp_observe::bus::is_enabled(), "prior setting restored");
+        rmodp_observe::bus::set_enabled(true);
     }
 }

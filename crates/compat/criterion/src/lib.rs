@@ -1,0 +1,215 @@
+//! A small, offline, API-compatible subset of `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of the criterion API the workspace's `harness = false`
+//! benches use: [`Criterion::benchmark_group`], group configuration
+//! chaining, `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — a fixed warm-up then a timed
+//! batch, reporting mean time per iteration — with none of the real
+//! crate's statistics, plotting, or baselines. It exists so benches
+//! compile and produce useful first-order numbers offline.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Names a parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id with only a parameter component.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Times closures over repeated iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up briefly, then measuring for roughly
+    /// the group's configured measurement time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warmup_end = Instant::now() + Duration::from_millis(50);
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warmup_end {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim for the measurement window, capped to keep offline runs fast.
+        let budget = self.measurement_time.min(Duration::from_secs(1));
+        let target = ((budget.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.iters = target;
+        self.last_ns = elapsed.as_nanos() as f64 / target as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is not configurable here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            last_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl std::fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            measurement_time: self.measurement_time,
+            last_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, bench: &str, b: &Bencher) {
+    let ns = b.last_ns;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!("{group}/{bench}: {value:.3} {unit}/iter ({} iters)", b.iters);
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Bundles benchmark functions under one name, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .measurement_time(Duration::from_millis(1))
+            .sample_size(10);
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+        assert!(ran);
+        assert_eq!(BenchmarkId::new("a", 3).to_string(), "a/3");
+    }
+}

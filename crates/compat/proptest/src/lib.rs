@@ -1,0 +1,845 @@
+//! A small, offline, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! re-implements the slice of proptest the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `prop_recursive`, range and tuple and string-pattern
+//! strategies, `collection::{vec, btree_map}`, `option::of`, `Just`,
+//! `any`, and the `proptest!` / `prop_assert*` / `prop_oneof!` macros.
+//!
+//! Differences from the real crate: generation is purely random (no
+//! shrinking), string strategies support only the character-class subset
+//! of regex actually used in this workspace, and failures panic with the
+//! case number instead of a minimised input. The RNG is deterministic,
+//! so every failure reproduces exactly.
+
+use std::rc::Rc;
+
+pub mod test_runner {
+    //! Test-run configuration and plumbing.
+
+    pub use rand::rngs::StdRng as InnerRng;
+    use rand::SeedableRng;
+
+    /// The deterministic RNG driving generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub InnerRng);
+
+    impl TestRng {
+        /// A fixed-seed RNG: every test run generates the same cases.
+        pub fn deterministic() -> Self {
+            TestRng(InnerRng::seed_from_u64(0x5EED_CAFE_F00D_0001))
+        }
+
+        /// The next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.0.next_u64()
+        }
+    }
+
+    impl rand::RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            TestRng::next_u64(self)
+        }
+    }
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// How many cases each test runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Why a generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!`; it does not count.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of one type.
+///
+/// Unlike the real crate there is no value tree or shrinking: a strategy
+/// is just a deterministic function of the RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.gen_value(rng))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: 'static, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.gen_value(rng)))
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S2, F>(self, f: F) -> BoxedStrategy<S2::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy + 'static,
+        F: Fn(Self::Value) -> S2 + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| f(s.gen_value(rng)).gen_value(rng))
+    }
+
+    /// Regenerates until `f` accepts the value (bounded; panics if the
+    /// filter rejects persistently).
+    fn prop_filter<F>(self, reason: impl Into<String>, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        let s = self;
+        let reason = reason.into();
+        BoxedStrategy::new(move |rng| {
+            for _ in 0..1000 {
+                let v = s.gen_value(rng);
+                if f(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter({reason}) rejected 1000 candidates in a row");
+        })
+    }
+
+    /// Builds recursive structures: at each of `depth` levels the result
+    /// is either a leaf (this strategy) or a branch built by `recurse`
+    /// from the previous level.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(cur).boxed();
+            let l = leaf.clone();
+            cur = BoxedStrategy::new(move |rng| {
+                use rand::Rng;
+                if rng.gen::<f64>() < 0.5 {
+                    l.gen_value(rng)
+                } else {
+                    branch.gen_value(rng)
+                }
+            });
+        }
+        cur
+    }
+}
+
+/// A reference-counted, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation function.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Self { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "arbitrary" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mix of ordinary magnitudes and raw bit patterns (which can be
+        // NaN/inf — callers filter what they cannot use).
+        let bits = rng.next_u64();
+        if bits & 3 == 0 {
+            f64::from_bits(rng.next_u64())
+        } else {
+            use rand::Rng;
+            (rng.gen::<f64>() - 0.5) * 2e6
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::Rng;
+        // Mostly ASCII, occasionally any scalar value.
+        if rng.gen::<f64>() < 0.9 {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        } else {
+            char::from_u32(rng.gen_range(0u32..=0x10FFFF)).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+/// The canonical strategy for a type: `any::<T>()`.
+pub fn any<T: Arbitrary + 'static>() -> BoxedStrategy<T> {
+    BoxedStrategy::new(|rng| T::arbitrary(rng))
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range");
+                let unit = rng.next_u64() as $t / (u64::MAX as $t + 1.0);
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty float range");
+                let unit = rng.next_u64() as $t / u64::MAX as $t;
+                start + (end - start) * unit
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+mod pattern {
+    //! The character-class subset of regex used by string strategies.
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        Class(Vec<char>),
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn printable() -> Vec<char> {
+        (0x20u8..0x7f).map(|b| b as char).collect()
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+        let mut out = Vec::new();
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => return out,
+                '\\' => {
+                    let e = chars.next().unwrap_or('\\');
+                    let lit = match e {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => other,
+                    };
+                    out.push(lit);
+                    prev = Some(lit);
+                }
+                '-' => {
+                    // A range if we have a previous char and a next one
+                    // before the closing bracket.
+                    match (prev, chars.peek().copied()) {
+                        (Some(lo), Some(hi)) if hi != ']' => {
+                            chars.next();
+                            let (lo, hi) = (lo as u32, hi as u32);
+                            for v in lo..=hi {
+                                if let Some(ch) = char::from_u32(v) {
+                                    out.push(ch);
+                                }
+                            }
+                            prev = None;
+                        }
+                        _ => {
+                            out.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                other => {
+                    out.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        out
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    ) -> (usize, usize) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                if let Some((lo, hi)) = spec.split_once(',') {
+                    let lo = lo.trim().parse().unwrap_or(0);
+                    let hi = hi.trim().parse().unwrap_or(lo);
+                    (lo, hi)
+                } else {
+                    let n = spec.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pat: &str) -> Vec<Piece> {
+        let mut pieces = Vec::new();
+        let mut chars = pat.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars)),
+                '\\' => match chars.next() {
+                    // `\PC` / `\pC`: proptest's "any non-control char";
+                    // approximated by printable ASCII.
+                    Some('P') | Some('p') => {
+                        chars.next(); // the category letter
+                        Atom::Class(printable())
+                    }
+                    Some('n') => Atom::Literal('\n'),
+                    Some('t') => Atom::Literal('\t'),
+                    Some('r') => Atom::Literal('\r'),
+                    Some(other) => Atom::Literal(other),
+                    None => Atom::Literal('\\'),
+                },
+                '.' => Atom::Class(printable()),
+                other => Atom::Literal(other),
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Generates one string matching the pattern subset.
+    pub fn gen_string(pat: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pat) {
+            let n = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.gen_range(piece.min..=piece.max)
+            };
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => {
+                        if !set.is_empty() {
+                            out.push(set[rng.gen_range(0..set.len())]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        pattern::gen_string(self, rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specifications accepted by collection strategies.
+    pub trait IntoSizeRange {
+        /// Lower and upper bound (inclusive) on the element count.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    fn pick_len(rng: &mut TestRng, size: &impl IntoSizeRange) -> usize {
+        let (lo, hi) = size.bounds();
+        if lo >= hi {
+            lo
+        } else {
+            rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// A strategy for `Vec`s whose elements come from `element`.
+    pub fn vec<S>(element: S, size: impl IntoSizeRange + 'static) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            let n = pick_len(rng, &size);
+            (0..n).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+
+    /// A strategy for `BTreeMap`s. Duplicate generated keys collapse, so
+    /// the map may be smaller than the requested size (as in the real
+    /// crate).
+    pub fn btree_map<K, V>(
+        keys: K,
+        values: V,
+        size: impl IntoSizeRange + 'static,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy + 'static,
+        V: Strategy + 'static,
+        K::Value: Ord,
+    {
+        BoxedStrategy::new(move |rng| {
+            let n = pick_len(rng, &size);
+            (0..n)
+                .map(|_| (keys.gen_value(rng), values.gen_value(rng)))
+                .collect()
+        })
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{BoxedStrategy, Strategy};
+    use rand::Rng;
+
+    /// Generates `None` about a quarter of the time, otherwise `Some`.
+    pub fn of<S: Strategy + 'static>(inner: S) -> BoxedStrategy<Option<S::Value>> {
+        BoxedStrategy::new(move |rng| {
+            if rng.gen::<f64>() < 0.25 {
+                None
+            } else {
+                Some(inner.gen_value(rng))
+            }
+        })
+    }
+}
+
+pub mod strategy {
+    //! Strategy combinator support types.
+
+    pub use super::{BoxedStrategy, Just, Strategy};
+
+    /// Uniform choice between type-erased alternatives (what
+    /// `prop_oneof!` builds).
+    pub fn union<T: 'static>(arms: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        BoxedStrategy::new(move |rng| {
+            use rand::Rng;
+            let i = rng.gen_range(0..arms.len());
+            arms[i].gen_value(rng)
+        })
+    }
+}
+
+pub mod prelude {
+    //! The commonly used names, mirroring `proptest::prelude`.
+
+    pub use super::strategy::union as __union;
+    pub use super::test_runner::ProptestConfig;
+    pub use super::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Alias module as in the real prelude (`prop::collection::vec`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            l
+        );
+    }};
+}
+
+/// Skips the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::deterministic();
+                let __strategy = ( $($strat,)+ );
+                let mut __ran: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __ran < __cfg.cases {
+                    let ($($arg,)+) = $crate::Strategy::gen_value(&__strategy, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => {
+                            __ran += 1;
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            __rejected += 1;
+                            assert!(
+                                __rejected < __cfg.cases.saturating_mul(50).max(1000),
+                                "too many cases rejected by prop_assume!"
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!("property failed at case #{}: {}", __ran, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Vec<Tree>),
+    }
+
+    fn arb_tree() -> impl Strategy<Value = Tree> {
+        let leaf = prop_oneof![
+            (-50i64..50).prop_map(Tree::Leaf),
+            Just(Tree::Leaf(0)),
+        ];
+        leaf.prop_recursive(3, 16, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -5i64..=5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-c]{2,4}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "s={s:?}");
+        }
+
+        #[test]
+        fn collections_respect_sizes(v in crate::collection::vec(0u8..10, 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() <= 5);
+            prop_assert!(v.iter().all(|x| *x < 10));
+        }
+
+        #[test]
+        fn recursion_is_bounded(t in arb_tree()) {
+            prop_assert!(depth(&t) <= 4, "depth {}", depth(&t));
+        }
+
+        #[test]
+        fn assume_skips(v in 0u64..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+            prop_assert_ne!(v, 1);
+        }
+    }
+
+    #[test]
+    fn string_pattern_escapes_and_pc() {
+        let mut rng = crate::test_runner::TestRng::deterministic();
+        for _ in 0..50 {
+            let s = crate::Strategy::gen_value(&"[a-z_][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let p = crate::Strategy::gen_value(&"\\PC{0,64}", &mut rng);
+            assert!(p.len() <= 64);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
+            let h = crate::Strategy::gen_value(&"[a-zA-Z0-9 _\\-./\"\\\\\n]{0,12}", &mut rng);
+            assert!(h.chars().all(|c| c.is_ascii_alphanumeric()
+                || " _-./\"\\\n".contains(c)), "{h:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen_once = || {
+            let mut rng = crate::test_runner::TestRng::deterministic();
+            let s = arb_tree();
+            (0..20)
+                .map(|_| format!("{:?}", crate::Strategy::gen_value(&s, &mut rng)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen_once(), gen_once());
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` in this offline
+//! workspace. The workspace only uses the derives as schema annotations;
+//! nothing serialises through serde at runtime (the codecs in
+//! `rmodp-core` are hand-written), so deriving nothing is sound.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

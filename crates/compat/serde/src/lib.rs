@@ -1,0 +1,16 @@
+//! A minimal, offline stand-in for `serde`.
+//!
+//! The workspace annotates its data model with `Serialize`/`Deserialize`
+//! derives but performs all real encoding through the hand-written
+//! transfer syntaxes in `rmodp-core::codec`. With no crates.io access in
+//! the build environment, this crate supplies the names those derives
+//! need: marker traits plus no-op derive macros re-exported from the
+//! sibling `serde_derive` stub.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -80,7 +80,10 @@ impl fmt::Display for BasicAction {
             BasicAction::Bind(a, b) => write!(f, "bind {a} {b}"),
             BasicAction::ReadState(x) => write!(f, "read {x}"),
             BasicAction::WriteState(x) => write!(f, "write {x}"),
-            BasicAction::Invoke { interface, operation } => {
+            BasicAction::Invoke {
+                interface,
+                operation,
+            } => {
                 write!(f, "invoke {interface}.{operation}")
             }
             BasicAction::Produce { interface, flow } => write!(f, "produce {interface}.{flow}"),
@@ -253,11 +256,7 @@ fn finish_thread(
     }
 }
 
-fn step_thread(
-    threads: &mut Vec<Thread>,
-    tid: usize,
-    ready: &mut VecDeque<usize>,
-) -> StepOutcome {
+fn step_thread(threads: &mut Vec<Thread>, tid: usize, ready: &mut VecDeque<usize>) -> StepOutcome {
     loop {
         let Some(frame) = threads[tid].frames.last_mut() else {
             return StepOutcome::Finished;
@@ -387,10 +386,7 @@ mod tests {
     #[test]
     fn spawn_does_not_block_the_spawner() {
         let a = Activity::seq([
-            Activity::Spawn(Box::new(Activity::seq([
-                act("s1"),
-                act("s2"),
-            ]))),
+            Activity::Spawn(Box::new(Activity::seq([act("s1"), act("s2")]))),
             act("main"),
         ]);
         let t = execute(&a);
@@ -453,12 +449,13 @@ mod tests {
             ))]),
         ]);
         assert_eq!(a.action_count(), 3);
+        assert_eq!(Activity::invoke("t", "Op").action_count(), 1);
         assert_eq!(
-            Activity::invoke("t", "Op").action_count(),
-            1
-        );
-        assert_eq!(
-            BasicAction::Invoke { interface: "t".into(), operation: "Op".into() }.to_string(),
+            BasicAction::Invoke {
+                interface: "t".into(),
+                operation: "Op".into()
+            }
+            .to_string(),
             "invoke t.Op"
         );
     }

@@ -43,9 +43,16 @@ impl Causality {
     pub fn applies_to(self, signature: &InterfaceSignature) -> bool {
         matches!(
             (self, signature),
-            (Causality::Client | Causality::Server, InterfaceSignature::Operational(_))
-                | (Causality::Producer | Causality::Consumer, InterfaceSignature::Stream(_))
-                | (Causality::Initiator | Causality::Responder, InterfaceSignature::Signal(_))
+            (
+                Causality::Client | Causality::Server,
+                InterfaceSignature::Operational(_)
+            ) | (
+                Causality::Producer | Causality::Consumer,
+                InterfaceSignature::Stream(_)
+            ) | (
+                Causality::Initiator | Causality::Responder,
+                InterfaceSignature::Signal(_)
+            )
         )
     }
 }
@@ -81,7 +88,10 @@ impl fmt::Display for BindingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BindingError::CausalityClash { left, right } => {
-                write!(f, "cannot bind {left} to {right}: causalities must complement")
+                write!(
+                    f,
+                    "cannot bind {left} to {right}: causalities must complement"
+                )
             }
             BindingError::Signature(v) => write!(f, "signature mismatch: {v}"),
             BindingError::Contract(v) => write!(f, "environment contract unsatisfied: {v}"),
@@ -379,13 +389,9 @@ mod tests {
     #[test]
     fn contract_combines_both_requirements() {
         let user = BindingEndpoint::new(InterfaceId::new(1), op_sig(), Causality::Client)
-            .with_requirement(
-                QosRequirement::none().with_max_latency(Duration::from_millis(10)),
-            );
+            .with_requirement(QosRequirement::none().with_max_latency(Duration::from_millis(10)));
         let provider = BindingEndpoint::new(InterfaceId::new(2), op_sig(), Causality::Server)
-            .with_requirement(
-                QosRequirement::none().with_max_latency(Duration::from_millis(2)),
-            );
+            .with_requirement(QosRequirement::none().with_max_latency(Duration::from_millis(2)));
         // The offer satisfies the user's 10ms but not the provider's 2ms.
         let offer = QosOffer {
             latency: Duration::from_millis(5),
@@ -409,9 +415,11 @@ mod tests {
 
     #[test]
     fn binding_object_manages_multiparty_stream() {
-        let produced = InterfaceSignature::Stream(
-            StreamSignature::new("AV").flow("audio", DataType::Blob, FlowDirection::Produced),
-        );
+        let produced = InterfaceSignature::Stream(StreamSignature::new("AV").flow(
+            "audio",
+            DataType::Blob,
+            FlowDirection::Produced,
+        ));
         // From a consumer's standpoint the flow is still described from the
         // producing interface's point of view; the consumer endpoint
         // declares the same signature with Consumer causality.

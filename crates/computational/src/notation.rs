@@ -40,7 +40,11 @@ pub struct NotationError {
 
 impl fmt::Display for NotationError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "notation error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "notation error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -236,8 +240,10 @@ pub fn parse_interface_type(src: &str) -> Result<OperationalSignature, NotationE
             terminations.push(TerminationSignature::new(term_name, results));
         }
         if terminations.is_empty() {
-            return Err(p.err("an operation needs at least one 'returns' clause \
-                              (use 'announcement' for none)"));
+            return Err(p.err(
+                "an operation needs at least one 'returns' clause \
+                              (use 'announcement' for none)",
+            ));
         }
         p.expect(";")?;
         sig = sig.interrogation(op_name, params, terminations);
@@ -318,10 +324,8 @@ mod tests {
         let ok = sig.operation("Make").unwrap().termination("OK").unwrap();
         assert_eq!(ok.results[0].1, DataType::Ref(Some("BankTeller".into())));
         // Unknown bare names also become interface refs.
-        let sig = parse_interface_type(
-            "T = Interface Type { announcement F (x: Widget); }",
-        )
-        .unwrap();
+        let sig =
+            parse_interface_type("T = Interface Type { announcement F (x: Widget); }").unwrap();
         assert_eq!(
             sig.operation("F").unwrap().params[0].1,
             DataType::Ref(Some("Widget".into()))
@@ -368,10 +372,8 @@ mod tests {
     fn identifier_prefix_keywords_do_not_confuse() {
         // "operations" as a parameter name must not be read as the
         // keyword "operation".
-        let sig = parse_interface_type(
-            "T = Interface Type { announcement F (operations: Int); }",
-        )
-        .unwrap();
+        let sig = parse_interface_type("T = Interface Type { announcement F (operations: Int); }")
+            .unwrap();
         assert_eq!(sig.operation("F").unwrap().params[0].0, "operations");
     }
 }

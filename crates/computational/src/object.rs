@@ -82,7 +82,11 @@ pub enum ObjectError {
 impl fmt::Display for ObjectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ObjectError::CausalityMismatch { interface, causality, kind } => write!(
+            ObjectError::CausalityMismatch {
+                interface,
+                causality,
+                kind,
+            } => write!(
                 f,
                 "interface {interface}: causality {causality} does not apply to {kind} signatures"
             ),
@@ -266,7 +270,9 @@ impl ComputationalObject {
     /// The signature offered at an interface instance.
     pub fn signature_of(&self, id: InterfaceId) -> Option<&InterfaceSignature> {
         let inst = self.interfaces.iter().find(|i| i.id == id)?;
-        self.template.interface(&inst.template).map(|t| &t.signature)
+        self.template
+            .interface(&inst.template)
+            .map(|t| &t.signature)
     }
 }
 
@@ -308,10 +314,7 @@ mod tests {
         let teller = branch.interface("teller").unwrap();
         let manager = branch.interface("manager").unwrap();
         assert_ne!(teller.id, manager.id);
-        assert_eq!(
-            branch.signature_of(teller.id).unwrap().name(),
-            "BankTeller"
-        );
+        assert_eq!(branch.signature_of(teller.id).unwrap().name(), "BankTeller");
         assert_eq!(
             branch.signature_of(manager.id).unwrap().name(),
             "BankManager"
@@ -343,7 +346,10 @@ mod tests {
             .with_interface(t.clone())
             .unwrap()
             .with_interface(t);
-        assert!(matches!(result, Err(ObjectError::DuplicateInterface { .. })));
+        assert!(matches!(
+            result,
+            Err(ObjectError::DuplicateInterface { .. })
+        ));
     }
 
     #[test]

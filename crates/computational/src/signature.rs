@@ -221,7 +221,11 @@ impl StreamSignature {
         let name = name.into();
         self.flows.insert(
             name.clone(),
-            FlowSignature { name, element, direction },
+            FlowSignature {
+                name,
+                element,
+                direction,
+            },
         );
         self
     }
@@ -499,8 +503,8 @@ mod tests {
 
     #[test]
     fn announcements_have_no_terminations() {
-        let sig = OperationalSignature::new("Logger")
-            .announcement("Log", [("line", DataType::Text)]);
+        let sig =
+            OperationalSignature::new("Logger").announcement("Log", [("line", DataType::Text)]);
         let op = sig.operation("Log").unwrap();
         assert_eq!(op.kind, OperationKind::Announcement);
         assert!(op.termination("OK").is_none());
@@ -519,10 +523,26 @@ mod tests {
     #[test]
     fn signal_signature_models_osi_primitives() {
         let sig = SignalSignature::new("OsiService")
-            .signal("request", [("sdu", DataType::Blob)], SignalDirection::Received)
-            .signal("indicate", [("sdu", DataType::Blob)], SignalDirection::Initiated)
-            .signal("response", [("sdu", DataType::Blob)], SignalDirection::Received)
-            .signal("confirm", [("sdu", DataType::Blob)], SignalDirection::Initiated);
+            .signal(
+                "request",
+                [("sdu", DataType::Blob)],
+                SignalDirection::Received,
+            )
+            .signal(
+                "indicate",
+                [("sdu", DataType::Blob)],
+                SignalDirection::Initiated,
+            )
+            .signal(
+                "response",
+                [("sdu", DataType::Blob)],
+                SignalDirection::Received,
+            )
+            .signal(
+                "confirm",
+                [("sdu", DataType::Blob)],
+                SignalDirection::Initiated,
+            );
         assert_eq!(sig.signals().len(), 4);
     }
 
@@ -543,9 +563,6 @@ mod tests {
         assert!(Termination::ok(Value::Null).is_ok());
         let e = Termination::error("no funds");
         assert!(!e.is_ok());
-        assert_eq!(
-            e.results.field("reason"),
-            Some(&Value::text("no funds"))
-        );
+        assert_eq!(e.results.field("reason"), Some(&Value::text("no funds")));
     }
 }

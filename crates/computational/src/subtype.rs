@@ -94,7 +94,11 @@ pub fn is_subtype_with(
         }
         (a, b) => Err(SubtypeViolation::new(
             "signature kind",
-            format!("{} interface cannot substitute for {} interface", a.kind(), b.kind()),
+            format!(
+                "{} interface cannot substitute for {} interface",
+                a.kind(),
+                b.kind()
+            ),
         )),
     }
 }
@@ -123,9 +127,9 @@ pub fn is_operational_subtype_with(
 ) -> Result<(), SubtypeViolation> {
     for (name, sup_op) in sup.operations() {
         let at = |detail: &str| format!("operation {name}{detail}");
-        let sub_op = sub.operation(name).ok_or_else(|| {
-            SubtypeViolation::new(at(""), "missing in subtype".to_owned())
-        })?;
+        let sub_op = sub
+            .operation(name)
+            .ok_or_else(|| SubtypeViolation::new(at(""), "missing in subtype".to_owned()))?;
 
         // Parameters: contravariant. The subtype must accept every argument
         // record that is legal for the supertype, and must not demand
@@ -156,8 +160,12 @@ pub fn is_operational_subtype_with(
         match (&sub_op.kind, &sup_op.kind) {
             (OperationKind::Announcement, OperationKind::Announcement) => {}
             (
-                OperationKind::Interrogation { terminations: sub_terms },
-                OperationKind::Interrogation { terminations: sup_terms },
+                OperationKind::Interrogation {
+                    terminations: sub_terms,
+                },
+                OperationKind::Interrogation {
+                    terminations: sup_terms,
+                },
             ) => {
                 for sub_term in sub_terms {
                     let sup_term = sup_terms
@@ -215,15 +223,18 @@ pub fn is_stream_subtype_with(
             .get(name)
             .ok_or_else(|| SubtypeViolation::new(at.clone(), "missing in subtype".to_owned()))?;
         if sub_flow.direction != sup_flow.direction {
-            return Err(SubtypeViolation::new(at, "flow direction differs".to_owned()));
+            return Err(SubtypeViolation::new(
+                at,
+                "flow direction differs".to_owned(),
+            ));
         }
         let fits = match sup_flow.direction {
-            FlowDirection::Produced => {
-                sub_flow.element.is_subtype_with(&sup_flow.element, resolver)
-            }
-            FlowDirection::Consumed => {
-                sup_flow.element.is_subtype_with(&sub_flow.element, resolver)
-            }
+            FlowDirection::Produced => sub_flow
+                .element
+                .is_subtype_with(&sup_flow.element, resolver),
+            FlowDirection::Consumed => sup_flow
+                .element
+                .is_subtype_with(&sub_flow.element, resolver),
         };
         if !fits {
             let variance = match sup_flow.direction {
@@ -259,7 +270,10 @@ pub fn is_signal_subtype_with(
             .get(name)
             .ok_or_else(|| SubtypeViolation::new(at.clone(), "missing in subtype".to_owned()))?;
         if sub_sig.direction != sup_sig.direction {
-            return Err(SubtypeViolation::new(at, "signal direction differs".to_owned()));
+            return Err(SubtypeViolation::new(
+                at,
+                "signal direction differs".to_owned(),
+            ));
         }
         let sub_pt = DataType::record(sub_sig.params.iter().map(|(n, t)| (n.clone(), t.clone())));
         let sup_pt = DataType::record(sup_sig.params.iter().map(|(n, t)| (n.clone(), t.clone())));

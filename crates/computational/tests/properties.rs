@@ -25,8 +25,12 @@ fn dt(tag: u8) -> DataType {
 
 fn arb_signature() -> impl Strategy<Value = Vec<OpSpec>> {
     proptest::collection::vec(
-        (proptest::collection::vec(0u8..3, 0..4), any::<bool>())
-            .prop_map(|(params, interrogation)| OpSpec { params, interrogation }),
+        (proptest::collection::vec(0u8..3, 0..4), any::<bool>()).prop_map(
+            |(params, interrogation)| OpSpec {
+                params,
+                interrogation,
+            },
+        ),
         1..8,
     )
 }

@@ -211,9 +211,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_truncation_at_every_length() {
-        let v = Value::record([
-            ("key", Value::seq([Value::Int(1), Value::text("x")])),
-        ]);
+        let v = Value::record([("key", Value::seq([Value::Int(1), Value::text("x")]))]);
         let full = BinarySyntax.encode(&v);
         for cut in 0..full.len() {
             assert!(

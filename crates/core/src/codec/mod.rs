@@ -24,8 +24,9 @@ pub use text::TextSyntax;
 use crate::value::Value;
 
 /// Identifies a transfer syntax on the wire.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum SyntaxId {
     /// The compact binary syntax.
     Binary,
@@ -116,7 +117,10 @@ mod tests {
             Value::seq([Value::Int(1), Value::text("two"), Value::Null]),
             Value::record::<&str, _>([]),
             Value::record([
-                ("nested", Value::record([("x", Value::seq([Value::Bool(true)]))])),
+                (
+                    "nested",
+                    Value::record([("x", Value::seq([Value::Bool(true)]))]),
+                ),
                 ("ref", Value::Ref(42)),
             ]),
         ]
@@ -128,9 +132,9 @@ mod tests {
             let syntax = syntax_for(id);
             for v in sample_values() {
                 let bytes = syntax.encode(&v);
-                let back = syntax.decode(&bytes).unwrap_or_else(|e| {
-                    panic!("{id}: failed to decode {v}: {e}")
-                });
+                let back = syntax
+                    .decode(&bytes)
+                    .unwrap_or_else(|e| panic!("{id}: failed to decode {v}: {e}"));
                 assert_eq!(back, v, "{id}: {v}");
             }
         }

@@ -124,7 +124,9 @@ fn render_quoted(s: &str, out: &mut String) {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && !matches!(s, "null" | "true" | "false" | "nan" | "inf" | "ref")
 }
@@ -220,7 +222,12 @@ impl<'a> TextParser<'a> {
 
     fn unsigned(&mut self) -> Result<u64, CodecError> {
         let start = self.pos;
-        while self.rest().chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        while self
+            .rest()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_digit())
+        {
             self.pos += 1;
         }
         self.src[start..self.pos]
@@ -296,7 +303,10 @@ impl<'a> TextParser<'a> {
             if self.eat("\"") {
                 return Ok(Value::Blob(bytes));
             }
-            let hex = self.rest().get(..2).ok_or_else(|| self.error("unterminated blob"))?;
+            let hex = self
+                .rest()
+                .get(..2)
+                .ok_or_else(|| self.error("unterminated blob"))?;
             let byte = u8::from_str_radix(hex, 16)
                 .map_err(|_| self.error(format!("bad hex pair {hex:?}")))?;
             bytes.push(byte);
@@ -390,7 +400,10 @@ mod tests {
 
     #[test]
     fn special_floats() {
-        assert_eq!(round_trip(&Value::Float(f64::INFINITY)), Value::Float(f64::INFINITY));
+        assert_eq!(
+            round_trip(&Value::Float(f64::INFINITY)),
+            Value::Float(f64::INFINITY)
+        );
         assert_eq!(
             round_trip(&Value::Float(f64::NEG_INFINITY)),
             Value::Float(f64::NEG_INFINITY)
@@ -419,8 +432,7 @@ mod tests {
 
     #[test]
     fn whitespace_is_tolerated() {
-        let v = TextSyntax
-            .decode(b" { a : [ 1 , 2 ] , b : ref( 7 ) } "[..].as_ref());
+        let v = TextSyntax.decode(b" { a : [ 1 , 2 ] , b : ref( 7 ) } "[..].as_ref());
         // `ref( 7 )` contains inner spaces which we do not allow; check strict form.
         assert!(v.is_err());
         let v = TextSyntax.decode(b" { a : [ 1 , 2 ] } ").unwrap();
@@ -432,7 +444,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "\"open", "b\"0", "b\"0g\"", "{a 1}", "1 2", "tru"] {
+        for bad in [
+            "", "{", "[1,", "\"open", "b\"0", "b\"0g\"", "{a 1}", "1 2", "tru",
+        ] {
             assert!(
                 TextSyntax.decode(bad.as_bytes()).is_err(),
                 "{bad:?} should fail"

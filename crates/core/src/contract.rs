@@ -13,8 +13,9 @@ use std::time::Duration;
 use serde::{Deserialize, Serialize};
 
 /// The security level a contract demands or an environment provides.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-#[derive(Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum SecurityLevel {
     /// No protection.
     #[default]
@@ -198,7 +199,10 @@ impl EnvironmentContract {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ContractViolation {
     /// Offered latency exceeds the bound.
-    Latency { required: Duration, offered: Duration },
+    Latency {
+        required: Duration,
+        offered: Duration,
+    },
     /// Offered throughput is below the floor.
     Throughput { required: f64, offered: f64 },
     /// Offered availability is below the floor.
@@ -206,7 +210,10 @@ pub enum ContractViolation {
     /// Reliable delivery demanded but not offered.
     Reliability,
     /// Offered security level is too weak.
-    Security { required: SecurityLevel, offered: SecurityLevel },
+    Security {
+        required: SecurityLevel,
+        offered: SecurityLevel,
+    },
 }
 
 impl fmt::Display for ContractViolation {
@@ -253,7 +260,9 @@ mod tests {
 
     #[test]
     fn empty_requirement_matches_anything() {
-        assert!(QosOffer::default().satisfies(&QosRequirement::none()).is_ok());
+        assert!(QosOffer::default()
+            .satisfies(&QosRequirement::none())
+            .is_ok());
         assert!(fast_offer().satisfies(&QosRequirement::none()).is_ok());
     }
 
@@ -294,9 +303,7 @@ mod tests {
             .satisfies(&QosRequirement::none().with_security(SecurityLevel::Authenticated))
             .is_ok());
         assert!(matches!(
-            offer.satisfies(
-                &QosRequirement::none().with_security(SecurityLevel::ReplayProtected)
-            ),
+            offer.satisfies(&QosRequirement::none().with_security(SecurityLevel::ReplayProtected)),
             Err(ContractViolation::Security { .. })
         ));
     }

@@ -178,11 +178,7 @@ impl DataType {
     ///
     /// Interface-reference names are compared with `resolver`, allowing the
     /// type repository to substitute its structural interface-subtype check.
-    pub fn is_subtype_with(
-        &self,
-        other: &DataType,
-        resolver: &dyn Fn(&str, &str) -> bool,
-    ) -> bool {
+    pub fn is_subtype_with(&self, other: &DataType, resolver: &dyn Fn(&str, &str) -> bool) -> bool {
         use DataType::*;
         match (self, other) {
             (_, Any) => true,
@@ -335,7 +331,9 @@ mod tests {
         let t = DataType::record([("note", DataType::optional(DataType::Text))]);
         assert!(t.check(&Value::record::<&str, _>([])).is_ok());
         assert!(t.check(&Value::record([("note", Value::Null)])).is_ok());
-        assert!(t.check(&Value::record([("note", Value::text("x"))])).is_ok());
+        assert!(t
+            .check(&Value::record([("note", Value::text("x"))]))
+            .is_ok());
         assert!(t.check(&Value::record([("note", Value::Int(1))])).is_err());
     }
 
@@ -363,10 +361,7 @@ mod tests {
 
     #[test]
     fn record_width_and_depth_subtyping() {
-        let wide = DataType::record([
-            ("a", DataType::Int),
-            ("b", DataType::Text),
-        ]);
+        let wide = DataType::record([("a", DataType::Int), ("b", DataType::Text)]);
         let narrow = DataType::record([("a", DataType::Float)]);
         assert!(wide.is_subtype_of(&narrow));
         assert!(!narrow.is_subtype_of(&wide));
@@ -414,7 +409,9 @@ mod tests {
         let t = DataType::optional(DataType::Int);
         assert!(DataType::Null.is_subtype_of(&t));
         assert!(DataType::Int.is_subtype_of(&t));
-        assert!(DataType::optional(DataType::Int).is_subtype_of(&DataType::optional(DataType::Float)));
+        assert!(
+            DataType::optional(DataType::Int).is_subtype_of(&DataType::optional(DataType::Float))
+        );
         assert!(!t.is_subtype_of(&DataType::Int));
     }
 

@@ -51,7 +51,11 @@ pub enum EvalError {
     /// Integer division or remainder by zero.
     DivideByZero,
     /// A builtin was called with the wrong number of arguments.
-    WrongArity { function: String, expected: usize, got: usize },
+    WrongArity {
+        function: String,
+        expected: usize,
+        got: usize,
+    },
     /// No builtin with this name exists.
     UnknownFunction { name: String },
 }
@@ -64,7 +68,11 @@ impl fmt::Display for EvalError {
                 write!(f, "type mismatch in {context}: got {got}")
             }
             EvalError::DivideByZero => write!(f, "division by zero"),
-            EvalError::WrongArity { function, expected, got } => {
+            EvalError::WrongArity {
+                function,
+                expected,
+                got,
+            } => {
                 write!(f, "{function} expects {expected} argument(s), got {got}")
             }
             EvalError::UnknownFunction { name } => write!(f, "unknown function {name}"),
@@ -82,8 +90,7 @@ pub fn eval(expr: &Expr, env: &dyn Env) -> Result<Value, EvalError> {
             path: path.join("."),
         }),
         Expr::SeqLit(items) => {
-            let vals: Result<Vec<Value>, EvalError> =
-                items.iter().map(|e| eval(e, env)).collect();
+            let vals: Result<Vec<Value>, EvalError> = items.iter().map(|e| eval(e, env)).collect();
             Ok(Value::Seq(vals?))
         }
         Expr::Unary(UnOp::Neg, e) => match eval(e, env)? {
@@ -187,12 +194,7 @@ fn apply_binary(op: BinOp, a: Value, b: Value) -> Result<Value, EvalError> {
     }
 }
 
-fn numeric(
-    op: BinOp,
-    a: Value,
-    b: Value,
-    f: impl Fn(f64, f64) -> f64,
-) -> Result<Value, EvalError> {
+fn numeric(op: BinOp, a: Value, b: Value, f: impl Fn(f64, f64) -> f64) -> Result<Value, EvalError> {
     match (a.as_float(), b.as_float()) {
         (Some(x), Some(y)) => Ok(Value::Float(f(x, y))),
         _ => Err(EvalError::TypeMismatch {
@@ -382,14 +384,13 @@ mod tests {
 
     #[test]
     fn variables_resolve_through_records() {
-        let env = Value::record([(
-            "acct",
-            Value::record([("balance", Value::Int(42))]),
-        )]);
+        let env = Value::record([("acct", Value::record([("balance", Value::Int(42))]))]);
         assert_eq!(ok("acct.balance + 1", &env), Value::Int(43));
         assert_eq!(
             run("acct.missing", &env),
-            Err(EvalError::Undefined { path: "acct.missing".into() })
+            Err(EvalError::Undefined {
+                path: "acct.missing".into()
+            })
         );
     }
 
@@ -414,13 +415,22 @@ mod tests {
         ));
         assert_eq!(
             run("len()", &()),
-            Err(EvalError::WrongArity { function: "len".into(), expected: 1, got: 0 })
+            Err(EvalError::WrongArity {
+                function: "len".into(),
+                expected: 1,
+                got: 0
+            })
         );
         assert_eq!(
             run("frobnicate(1)", &()),
-            Err(EvalError::UnknownFunction { name: "frobnicate".into() })
+            Err(EvalError::UnknownFunction {
+                name: "frobnicate".into()
+            })
         );
-        assert!(matches!(run("exists(1 + 2)", &()), Err(EvalError::TypeMismatch { .. })));
+        assert!(matches!(
+            run("exists(1 + 2)", &()),
+            Err(EvalError::TypeMismatch { .. })
+        ));
     }
 
     #[test]

@@ -109,7 +109,11 @@ fn infer_in(expr: &Expr, env: &DataType) -> Result<DataType, InferError> {
         Expr::Unary(UnOp::Neg, e) => {
             let t = infer_in(e, env)?;
             if is_numeric(&t) || t == DataType::Any {
-                Ok(if t == DataType::Any { DataType::Float } else { t })
+                Ok(if t == DataType::Any {
+                    DataType::Float
+                } else {
+                    t
+                })
             } else {
                 Err(mismatch("negation", t.to_string()))
             }
@@ -178,7 +182,9 @@ fn infer_binary(op: BinOp, a: &DataType, b: &DataType) -> Result<DataType, Infer
             }
         }
         And | Or => {
-            if matches!(a, DataType::Bool | DataType::Any) && matches!(b, DataType::Bool | DataType::Any) {
+            if matches!(a, DataType::Bool | DataType::Any)
+                && matches!(b, DataType::Bool | DataType::Any)
+            {
                 Ok(DataType::Bool)
             } else {
                 Err(mismatch(&ctx(), format!("{a} and {b}")))
@@ -204,7 +210,10 @@ fn infer_call(name: &str, args: &[Expr], env: &DataType) -> Result<DataType, Inf
         if args.len() == n {
             Ok(())
         } else {
-            Err(mismatch(name, format!("expected {n} argument(s), got {}", args.len())))
+            Err(mismatch(
+                name,
+                format!("expected {n} argument(s), got {}", args.len()),
+            ))
         }
     };
     match name {
@@ -261,7 +270,9 @@ fn infer_call(name: &str, args: &[Expr], env: &DataType) -> Result<DataType, Inf
             arity(2)?;
             let a = infer_in(&args[0], env)?;
             let b = infer_in(&args[1], env)?;
-            if matches!(a, DataType::Text | DataType::Any) && matches!(b, DataType::Text | DataType::Any) {
+            if matches!(a, DataType::Text | DataType::Any)
+                && matches!(b, DataType::Text | DataType::Any)
+            {
                 Ok(DataType::Bool)
             } else {
                 Err(mismatch("starts_with", format!("{a} and {b}")))
@@ -327,7 +338,9 @@ mod tests {
     fn unknown_variables_are_rejected() {
         assert_eq!(
             ty("ghost > 0"),
-            Err(InferError::UnknownVariable { path: "ghost".into() })
+            Err(InferError::UnknownVariable {
+                path: "ghost".into()
+            })
         );
     }
 

@@ -192,7 +192,10 @@ impl Expr {
     ///
     /// Returns an [`InferError`] if a variable is unknown or operand types
     /// cannot be reconciled.
-    pub fn infer(&self, env: &crate::dtype::DataType) -> Result<crate::dtype::DataType, InferError> {
+    pub fn infer(
+        &self,
+        env: &crate::dtype::DataType,
+    ) -> Result<crate::dtype::DataType, InferError> {
         infer::infer(self, env)
     }
 

@@ -186,7 +186,9 @@ impl Parser {
     }
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
-        let t = self.next().ok_or_else(|| self.unexpected_end("expression"))?;
+        let t = self
+            .next()
+            .ok_or_else(|| self.unexpected_end("expression"))?;
         match t.token {
             Token::Int(i) => Ok(Expr::Lit(Value::Int(i))),
             Token::Float(x) => Ok(Expr::Lit(Value::Float(x))),
@@ -211,11 +213,17 @@ impl Parser {
                 let mut path = vec![name];
                 while self.eat(&Token::Dot) {
                     match self.next() {
-                        Some(Spanned { token: Token::Ident(seg), .. }) => path.push(seg),
+                        Some(Spanned {
+                            token: Token::Ident(seg),
+                            ..
+                        }) => path.push(seg),
                         Some(s) => {
                             return Err(ParseError {
                                 offset: s.offset,
-                                message: format!("expected field name after '.', found {}", s.token),
+                                message: format!(
+                                    "expected field name after '.', found {}",
+                                    s.token
+                                ),
                             })
                         }
                         None => return Err(self.unexpected_end("field name after '.'")),
@@ -255,10 +263,7 @@ mod tests {
     #[test]
     fn precedence_mul_over_add_over_cmp_over_and_over_or() {
         let e = parse("a or b and c == d + e * f").unwrap();
-        assert_eq!(
-            e.to_string(),
-            "(a or (b and (c == (d + (e * f)))))"
-        );
+        assert_eq!(e.to_string(), "(a or (b and (c == (d + (e * f)))))");
     }
 
     #[test]

@@ -124,7 +124,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             '%' => push(&mut out, Token::Percent, start, &mut i),
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::EqEq, offset: start });
+                    out.push(Spanned {
+                        token: Token::EqEq,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(LexError {
@@ -135,7 +138,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Ne, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Token::Not, start, &mut i);
@@ -143,7 +149,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Le, offset: start });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Token::Lt, start, &mut i);
@@ -151,7 +160,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Spanned { token: Token::Ge, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Token::Gt, start, &mut i);
@@ -159,28 +171,46 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    out.push(Spanned { token: Token::And, offset: start });
+                    out.push(Spanned {
+                        token: Token::And,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { offset: start, message: "expected '&&'".into() });
+                    return Err(LexError {
+                        offset: start,
+                        message: "expected '&&'".into(),
+                    });
                 }
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    out.push(Spanned { token: Token::Or, offset: start });
+                    out.push(Spanned {
+                        token: Token::Or,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    return Err(LexError { offset: start, message: "expected '||'".into() });
+                    return Err(LexError {
+                        offset: start,
+                        message: "expected '||'".into(),
+                    });
                 }
             }
             '"' => {
                 let (s, next) = lex_string(src, i)?;
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
                 i = next;
             }
             c if c.is_ascii_digit() => {
                 let (tok, next) = lex_number(src, i)?;
-                out.push(Spanned { token: tok, offset: start });
+                out.push(Spanned {
+                    token: tok,
+                    offset: start,
+                });
                 i = next;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -201,7 +231,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     "in" => Token::In,
                     _ => Token::Ident(word.to_owned()),
                 };
-                out.push(Spanned { token: tok, offset: start });
+                out.push(Spanned {
+                    token: tok,
+                    offset: start,
+                });
                 i = j;
             }
             other => {
@@ -328,7 +361,14 @@ mod tests {
     fn lexes_comparisons() {
         assert_eq!(
             toks("== != < <= > >="),
-            vec![Token::EqEq, Token::Ne, Token::Lt, Token::Le, Token::Gt, Token::Ge]
+            vec![
+                Token::EqEq,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge
+            ]
         );
     }
 
@@ -344,7 +384,11 @@ mod tests {
     fn dot_after_int_is_field_access_not_float() {
         assert_eq!(
             toks("a.b"),
-            vec![Token::Ident("a".into()), Token::Dot, Token::Ident("b".into())]
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into())
+            ]
         );
         // `1.x` lexes as Int, Dot, Ident — the parser rejects it later.
         assert_eq!(
@@ -355,7 +399,10 @@ mod tests {
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(toks(r#""hi \"there\"\n""#), vec![Token::Str("hi \"there\"\n".into())]);
+        assert_eq!(
+            toks(r#""hi \"there\"\n""#),
+            vec![Token::Str("hi \"there\"\n".into())]
+        );
         assert_eq!(toks("\"héllo\""), vec![Token::Str("héllo".into())]);
     }
 

@@ -247,6 +247,9 @@ mod tests {
         assert!(ClusterId::new(1) < ClusterId::new(2));
         let mut v = vec![CapsuleId::new(3), CapsuleId::new(1), CapsuleId::new(2)];
         v.sort();
-        assert_eq!(v, vec![CapsuleId::new(1), CapsuleId::new(2), CapsuleId::new(3)]);
+        assert_eq!(
+            v,
+            vec![CapsuleId::new(1), CapsuleId::new(2), CapsuleId::new(3)]
+        );
     }
 }

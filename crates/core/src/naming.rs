@@ -206,8 +206,7 @@ impl NamingContext {
     /// Total number of bindings in the context.
     pub fn len(&self) -> usize {
         fn count(node: &ContextNode) -> usize {
-            usize::from(node.binding.is_some())
-                + node.children.values().map(count).sum::<usize>()
+            usize::from(node.binding.is_some()) + node.children.values().map(count).sum::<usize>()
         }
         count(&self.root)
     }
@@ -261,7 +260,10 @@ mod tests {
     }
 
     fn target(id: u64) -> BindingTarget {
-        BindingTarget { id, kind: "interface".into() }
+        BindingTarget {
+            id,
+            kind: "interface".into(),
+        }
     }
 
     #[test]

@@ -29,8 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(v.field("balance"), Some(&Value::Int(250)));
 /// assert_eq!(v.path(&["owner"]).unwrap().as_text(), Some("alice"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Value {
     /// The absence of a value.
     #[default]
@@ -198,7 +197,6 @@ impl Value {
     }
 }
 
-
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -289,10 +287,7 @@ mod tests {
 
     #[test]
     fn path_resolves_nested_records() {
-        let v = Value::record([(
-            "account",
-            Value::record([("balance", Value::Int(500))]),
-        )]);
+        let v = Value::record([("account", Value::record([("balance", Value::Int(500))]))]);
         assert_eq!(v.path(&["account", "balance"]), Some(&Value::Int(500)));
         assert_eq!(v.path(&["account", "missing"]), None);
         assert_eq!(v.path(&["nope"]), None);

@@ -16,7 +16,9 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<bool>().prop_map(Value::Bool),
         any::<i64>().prop_map(Value::Int),
         // Finite floats only: NaN breaks equality-based round-trip checks.
-        any::<f64>().prop_filter("finite", |x| x.is_finite()).prop_map(Value::Float),
+        any::<f64>()
+            .prop_filter("finite", |x| x.is_finite())
+            .prop_map(Value::Float),
         "[a-zA-Z0-9 _\\-./\"\\\\\n]{0,12}".prop_map(Value::text),
         proptest::collection::vec(any::<u8>(), 0..16).prop_map(Value::Blob),
         any::<u64>().prop_map(Value::Ref),
@@ -40,16 +42,14 @@ fn arb_dtype() -> impl Strategy<Value = DataType> {
         Just(DataType::Float),
         Just(DataType::Text),
         Just(DataType::Blob),
-        proptest::collection::vec("[a-z]{1,4}", 1..3)
-            .prop_map(DataType::labels),
+        proptest::collection::vec("[a-z]{1,4}", 1..3).prop_map(DataType::labels),
         proptest::option::of("[A-Z][a-z]{0,5}").prop_map(DataType::Ref),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             inner.clone().prop_map(DataType::seq),
             inner.clone().prop_map(DataType::optional),
-            proptest::collection::btree_map("[a-z]{1,4}", inner, 0..3)
-                .prop_map(DataType::Record),
+            proptest::collection::btree_map("[a-z]{1,4}", inner, 0..3).prop_map(DataType::Record),
         ]
     })
 }

@@ -161,13 +161,25 @@ mod tests {
     fn counter_adds_gets_and_rejects() {
         let mut b = CounterBehaviour;
         let mut state = CounterBehaviour::initial_state();
-        let t = b.invoke(&mut state, &Invocation::new("Add", Value::record([("k", Value::Int(5))])));
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("Add", Value::record([("k", Value::Int(5))])),
+        );
         assert_eq!(t.results.field("n"), Some(&Value::Int(5)));
-        let t = b.invoke(&mut state, &Invocation::new("Get", Value::record::<&str, _>([])));
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("Get", Value::record::<&str, _>([])),
+        );
         assert_eq!(t.results.field("n"), Some(&Value::Int(5)));
-        let t = b.invoke(&mut state, &Invocation::new("Nope", Value::record::<&str, _>([])));
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("Nope", Value::record::<&str, _>([])),
+        );
         assert!(!t.is_ok());
-        let t = b.invoke(&mut state, &Invocation::new("Add", Value::record::<&str, _>([])));
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("Add", Value::record::<&str, _>([])),
+        );
         assert!(!t.is_ok());
     }
 
@@ -191,7 +203,10 @@ mod tests {
         assert!(!reg.contains("ghost"));
         let mut b = reg.create("counter").unwrap();
         let mut state = CounterBehaviour::initial_state();
-        let t = b.invoke(&mut state, &Invocation::new("Get", Value::record::<&str, _>([])));
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("Get", Value::record::<&str, _>([])),
+        );
         assert!(t.is_ok());
         assert!(reg.create("ghost").is_none());
     }

@@ -97,21 +97,37 @@ impl ChannelComponent for MarshallingStub {
 
     fn on_outgoing(&mut self, env: &mut Envelope) -> Result<(), ChannelError> {
         if env.syntax != self.wire {
+            let from = env.syntax;
             let value = syntax_for(env.syntax).decode(&env.payload)?;
             env.payload = syntax_for(self.wire).encode(&value);
             env.syntax = self.wire;
+            emit_marshal(env, from, self.wire);
         }
         Ok(())
     }
 
     fn on_incoming(&mut self, env: &mut Envelope) -> Result<(), ChannelError> {
         if env.syntax != self.native {
+            let from = env.syntax;
             let value = syntax_for(env.syntax).decode(&env.payload)?;
             env.payload = syntax_for(self.native).encode(&value);
             env.syntax = self.native;
+            emit_marshal(env, from, self.native);
         }
         Ok(())
     }
+}
+
+fn emit_marshal(env: &Envelope, from: SyntaxId, to: SyntaxId) {
+    rmodp_observe::event(
+        rmodp_observe::Layer::Engineering,
+        rmodp_observe::EventKind::Marshal,
+    )
+    .in_context()
+    .channel(env.channel.raw())
+    .detail(format!("{from:?} -> {to:?} ({} bytes)", env.payload.len()))
+    .emit();
+    rmodp_observe::bus::counter_add("engineering.marshals", 1);
 }
 
 /// A stub maintaining an operation log for an audit trail — the paper's
@@ -272,6 +288,15 @@ impl Stack {
     /// Propagates the first component failure.
     pub fn outgoing(&mut self, env: &mut Envelope) -> Result<(), ChannelError> {
         for c in self.components.iter_mut() {
+            rmodp_observe::event(
+                rmodp_observe::Layer::Engineering,
+                rmodp_observe::EventKind::ChannelHop,
+            )
+            .in_context()
+            .channel(env.channel.raw())
+            .detail(format!("out:{}", c.name()))
+            .emit();
+            rmodp_observe::bus::counter_add("engineering.channel_hops", 1);
             c.on_outgoing(env)?;
         }
         Ok(())
@@ -284,6 +309,15 @@ impl Stack {
     /// Propagates the first component failure.
     pub fn incoming(&mut self, env: &mut Envelope) -> Result<(), ChannelError> {
         for c in self.components.iter_mut().rev() {
+            rmodp_observe::event(
+                rmodp_observe::Layer::Engineering,
+                rmodp_observe::EventKind::ChannelHop,
+            )
+            .in_context()
+            .channel(env.channel.raw())
+            .detail(format!("in:{}", c.name()))
+            .emit();
+            rmodp_observe::bus::counter_add("engineering.channel_hops", 1);
             c.on_incoming(env)?;
         }
         Ok(())

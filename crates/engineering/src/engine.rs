@@ -6,12 +6,11 @@ use std::fmt;
 
 use rmodp_computational::signature::{Invocation, Termination};
 use rmodp_core::codec::{syntax_for, SyntaxId};
-use rmodp_core::id::{
-    CapsuleId, ChannelId, ClusterId, IdGen, InterfaceId, NodeId, ObjectId,
-};
+use rmodp_core::id::{CapsuleId, ChannelId, ClusterId, IdGen, InterfaceId, NodeId, ObjectId};
 use rmodp_core::value::Value;
 use rmodp_netsim::sim::{Addr, NodeIdx, Sim};
 use rmodp_netsim::time::SimTime;
+use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::behaviour::BehaviourRegistry;
 use crate::channel::{ChannelConfig, ChannelError, RetryPolicy, Stack};
@@ -275,8 +274,10 @@ impl Engine {
     pub fn add_node(&mut self, native: SyntaxId) -> NodeId {
         let node = self.node_gen.fresh();
         let sim_node = self.sim.add_node();
-        self.sim
-            .attach(Addr::new(sim_node, NUCLEUS_PORT), NucleusProcess::new(node, native));
+        self.sim.attach(
+            Addr::new(sim_node, NUCLEUS_PORT),
+            NucleusProcess::new(node, native),
+        );
         self.sim
             .attach(Addr::new(sim_node, DRIVER_PORT), DriverProcess::default());
         self.nodes.insert(node, NodeHandle { sim_node, native });
@@ -369,8 +370,9 @@ impl Engine {
             }
         }
         let object = self.object_gen.fresh();
-        let interfaces: Vec<InterfaceId> =
-            (0..interface_count).map(|_| self.interface_gen.fresh()).collect();
+        let interfaces: Vec<InterfaceId> = (0..interface_count)
+            .map(|_| self.interface_gen.fresh())
+            .collect();
         let record = BeoRecord {
             object,
             name: name.into(),
@@ -381,15 +383,23 @@ impl Engine {
             .registry
             .create(behaviour)
             .expect("checked contains above");
-        let installed =
-            self.nucleus_mut(node)?
-                .install_object(capsule, cluster, record, instance, state);
+        let installed = self
+            .nucleus_mut(node)?
+            .install_object(capsule, cluster, record, instance, state);
         debug_assert!(installed, "cluster existence checked above");
-        let location = Location { node, capsule, cluster };
+        let location = Location {
+            node,
+            capsule,
+            cluster,
+        };
         let mut refs = Vec::with_capacity(interfaces.len());
         for ifc in interfaces {
             let epoch = self.bump_epoch(ifc);
-            let r = InterfaceRef { interface: ifc, location, epoch };
+            let r = InterfaceRef {
+                interface: ifc,
+                location,
+                epoch,
+            };
             self.locations.insert(ifc, r);
             refs.push(r);
         }
@@ -482,14 +492,21 @@ impl Engine {
             .get_mut(&channel)
             .ok_or(EngError::UnknownChannel { channel })?;
         cc.believed = to;
+        event(Layer::Engineering, EventKind::Relocate)
+            .in_context()
+            .channel(channel.raw())
+            .capsule(to.location.capsule.raw())
+            .detail(format!(
+                "channel rebound to {} epoch={}",
+                to.location.node, to.epoch
+            ))
+            .emit();
+        bus::counter_add("engineering.relocations", 1);
         Ok(())
     }
 
     fn encode_invocation(&self, native: SyntaxId, op: &str, args: &Value) -> Vec<u8> {
-        let v = Value::record([
-            ("op", Value::text(op.to_owned())),
-            ("args", args.clone()),
-        ]);
+        let v = Value::record([("op", Value::text(op.to_owned())), ("args", args.clone())]);
         syntax_for(native).encode(&v)
     }
 
@@ -508,6 +525,44 @@ impl Engine {
         op: &str,
         args: &Value,
     ) -> Result<Termination, CallError> {
+        let span = bus::new_span();
+        event(Layer::Engineering, EventKind::CallStart)
+            .span(span)
+            .parent_from_context()
+            .channel(channel.raw())
+            .detail(format!("op={op}"))
+            .emit();
+        let started_us = self.sim.now().as_micros();
+        bus::push_context(span);
+        let result = self.call_attempts(channel, op, args, span);
+        bus::pop_context();
+        bus::counter_add("engineering.calls", 1);
+        bus::observe(
+            "engineering.call_us",
+            self.sim.now().as_micros().saturating_sub(started_us),
+        );
+        let outcome = match &result {
+            Ok(t) => format!("op={op} -> {}", t.name),
+            Err(e) => {
+                bus::counter_add("engineering.call_errors", 1);
+                format!("op={op} -> error: {e}")
+            }
+        };
+        event(Layer::Engineering, EventKind::CallEnd)
+            .span(span)
+            .channel(channel.raw())
+            .detail(outcome)
+            .emit();
+        result
+    }
+
+    fn call_attempts(
+        &mut self,
+        channel: ChannelId,
+        op: &str,
+        args: &Value,
+        span: u64,
+    ) -> Result<Termination, CallError> {
         let (client, target, believed_node, retry) = {
             let cc = self
                 .channels
@@ -522,9 +577,18 @@ impl Engine {
         let attempts = retry.retries + 1;
 
         for attempt in 0..attempts {
+            if attempt > 0 {
+                event(Layer::Engineering, EventKind::Retry)
+                    .span(span)
+                    .channel(channel.raw())
+                    .detail(format!("op={op} attempt={}", attempt + 1))
+                    .emit();
+                bus::counter_add("engineering.retries", 1);
+            }
             let request_id = self.next_request;
             self.next_request += 1;
-            let mut env = Envelope::request(channel, request_id, target, client_native, payload.clone());
+            let mut env =
+                Envelope::request(channel, request_id, target, client_native, payload.clone());
             {
                 let cc = self.channels.get_mut(&channel).expect("checked above");
                 cc.stack.outgoing(&mut env)?;
@@ -539,12 +603,16 @@ impl Engine {
                 }
                 return self.interpret_reply(target, reply);
             }
-            let _ = attempt;
         }
         Err(CallError::Timeout { attempts })
     }
 
-    fn await_reply(&mut self, driver: Addr, request_id: u64, deadline: SimTime) -> Option<Envelope> {
+    fn await_reply(
+        &mut self,
+        driver: Addr,
+        request_id: u64,
+        deadline: SimTime,
+    ) -> Option<Envelope> {
         loop {
             if let Some(d) = self.sim.inspect_mut::<DriverProcess>(driver) {
                 if let Some(reply) = d.mailbox.remove(&request_id) {
@@ -582,7 +650,9 @@ impl Engine {
             ReplyStatus::Ok => {
                 let value = syntax_for(reply.syntax)
                     .decode(&reply.payload)
-                    .map_err(|e| CallError::BadReply { detail: e.to_string() })?;
+                    .map_err(|e| CallError::BadReply {
+                        detail: e.to_string(),
+                    })?;
                 let name = value
                     .field("name")
                     .and_then(|v| v.as_text())
@@ -602,7 +672,12 @@ impl Engine {
     /// # Errors
     ///
     /// Unknown channel/node or a client-side channel failure.
-    pub fn announce(&mut self, channel: ChannelId, op: &str, args: &Value) -> Result<(), CallError> {
+    pub fn announce(
+        &mut self,
+        channel: ChannelId,
+        op: &str,
+        args: &Value,
+    ) -> Result<(), CallError> {
         let (client, target, believed_node) = {
             let cc = self
                 .channels
@@ -672,9 +747,21 @@ impl Engine {
         cluster: ClusterId,
     ) -> Result<ClusterCheckpoint, EngError> {
         let epoch = self.max_epoch_in(node, capsule, cluster)?;
-        self.nucleus(node)?
+        let checkpoint = self
+            .nucleus(node)?
             .checkpoint_cluster(capsule, cluster, epoch)
-            .ok_or(EngError::UnknownCluster { cluster })
+            .ok_or(EngError::UnknownCluster { cluster })?;
+        event(Layer::Engineering, EventKind::Checkpoint)
+            .in_context()
+            .capsule(capsule.raw())
+            .detail(format!(
+                "cluster={} objects={} epoch={epoch}",
+                cluster,
+                checkpoint.objects.len()
+            ))
+            .emit();
+        bus::counter_add("engineering.checkpoints", 1);
+        Ok(checkpoint)
     }
 
     fn max_epoch_in(
@@ -725,6 +812,14 @@ impl Engine {
                 self.locations.remove(ifc);
             }
         }
+        event(Layer::Engineering, EventKind::Deactivate)
+            .in_context()
+            .capsule(capsule.raw())
+            .detail(format!(
+                "cluster={cluster} objects={}",
+                checkpoint.objects.len()
+            ))
+            .emit();
         Ok(checkpoint)
     }
 
@@ -758,7 +853,11 @@ impl Engine {
         }
         let cluster = self.cluster_gen.fresh();
         self.nucleus_mut(node)?.add_cluster(capsule, cluster);
-        let location = Location { node, capsule, cluster };
+        let location = Location {
+            node,
+            capsule,
+            cluster,
+        };
         for oc in &checkpoint.objects {
             let behaviour = self
                 .registry
@@ -783,6 +882,14 @@ impl Engine {
                 );
             }
         }
+        event(Layer::Engineering, EventKind::Reactivate)
+            .in_context()
+            .capsule(capsule.raw())
+            .detail(format!(
+                "cluster={cluster} objects={} at {node}",
+                checkpoint.objects.len()
+            ))
+            .emit();
         Ok(cluster)
     }
 
@@ -802,16 +909,37 @@ impl Engine {
         to_node: NodeId,
         to_capsule: CapsuleId,
     ) -> Result<ClusterId, EngError> {
-        let checkpoint = self.deactivate_cluster(from_node, from_capsule, cluster)?;
-        match self.reactivate_cluster(to_node, to_capsule, &checkpoint) {
-            Ok(new_cluster) => Ok(new_cluster),
-            Err(e) => {
-                // Roll back: reactivate at the source.
-                let restored = self.reactivate_cluster(from_node, from_capsule, &checkpoint);
-                debug_assert!(restored.is_ok(), "rollback must succeed");
-                Err(e)
+        let span = bus::new_span();
+        event(Layer::Engineering, EventKind::MigrateStart)
+            .span(span)
+            .parent_from_context()
+            .capsule(from_capsule.raw())
+            .detail(format!("cluster={cluster} {from_node} -> {to_node}"))
+            .emit();
+        bus::push_context(span);
+        let result = (|| {
+            let checkpoint = self.deactivate_cluster(from_node, from_capsule, cluster)?;
+            match self.reactivate_cluster(to_node, to_capsule, &checkpoint) {
+                Ok(new_cluster) => Ok(new_cluster),
+                Err(e) => {
+                    // Roll back: reactivate at the source.
+                    let restored = self.reactivate_cluster(from_node, from_capsule, &checkpoint);
+                    debug_assert!(restored.is_ok(), "rollback must succeed");
+                    Err(e)
+                }
             }
-        }
+        })();
+        bus::pop_context();
+        bus::counter_add("engineering.migrations", 1);
+        event(Layer::Engineering, EventKind::MigrateEnd)
+            .span(span)
+            .capsule(to_capsule.raw())
+            .detail(match &result {
+                Ok(new_cluster) => format!("cluster={cluster} -> {new_cluster} at {to_node}"),
+                Err(e) => format!("cluster={cluster} failed: {e} (rolled back)"),
+            })
+            .emit();
+        result
     }
 
     /// Deletes one object (§8.1's object management), returning its final

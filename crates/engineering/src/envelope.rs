@@ -81,7 +81,12 @@ impl Envelope {
     }
 
     /// Creates the reply to a request envelope.
-    pub fn reply_to(req: &Envelope, status: ReplyStatus, syntax: SyntaxId, payload: Vec<u8>) -> Self {
+    pub fn reply_to(
+        req: &Envelope,
+        status: ReplyStatus,
+        syntax: SyntaxId,
+        payload: Vec<u8>,
+    ) -> Self {
         Self {
             kind: EnvelopeKind::Reply,
             channel: req.channel,
@@ -282,7 +287,12 @@ mod tests {
     fn round_trips_all_kinds() {
         let req = sample();
         let reply = Envelope::reply_to(&req, ReplyStatus::NotHere, SyntaxId::Text, vec![9]);
-        let ann = Envelope::announce(ChannelId::new(1), InterfaceId::new(2), SyntaxId::Text, vec![]);
+        let ann = Envelope::announce(
+            ChannelId::new(1),
+            InterfaceId::new(2),
+            SyntaxId::Text,
+            vec![],
+        );
         let flow = Envelope::flow_item(
             ChannelId::new(1),
             InterfaceId::new(2),
@@ -317,13 +327,22 @@ mod tests {
     fn bad_discriminants_rejected() {
         let mut bytes = sample().to_bytes();
         bytes[0] = 9;
-        assert!(Envelope::from_bytes(&bytes).unwrap_err().message.contains("kind"));
+        assert!(Envelope::from_bytes(&bytes)
+            .unwrap_err()
+            .message
+            .contains("kind"));
         let mut bytes = sample().to_bytes();
         bytes[1] = 9;
-        assert!(Envelope::from_bytes(&bytes).unwrap_err().message.contains("status"));
+        assert!(Envelope::from_bytes(&bytes)
+            .unwrap_err()
+            .message
+            .contains("status"));
         let mut bytes = sample().to_bytes();
         bytes[2] = 9;
-        assert!(Envelope::from_bytes(&bytes).unwrap_err().message.contains("syntax"));
+        assert!(Envelope::from_bytes(&bytes)
+            .unwrap_err()
+            .message
+            .contains("syntax"));
     }
 
     #[test]

@@ -54,12 +54,12 @@ pub mod structure;
 
 /// Commonly used items.
 pub mod prelude {
-    pub use crate::behaviour::{BehaviourRegistry, CounterBehaviour, EchoBehaviour, ServerBehaviour};
+    pub use crate::behaviour::{
+        BehaviourRegistry, CounterBehaviour, EchoBehaviour, ServerBehaviour,
+    };
     pub use crate::channel::{ChannelConfig, RetryPolicy};
     pub use crate::engine::{CallError, EngError, Engine};
-    pub use crate::structure::{
-        ClusterCheckpoint, InterfaceRef, Location, StructurePolicy,
-    };
+    pub use crate::structure::{ClusterCheckpoint, InterfaceRef, Location, StructurePolicy};
 }
 
 pub use engine::Engine;

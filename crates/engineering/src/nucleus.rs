@@ -17,9 +17,7 @@ use rmodp_netsim::sim::{Ctx, Message, Process};
 use crate::behaviour::ServerBehaviour;
 use crate::channel::{ChannelError, Stack};
 use crate::envelope::{Envelope, EnvelopeKind, ReplyStatus};
-use crate::structure::{
-    BeoRecord, Cluster, ClusterCheckpoint, NodeStructure, ObjectCheckpoint,
-};
+use crate::structure::{BeoRecord, Cluster, ClusterCheckpoint, NodeStructure, ObjectCheckpoint};
 
 /// The port a node's nucleus listens on.
 pub const NUCLEUS_PORT: u32 = 0;
@@ -125,6 +123,20 @@ impl NucleusProcess {
         for ifc in &record.interfaces {
             self.routing.insert(*ifc, record.object);
         }
+        rmodp_observe::event(
+            rmodp_observe::Layer::Engineering,
+            rmodp_observe::EventKind::Note,
+        )
+        .in_context()
+        .node(self.node.raw())
+        .capsule(capsule.raw())
+        .detail(format!(
+            "nucleus installed {} in {cluster} ({} interface(s))",
+            record.object,
+            record.interfaces.len()
+        ))
+        .emit();
+        rmodp_observe::bus::counter_add("engineering.objects_installed", 1);
         self.behaviours.insert(record.object, behaviour);
         self.states.insert(record.object, state.clone());
         cl.objects.insert(record.object, record);
@@ -169,7 +181,11 @@ impl NucleusProcess {
             .values()
             .map(|record| ObjectCheckpoint {
                 record: record.clone(),
-                state: self.states.get(&record.object).cloned().unwrap_or(Value::Null),
+                state: self
+                    .states
+                    .get(&record.object)
+                    .cloned()
+                    .unwrap_or(Value::Null),
             })
             .collect();
         Some(ClusterCheckpoint {
@@ -212,11 +228,27 @@ impl NucleusProcess {
 
     /// Direct invocation bypassing the network — the engine uses this for
     /// intra-node calls from management functions.
-    pub fn invoke_local(&mut self, interface: InterfaceId, invocation: &Invocation) -> Option<Termination> {
+    pub fn invoke_local(
+        &mut self,
+        interface: InterfaceId,
+        invocation: &Invocation,
+    ) -> Option<Termination> {
         let object = *self.routing.get(&interface)?;
         let behaviour = self.behaviours.get_mut(&object)?;
         let state = self.states.get_mut(&object)?;
         self.stats.requests += 1;
+        rmodp_observe::event(
+            rmodp_observe::Layer::Engineering,
+            rmodp_observe::EventKind::Note,
+        )
+        .in_context()
+        .node(self.node.raw())
+        .detail(format!(
+            "nucleus dispatch {} -> {object} ({interface})",
+            invocation.operation
+        ))
+        .emit();
+        rmodp_observe::bus::counter_add("engineering.nucleus_dispatches", 1);
         Some(behaviour.invoke(state, invocation))
     }
 
@@ -258,7 +290,12 @@ impl NucleusProcess {
         ctx.send(reply_to, reply.to_bytes());
     }
 
-    fn handle_envelope(&mut self, ctx: &mut Ctx<'_>, src: rmodp_netsim::sim::Addr, mut env: Envelope) {
+    fn handle_envelope(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        src: rmodp_netsim::sim::Addr,
+        mut env: Envelope,
+    ) {
         // Run the server half of the channel.
         if env.channel.raw() != 0 {
             if let Some(stack) = self.server_channels.get_mut(&env.channel) {
@@ -311,9 +348,10 @@ impl NucleusProcess {
                 if let Some(&object) = self.routing.get(&env.target) {
                     if let Some(invocation) = self.decode_invocation(env.syntax, &env.payload) {
                         self.stats.announcements += 1;
-                        if let (Some(b), Some(s)) =
-                            (self.behaviours.get_mut(&object), self.states.get_mut(&object))
-                        {
+                        if let (Some(b), Some(s)) = (
+                            self.behaviours.get_mut(&object),
+                            self.states.get_mut(&object),
+                        ) {
                             let _ = b.invoke(s, &invocation);
                         }
                     }
@@ -323,9 +361,10 @@ impl NucleusProcess {
                 if let Some(&object) = self.routing.get(&env.target) {
                     if let Ok(item) = syntax_for(env.syntax).decode(&env.payload) {
                         self.stats.flows += 1;
-                        if let (Some(b), Some(s)) =
-                            (self.behaviours.get_mut(&object), self.states.get_mut(&object))
-                        {
+                        if let (Some(b), Some(s)) = (
+                            self.behaviours.get_mut(&object),
+                            self.states.get_mut(&object),
+                        ) {
                             b.on_flow(s, &env.flow, &item);
                         }
                     }
@@ -403,17 +442,26 @@ mod tests {
         let (mut n, ifc, obj) = nucleus_with_counter();
         assert_eq!(n.routing.get(&ifc), Some(&obj));
         let t = n
-            .invoke_local(ifc, &Invocation::new("Add", Value::record([("k", Value::Int(4))])))
+            .invoke_local(
+                ifc,
+                &Invocation::new("Add", Value::record([("k", Value::Int(4))])),
+            )
             .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(4)));
-        assert_eq!(n.object_state(obj).unwrap().field("n"), Some(&Value::Int(4)));
+        assert_eq!(
+            n.object_state(obj).unwrap().field("n"),
+            Some(&Value::Int(4))
+        );
         assert_eq!(n.stats.requests, 1);
     }
 
     #[test]
     fn checkpoint_captures_and_remove_cluster_clears() {
         let (mut n, ifc, obj) = nucleus_with_counter();
-        n.invoke_local(ifc, &Invocation::new("Add", Value::record([("k", Value::Int(7))])));
+        n.invoke_local(
+            ifc,
+            &Invocation::new("Add", Value::record([("k", Value::Int(7))])),
+        );
         let cp = n
             .checkpoint_cluster(CapsuleId::new(1), ClusterId::new(1), 3)
             .unwrap();
@@ -445,8 +493,12 @@ mod tests {
     fn unknown_cluster_operations_fail_gracefully() {
         let (mut n, _, _) = nucleus_with_counter();
         assert!(!n.add_cluster(CapsuleId::new(9), ClusterId::new(2)));
-        assert!(n.checkpoint_cluster(CapsuleId::new(9), ClusterId::new(1), 0).is_none());
-        assert!(n.remove_cluster(CapsuleId::new(1), ClusterId::new(9), 0).is_none());
+        assert!(n
+            .checkpoint_cluster(CapsuleId::new(9), ClusterId::new(1), 0)
+            .is_none());
+        assert!(n
+            .remove_cluster(CapsuleId::new(1), ClusterId::new(9), 0)
+            .is_none());
         let record = BeoRecord {
             object: ObjectId::new(5),
             name: "x".into(),

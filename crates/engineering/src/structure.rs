@@ -147,7 +147,11 @@ impl NodeStructure {
     /// contains objects) hold by construction of the tree; what is checked
     /// here is policy conformance and referential integrity of interface
     /// routing.
-    pub fn validate(&self, policy: &StructurePolicy, routing: &BTreeMap<InterfaceId, ObjectId>) -> Vec<String> {
+    pub fn validate(
+        &self,
+        policy: &StructurePolicy,
+        routing: &BTreeMap<InterfaceId, ObjectId>,
+    ) -> Vec<String> {
         let mut violations = Vec::new();
         if let Some(max) = policy.max_capsules_per_node {
             if self.capsules.len() > max {
@@ -179,12 +183,9 @@ impl NodeStructure {
                     for ifc in &record.interfaces {
                         match routing.get(ifc) {
                             Some(owner) if owner == object_id => {}
-                            Some(owner) => violations.push(format!(
-                                "{ifc} routed to {owner} but owned by {object_id}"
-                            )),
-                            None => violations.push(format!(
-                                "{ifc} of {object_id} is not routed"
-                            )),
+                            Some(owner) => violations
+                                .push(format!("{ifc} routed to {owner} but owned by {object_id}")),
+                            None => violations.push(format!("{ifc} of {object_id} is not routed")),
                         }
                     }
                 }
@@ -222,8 +223,12 @@ mod tests {
         let mut node = NodeStructure::default();
         let mut capsule = Capsule::default();
         let mut cluster = Cluster::default();
-        cluster.objects.insert(ObjectId::new(1), record(1, vec![10]));
-        cluster.objects.insert(ObjectId::new(2), record(2, vec![20, 21]));
+        cluster
+            .objects
+            .insert(ObjectId::new(1), record(1, vec![10]));
+        cluster
+            .objects
+            .insert(ObjectId::new(2), record(2, vec![20, 21]));
         capsule.clusters.insert(ClusterId::new(1), cluster);
         node.capsules.insert(CapsuleId::new(1), capsule);
         let routing: BTreeMap<InterfaceId, ObjectId> = [
@@ -245,7 +250,9 @@ mod tests {
     #[test]
     fn valid_structure_has_no_violations() {
         let (node, routing) = small_node();
-        assert!(node.validate(&StructurePolicy::default(), &routing).is_empty());
+        assert!(node
+            .validate(&StructurePolicy::default(), &routing)
+            .is_empty());
     }
 
     #[test]
@@ -263,8 +270,14 @@ mod tests {
         routing.remove(&InterfaceId::new(21));
         routing.insert(InterfaceId::new(10), ObjectId::new(2));
         let violations = node.validate(&StructurePolicy::default(), &routing);
-        assert!(violations.iter().any(|v| v.contains("not routed")), "{violations:?}");
-        assert!(violations.iter().any(|v| v.contains("owned by")), "{violations:?}");
+        assert!(
+            violations.iter().any(|v| v.contains("not routed")),
+            "{violations:?}"
+        );
+        assert!(
+            violations.iter().any(|v| v.contains("owned by")),
+            "{violations:?}"
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@ use rmodp_netsim::topology::LinkConfig;
 
 fn engine() -> Engine {
     let mut e = Engine::new(7);
-    e.behaviours_mut().register("counter", CounterBehaviour::default);
+    e.behaviours_mut()
+        .register("counter", CounterBehaviour::default);
     e.behaviours_mut().register("echo", || EchoBehaviour);
     e
 }
@@ -47,7 +48,9 @@ fn add_args(k: i64) -> Value {
 fn remote_interrogation_accumulates_state() {
     let mut e = engine();
     let (_, client, _, _, iref) = counter_setup(&mut e);
-    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let ch = e
+        .open_channel(client, iref.interface, ChannelConfig::default())
+        .unwrap();
     for k in 1..=10 {
         let t = e.call(ch, "Add", &add_args(k)).unwrap();
         assert!(t.is_ok(), "{t:?}");
@@ -75,7 +78,9 @@ fn heterogeneous_nodes_interwork_through_marshalling() {
 fn announcements_are_fire_and_forget() {
     let mut e = engine();
     let (server, client, _, _, iref) = counter_setup(&mut e);
-    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let ch = e
+        .open_channel(client, iref.interface, ChannelConfig::default())
+        .unwrap();
     e.announce(ch, "Add", &add_args(5)).unwrap();
     e.announce(ch, "Add", &add_args(6)).unwrap();
     e.run_until_idle();
@@ -88,7 +93,9 @@ fn announcements_are_fire_and_forget() {
 fn flows_drive_on_flow() {
     let mut e = engine();
     let (server, client, _, _, iref) = counter_setup(&mut e);
-    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let ch = e
+        .open_channel(client, iref.interface, ChannelConfig::default())
+        .unwrap();
     for k in [1, 2, 3] {
         e.send_flow(ch, "increments", &Value::Int(k)).unwrap();
     }
@@ -110,7 +117,9 @@ fn lossy_link_times_out_then_retry_succeeds() {
         s,
         LinkConfig::with_latency(SimDuration::from_millis(1)).loss(1.0),
     );
-    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let ch = e
+        .open_channel(client, iref.interface, ChannelConfig::default())
+        .unwrap();
     let err = e.call(ch, "Add", &add_args(1)).unwrap_err();
     assert_eq!(err, CallError::Timeout { attempts: 1 });
 
@@ -157,7 +166,8 @@ fn sequence_binder_foils_replayed_requests_end_to_end() {
     let mut replayed = Envelope::request(ch, 999, iref.interface, SyntaxId::Binary, payload);
     replayed.seq = 1;
     let nucleus = Addr::new(e.sim_node(server).unwrap(), 0);
-    e.sim_mut().send_from(Addr::EXTERNAL, nucleus, replayed.to_bytes());
+    e.sim_mut()
+        .send_from(Addr::EXTERNAL, nucleus, replayed.to_bytes());
     e.run_until_idle();
 
     // The binder rejected the replay: no second Add was executed.
@@ -170,13 +180,22 @@ fn sequence_binder_foils_replayed_requests_end_to_end() {
 fn deactivate_then_calls_get_not_here_then_reactivate_restores() {
     let mut e = engine();
     let (server, client, capsule, cluster, iref) = counter_setup(&mut e);
-    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let ch = e
+        .open_channel(client, iref.interface, ChannelConfig::default())
+        .unwrap();
     e.call(ch, "Add", &add_args(9)).unwrap();
 
     let checkpoint = e.deactivate_cluster(server, capsule, cluster).unwrap();
     assert_eq!(e.lookup(iref.interface), None);
-    let err = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap_err();
-    assert_eq!(err, CallError::NotHere { interface: iref.interface });
+    let err = e
+        .call(ch, "Get", &Value::record::<&str, _>([]))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        CallError::NotHere {
+            interface: iref.interface
+        }
+    );
 
     let new_cluster = e.reactivate_cluster(server, capsule, &checkpoint).unwrap();
     assert_ne!(new_cluster, cluster);
@@ -192,7 +211,9 @@ fn deactivate_then_calls_get_not_here_then_reactivate_restores() {
 fn migration_preserves_identity_and_state() {
     let mut e = engine();
     let (server, client, capsule, cluster, iref) = counter_setup(&mut e);
-    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let ch = e
+        .open_channel(client, iref.interface, ChannelConfig::default())
+        .unwrap();
     e.call(ch, "Add", &add_args(21)).unwrap();
 
     // Migrate the cluster to a third node with a different native syntax.
@@ -209,8 +230,15 @@ fn migration_preserves_identity_and_state() {
     assert!(fresh.epoch > iref.epoch); // epoch bumped
 
     // The old channel belief is stale: NotHere.
-    let err = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap_err();
-    assert_eq!(err, CallError::NotHere { interface: iref.interface });
+    let err = e
+        .call(ch, "Get", &Value::record::<&str, _>([]))
+        .unwrap_err();
+    assert_eq!(
+        err,
+        CallError::NotHere {
+            interface: iref.interface
+        }
+    );
 
     // Redirect (what a relocation-transparent binder automates) and the
     // call succeeds against migrated state.
@@ -230,7 +258,9 @@ fn migrate_to_unknown_node_rolls_back() {
     // The cluster is back at the source (fresh cluster id, same data).
     let fresh = e.lookup(iref.interface).unwrap();
     assert_eq!(fresh.location.node, server);
-    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let ch = e
+        .open_channel(client, iref.interface, ChannelConfig::default())
+        .unwrap();
     let t = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
     assert!(t.is_ok());
 }
@@ -247,11 +277,27 @@ fn structure_policy_restricts_creation() {
         e.add_cluster(node, capsule),
         Err(EngError::Policy { .. })
     ));
-    e.create_object(node, capsule, cluster, "a", "echo", Value::record::<&str, _>([]), 1)
-        .unwrap();
+    e.create_object(
+        node,
+        capsule,
+        cluster,
+        "a",
+        "echo",
+        Value::record::<&str, _>([]),
+        1,
+    )
+    .unwrap();
     // Second object in the same cluster violates the policy.
     assert!(matches!(
-        e.create_object(node, capsule, cluster, "b", "echo", Value::record::<&str, _>([]), 1),
+        e.create_object(
+            node,
+            capsule,
+            cluster,
+            "b",
+            "echo",
+            Value::record::<&str, _>([]),
+            1
+        ),
         Err(EngError::Policy { .. })
     ));
     assert!(e.validate_node(node).unwrap().is_empty());
@@ -269,12 +315,16 @@ fn validate_node_passes_for_live_engine() {
 fn crashed_server_times_out_and_recovers_after_restart() {
     let mut e = engine();
     let (server, client, _, _, iref) = counter_setup(&mut e);
-    let ch = e.open_channel(client, iref.interface, ChannelConfig::default()).unwrap();
+    let ch = e
+        .open_channel(client, iref.interface, ChannelConfig::default())
+        .unwrap();
     e.call(ch, "Add", &add_args(4)).unwrap();
 
     let s = e.sim_node(server).unwrap();
     e.sim_mut().topology_mut().crash(s);
-    let err = e.call(ch, "Get", &Value::record::<&str, _>([])).unwrap_err();
+    let err = e
+        .call(ch, "Get", &Value::record::<&str, _>([]))
+        .unwrap_err();
     assert!(matches!(err, CallError::Timeout { .. }));
 
     e.sim_mut().topology_mut().restart(s);
@@ -307,15 +357,35 @@ fn unknown_entities_error_cleanly() {
         Err(EngError::UnknownCapsule { .. })
     ));
     assert!(matches!(
-        e.create_object(server, capsule, ClusterId::new(99), "x", "counter", Value::Null, 0),
+        e.create_object(
+            server,
+            capsule,
+            ClusterId::new(99),
+            "x",
+            "counter",
+            Value::Null,
+            0
+        ),
         Err(EngError::UnknownCluster { .. })
     ));
     assert!(matches!(
-        e.create_object(server, capsule, ClusterId::new(1), "x", "ghost", Value::Null, 0),
+        e.create_object(
+            server,
+            capsule,
+            ClusterId::new(1),
+            "x",
+            "ghost",
+            Value::Null,
+            0
+        ),
         Err(EngError::UnknownBehaviour { .. })
     ));
     assert!(matches!(
-        e.open_channel(client, rmodp_core::id::InterfaceId::new(99), ChannelConfig::default()),
+        e.open_channel(
+            client,
+            rmodp_core::id::InterfaceId::new(99),
+            ChannelConfig::default()
+        ),
         Err(EngError::UnknownInterface { .. })
     ));
     let _ = iref;

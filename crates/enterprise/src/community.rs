@@ -176,7 +176,9 @@ mod tests {
         let mut c = branch();
         assert_eq!(
             c.add_role("teller"),
-            Err(CommunityError::DuplicateRole { role: "teller".into() })
+            Err(CommunityError::DuplicateRole {
+                role: "teller".into()
+            })
         );
         assert_eq!(c.roles().count(), 3);
     }
@@ -201,12 +203,17 @@ mod tests {
         let mut c = branch();
         assert_eq!(
             c.assign(1, "auditor"),
-            Err(CommunityError::UnknownRole { role: "auditor".into() })
+            Err(CommunityError::UnknownRole {
+                role: "auditor".into()
+            })
         );
         c.assign(1, "teller").unwrap();
         assert_eq!(
             c.assign(1, "teller"),
-            Err(CommunityError::AlreadyAssigned { object: 1, role: "teller".into() })
+            Err(CommunityError::AlreadyAssigned {
+                object: 1,
+                role: "teller".into()
+            })
         );
     }
 

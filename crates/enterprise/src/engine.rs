@@ -37,14 +37,12 @@ impl ActionRequest {
 }
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EngineConfig {
     /// Whether actions with no applicable permission are allowed.
     /// Enterprise specifications usually close the world: deny by default.
     pub allow_by_default: bool,
 }
-
 
 /// A policy-engine failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -228,12 +226,13 @@ impl PolicyEngine {
             }
             match p.condition() {
                 None => Ok(true),
-                Some(cond) => cond.eval_bool(&request.context).map_err(|error| {
-                    PolicyError::Condition {
-                        policy: p.name().to_owned(),
-                        error,
-                    }
-                }),
+                Some(cond) => {
+                    cond.eval_bool(&request.context)
+                        .map_err(|error| PolicyError::Condition {
+                            policy: p.name().to_owned(),
+                            error,
+                        })
+                }
             }
         };
         for p in &self.policies {
@@ -251,9 +250,13 @@ impl PolicyEngine {
             }
         }
         Ok(if self.config.allow_by_default {
-            Decision::Allowed { by: "default".to_owned() }
+            Decision::Allowed {
+                by: "default".to_owned(),
+            }
         } else {
-            Decision::Denied { by: "default".to_owned() }
+            Decision::Denied {
+                by: "default".to_owned(),
+            }
         })
     }
 
@@ -324,7 +327,10 @@ impl PolicyEngine {
 
     /// Obligation instances in a given state.
     pub fn obligations_in(&self, state: ObligationState) -> Vec<&Obligation> {
-        self.obligations.iter().filter(|o| o.state == state).collect()
+        self.obligations
+            .iter()
+            .filter(|o| o.state == state)
+            .collect()
     }
 
     /// All obligation instances.
@@ -355,7 +361,8 @@ mod tests {
 
     fn engine() -> PolicyEngine {
         let mut e = PolicyEngine::new(EngineConfig::default());
-        e.adopt(Policy::permission("deposit-open", "*", "deposit")).unwrap();
+        e.adopt(Policy::permission("deposit-open", "*", "deposit"))
+            .unwrap();
         e.adopt(
             Policy::permission("customer-withdraw", "customer", "withdraw")
                 .when("amount > 0")
@@ -368,10 +375,18 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        e.adopt(Policy::permission("manager-create", "manager", "create_account"))
-            .unwrap();
-        e.adopt(Policy::obligation("advise-rate", "manager", "notify_customer"))
-            .unwrap();
+        e.adopt(Policy::permission(
+            "manager-create",
+            "manager",
+            "create_account",
+        ))
+        .unwrap();
+        e.adopt(Policy::obligation(
+            "advise-rate",
+            "manager",
+            "notify_customer",
+        ))
+        .unwrap();
         e
     }
 
@@ -387,11 +402,18 @@ mod tests {
         let c = branch();
         let mut e = engine();
         let ok = ActionRequest::new(3, "withdraw").with_context(withdraw_ctx(400, 0));
-        assert_eq!(e.decide(&c, &ok).unwrap(), Decision::Allowed { by: "customer-withdraw".into() });
+        assert_eq!(
+            e.decide(&c, &ok).unwrap(),
+            Decision::Allowed {
+                by: "customer-withdraw".into()
+            }
+        );
         let too_much = ActionRequest::new(3, "withdraw").with_context(withdraw_ctx(200, 400));
         assert_eq!(
             e.decide(&c, &too_much).unwrap(),
-            Decision::Denied { by: "daily-limit".into() }
+            Decision::Denied {
+                by: "daily-limit".into()
+            }
         );
     }
 
@@ -401,7 +423,12 @@ mod tests {
         let mut e = engine();
         // A teller has no permission to create accounts; only the manager.
         let req = ActionRequest::new(2, "create_account");
-        assert_eq!(e.decide(&c, &req).unwrap(), Decision::Denied { by: "default".into() });
+        assert_eq!(
+            e.decide(&c, &req).unwrap(),
+            Decision::Denied {
+                by: "default".into()
+            }
+        );
         let req = ActionRequest::new(1, "create_account");
         assert!(e.decide(&c, &req).unwrap().is_allowed());
     }
@@ -409,7 +436,9 @@ mod tests {
     #[test]
     fn allow_by_default_flips_the_open_world() {
         let c = branch();
-        let mut e = PolicyEngine::new(EngineConfig { allow_by_default: true });
+        let mut e = PolicyEngine::new(EngineConfig {
+            allow_by_default: true,
+        });
         let req = ActionRequest::new(2, "anything");
         assert!(e.decide(&c, &req).unwrap().is_allowed());
     }
@@ -441,7 +470,12 @@ mod tests {
         assert!(e.revoke("customer-withdraw"));
         assert!(!e.revoke("customer-withdraw"));
         let req = ActionRequest::new(3, "withdraw").with_context(withdraw_ctx(100, 0));
-        assert_eq!(e.decide(&c, &req).unwrap(), Decision::Denied { by: "default".into() });
+        assert_eq!(
+            e.decide(&c, &req).unwrap(),
+            Decision::Denied {
+                by: "default".into()
+            }
+        );
         assert!(e
             .audit()
             .iter()
@@ -465,9 +499,15 @@ mod tests {
         // Deadline passes: the second obligation is violated.
         e.tick(101);
         assert_eq!(e.obligations_in(ObligationState::Violated).len(), 1);
-        assert!(matches!(e.discharge(ob2), Err(PolicyError::NotOutstanding { .. })));
+        assert!(matches!(
+            e.discharge(ob2),
+            Err(PolicyError::NotOutstanding { .. })
+        ));
         // Double-discharge is also rejected.
-        assert!(matches!(e.discharge(ob1), Err(PolicyError::NotOutstanding { .. })));
+        assert!(matches!(
+            e.discharge(ob1),
+            Err(PolicyError::NotOutstanding { .. })
+        ));
     }
 
     #[test]

@@ -217,9 +217,18 @@ mod tests {
 
     #[test]
     fn constructors_set_kind() {
-        assert_eq!(Policy::permission("p", "r", "a").kind(), PolicyKind::Permission);
-        assert_eq!(Policy::prohibition("p", "r", "a").kind(), PolicyKind::Prohibition);
-        assert_eq!(Policy::obligation("p", "r", "a").kind(), PolicyKind::Obligation);
+        assert_eq!(
+            Policy::permission("p", "r", "a").kind(),
+            PolicyKind::Permission
+        );
+        assert_eq!(
+            Policy::prohibition("p", "r", "a").kind(),
+            PolicyKind::Prohibition
+        );
+        assert_eq!(
+            Policy::obligation("p", "r", "a").kind(),
+            PolicyKind::Obligation
+        );
     }
 
     #[test]
@@ -247,7 +256,9 @@ mod tests {
         let s = p.to_string();
         assert!(s.contains("may not withdraw"), "{s}");
         assert!(s.contains("when"), "{s}");
-        assert!(Decision::Allowed { by: "p".into() }.to_string().contains("allowed"));
+        assert!(Decision::Allowed { by: "p".into() }
+            .to_string()
+            .contains("allowed"));
     }
 
     #[test]

@@ -62,8 +62,9 @@ fn request(actor: u8, action: u8, amount: i64) -> ActionRequest {
 
 /// Ground truth mirror of the documented decision procedure.
 fn expected(policies: &[PolicySpec], actor: u8, action: u8, amount: i64) -> bool {
-    let applicable = |p: &PolicySpec| p.role == actor && p.action == action
-        && p.threshold.map(|t| amount > t).unwrap_or(true);
+    let applicable = |p: &PolicySpec| {
+        p.role == actor && p.action == action && p.threshold.map(|t| amount > t).unwrap_or(true)
+    };
     if policies.iter().any(|p| p.kind == 1 && applicable(p)) {
         return false;
     }

@@ -189,9 +189,7 @@ impl GroupManager {
             .ok_or(GroupError::UnknownGroup { group })?;
         Ok(match g.policy {
             ReplicationPolicy::Active => g.members.clone(),
-            ReplicationPolicy::PrimaryCopy => {
-                g.members.iter().min().copied().into_iter().collect()
-            }
+            ReplicationPolicy::PrimaryCopy => g.members.iter().min().copied().into_iter().collect(),
         })
     }
 
@@ -201,7 +199,11 @@ impl GroupManager {
     /// # Errors
     ///
     /// Unknown group.
-    pub fn read_target(&self, group: GroupId, request_no: u64) -> Result<Option<InterfaceId>, GroupError> {
+    pub fn read_target(
+        &self,
+        group: GroupId,
+        request_no: u64,
+    ) -> Result<Option<InterfaceId>, GroupError> {
         let g = self
             .groups
             .get(&group)
@@ -209,7 +211,9 @@ impl GroupManager {
         if g.members.is_empty() {
             return Ok(None);
         }
-        Ok(Some(g.members[(request_no % g.members.len() as u64) as usize]))
+        Ok(Some(
+            g.members[(request_no % g.members.len() as u64) as usize],
+        ))
     }
 
     /// The full view history of a group.
@@ -245,12 +249,18 @@ mod tests {
         let g = gm.create(ReplicationPolicy::PrimaryCopy, [ifc(1), ifc(2)]);
         let v = gm.join(g, ifc(3)).unwrap();
         assert_eq!(v.number, 2);
-        assert!(matches!(gm.join(g, ifc(3)), Err(GroupError::AlreadyMember { .. })));
+        assert!(matches!(
+            gm.join(g, ifc(3)),
+            Err(GroupError::AlreadyMember { .. })
+        ));
         let v = gm.leave(g, ifc(1)).unwrap();
         assert_eq!(v.number, 3);
         // Primary re-elected deterministically.
         assert_eq!(v.primary, Some(ifc(2)));
-        assert!(matches!(gm.leave(g, ifc(1)), Err(GroupError::NotMember { .. })));
+        assert!(matches!(
+            gm.leave(g, ifc(1)),
+            Err(GroupError::NotMember { .. })
+        ));
         assert_eq!(gm.view_log(g).len(), 3);
     }
 
@@ -259,7 +269,10 @@ mod tests {
         let mut gm = GroupManager::new();
         let active = gm.create(ReplicationPolicy::Active, [ifc(1), ifc(2), ifc(3)]);
         let primary = gm.create(ReplicationPolicy::PrimaryCopy, [ifc(5), ifc(4)]);
-        assert_eq!(gm.update_targets(active).unwrap(), vec![ifc(1), ifc(2), ifc(3)]);
+        assert_eq!(
+            gm.update_targets(active).unwrap(),
+            vec![ifc(1), ifc(2), ifc(3)]
+        );
         assert_eq!(gm.update_targets(primary).unwrap(), vec![ifc(4)]);
     }
 
@@ -278,8 +291,14 @@ mod tests {
     fn unknown_group_errors() {
         let gm = GroupManager::new();
         let ghost = GroupId::new(99);
-        assert!(matches!(gm.view(ghost), Err(GroupError::UnknownGroup { .. })));
-        assert!(matches!(gm.update_targets(ghost), Err(GroupError::UnknownGroup { .. })));
+        assert!(matches!(
+            gm.view(ghost),
+            Err(GroupError::UnknownGroup { .. })
+        ));
+        assert!(matches!(
+            gm.update_targets(ghost),
+            Err(GroupError::UnknownGroup { .. })
+        ));
         assert!(gm.view_log(ghost).is_empty());
     }
 }

@@ -231,9 +231,14 @@ mod tests {
     use rmodp_engineering::behaviour::CounterBehaviour;
     use rmodp_engineering::channel::ChannelConfig;
 
-    fn engine_with_counters() -> (Engine, Vec<(NodeId, CapsuleId, ClusterId)>, Vec<rmodp_engineering::structure::InterfaceRef>) {
+    fn engine_with_counters() -> (
+        Engine,
+        Vec<(NodeId, CapsuleId, ClusterId)>,
+        Vec<rmodp_engineering::structure::InterfaceRef>,
+    ) {
         let mut e = Engine::new(5);
-        e.behaviours_mut().register("counter", CounterBehaviour::default);
+        e.behaviours_mut()
+            .register("counter", CounterBehaviour::default);
         let mut clusters = Vec::new();
         let mut refs = Vec::new();
         for _ in 0..2 {
@@ -241,7 +246,15 @@ mod tests {
             let capsule = e.add_capsule(node).unwrap();
             let cluster = e.add_cluster(node, capsule).unwrap();
             let (_, r) = e
-                .create_object(node, capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+                .create_object(
+                    node,
+                    capsule,
+                    cluster,
+                    "c",
+                    "counter",
+                    CounterBehaviour::initial_state(),
+                    1,
+                )
                 .unwrap();
             clusters.push((node, capsule, cluster));
             refs.push(r[0]);
@@ -253,10 +266,16 @@ mod tests {
     fn coordinated_checkpoint_and_restore_round_trip() {
         let (mut e, clusters, refs) = engine_with_counters();
         let client = e.add_node(SyntaxId::Binary);
-        let ch0 = e.open_channel(client, refs[0].interface, ChannelConfig::default()).unwrap();
-        let ch1 = e.open_channel(client, refs[1].interface, ChannelConfig::default()).unwrap();
-        e.call(ch0, "Add", &Value::record([("k", Value::Int(10))])).unwrap();
-        e.call(ch1, "Add", &Value::record([("k", Value::Int(20))])).unwrap();
+        let ch0 = e
+            .open_channel(client, refs[0].interface, ChannelConfig::default())
+            .unwrap();
+        let ch1 = e
+            .open_channel(client, refs[1].interface, ChannelConfig::default())
+            .unwrap();
+        e.call(ch0, "Add", &Value::record([("k", Value::Int(10))]))
+            .unwrap();
+        e.call(ch1, "Add", &Value::record([("k", Value::Int(20))]))
+            .unwrap();
 
         let checkpoint = {
             let mut mgmt = ManagementFunctions::new(&mut e);
@@ -265,7 +284,8 @@ mod tests {
         assert_eq!(checkpoint.clusters.len(), 2);
 
         // More work happens, then disaster: restore the coordinated cut.
-        e.call(ch0, "Add", &Value::record([("k", Value::Int(999))])).unwrap();
+        e.call(ch0, "Add", &Value::record([("k", Value::Int(999))]))
+            .unwrap();
         {
             let mut mgmt = ManagementFunctions::new(&mut e);
             mgmt.coordinated_restore(&checkpoint).unwrap();

@@ -31,7 +31,11 @@ impl fmt::Display for RelocatorError {
             RelocatorError::Unknown { interface } => {
                 write!(f, "relocator knows nothing about {interface}")
             }
-            RelocatorError::StaleUpdate { interface, current, offered } => write!(
+            RelocatorError::StaleUpdate {
+                interface,
+                current,
+                offered,
+            } => write!(
                 f,
                 "stale update for {interface}: epoch {offered} <= current {current}"
             ),
@@ -168,9 +172,15 @@ mod tests {
     fn register_lookup_update() {
         let mut r = Relocator::new();
         r.register(iref(1, 1, 1)).unwrap();
-        assert_eq!(r.lookup(InterfaceId::new(1)).unwrap().location.node, NodeId::new(1));
+        assert_eq!(
+            r.lookup(InterfaceId::new(1)).unwrap().location.node,
+            NodeId::new(1)
+        );
         r.register(iref(1, 2, 2)).unwrap();
-        assert_eq!(r.lookup(InterfaceId::new(1)).unwrap().location.node, NodeId::new(2));
+        assert_eq!(
+            r.lookup(InterfaceId::new(1)).unwrap().location.node,
+            NodeId::new(2)
+        );
         assert_eq!(r.epoch_of(InterfaceId::new(1)), Some(2));
         assert_eq!(r.stats().lookups, 2);
         assert_eq!(r.stats().updates, 2);
@@ -181,12 +191,22 @@ mod tests {
         let mut r = Relocator::new();
         r.register(iref(1, 1, 5)).unwrap();
         let err = r.register(iref(1, 2, 5)).unwrap_err();
-        assert!(matches!(err, RelocatorError::StaleUpdate { current: 5, offered: 5, .. }));
+        assert!(matches!(
+            err,
+            RelocatorError::StaleUpdate {
+                current: 5,
+                offered: 5,
+                ..
+            }
+        ));
         let err = r.register(iref(1, 2, 3)).unwrap_err();
         assert!(matches!(err, RelocatorError::StaleUpdate { .. }));
         assert_eq!(r.stats().stale_updates, 2);
         // The good registration is untouched.
-        assert_eq!(r.peek(InterfaceId::new(1)).unwrap().location.node, NodeId::new(1));
+        assert_eq!(
+            r.peek(InterfaceId::new(1)).unwrap().location.node,
+            NodeId::new(1)
+        );
     }
 
     #[test]

@@ -170,12 +170,14 @@ impl AccessController {
 
     /// Grants an operation (or `"*"`) to a principal.
     pub fn allow_principal(&mut self, principal: PrincipalId, operation: impl Into<String>) {
-        self.rules.push((Subject::Principal(principal), operation.into()));
+        self.rules
+            .push((Subject::Principal(principal), operation.into()));
     }
 
     /// Grants an operation (or `"*"`) to a role.
     pub fn allow_role(&mut self, role: impl Into<String>, operation: impl Into<String>) {
-        self.rules.push((Subject::Role(role.into()), operation.into()));
+        self.rules
+            .push((Subject::Role(role.into()), operation.into()));
     }
 
     /// Assigns a role to a principal.
@@ -220,7 +222,10 @@ mod tests {
         assert_eq!(token.principal, alice);
         assert_eq!(auth.validate(token.value, 500), Ok(alice));
         // Expired.
-        assert_eq!(auth.validate(token.value, 1_100), Err(AuthError::InvalidToken));
+        assert_eq!(
+            auth.validate(token.value, 1_100),
+            Err(AuthError::InvalidToken)
+        );
         assert_eq!(auth.name_of(alice), Some("alice"));
     }
 

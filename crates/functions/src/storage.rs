@@ -13,14 +13,22 @@ pub enum StorageError {
     /// No value is stored under the name.
     NotFound { name: Name },
     /// A compare-and-swap expectation failed.
-    VersionMismatch { name: Name, expected: u64, actual: u64 },
+    VersionMismatch {
+        name: Name,
+        expected: u64,
+        actual: u64,
+    },
 }
 
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::NotFound { name } => write!(f, "nothing stored under {name}"),
-            StorageError::VersionMismatch { name, expected, actual } => write!(
+            StorageError::VersionMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "version mismatch for {name}: expected {expected}, found {actual}"
             ),
@@ -79,7 +87,11 @@ impl StorageFunction {
     ) -> Result<u64, StorageError> {
         let actual = self.entries.get(&name).map(|e| e.version).unwrap_or(0);
         if actual != expected {
-            return Err(StorageError::VersionMismatch { name, expected, actual });
+            return Err(StorageError::VersionMismatch {
+                name,
+                expected,
+                actual,
+            });
         }
         Ok(self.put(name, data))
     }
@@ -163,7 +175,11 @@ mod tests {
         assert_eq!(s.put_if(name("k"), 0, vec![1]).unwrap(), 1);
         assert!(matches!(
             s.put_if(name("k"), 0, vec![9]),
-            Err(StorageError::VersionMismatch { expected: 0, actual: 1, .. })
+            Err(StorageError::VersionMismatch {
+                expected: 0,
+                actual: 1,
+                ..
+            })
         ));
         assert_eq!(s.put_if(name("k"), 1, vec![2]).unwrap(), 2);
     }
@@ -174,7 +190,10 @@ mod tests {
         s.put(name("x"), vec![1]);
         assert!(s.delete(&name("x")));
         assert!(!s.delete(&name("x")));
-        assert!(matches!(s.get(&name("x")), Err(StorageError::NotFound { .. })));
+        assert!(matches!(
+            s.get(&name("x")),
+            Err(StorageError::NotFound { .. })
+        ));
         assert!(s.is_empty());
     }
 

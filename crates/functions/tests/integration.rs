@@ -15,14 +15,31 @@ use rmodp_functions::relation::RelationshipRepository;
 use rmodp_functions::relocator::Relocator;
 use rmodp_functions::storage::StorageFunction;
 
-fn engine_with_counter() -> (Engine, rmodp_engineering::structure::InterfaceRef, (rmodp_core::id::NodeId, rmodp_core::id::CapsuleId, rmodp_core::id::ClusterId)) {
+fn engine_with_counter() -> (
+    Engine,
+    rmodp_engineering::structure::InterfaceRef,
+    (
+        rmodp_core::id::NodeId,
+        rmodp_core::id::CapsuleId,
+        rmodp_core::id::ClusterId,
+    ),
+) {
     let mut e = Engine::new(13);
-    e.behaviours_mut().register("counter", CounterBehaviour::default);
+    e.behaviours_mut()
+        .register("counter", CounterBehaviour::default);
     let node = e.add_node(SyntaxId::Binary);
     let capsule = e.add_capsule(node).unwrap();
     let cluster = e.add_cluster(node, capsule).unwrap();
     let (_, refs) = e
-        .create_object(node, capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+        .create_object(
+            node,
+            capsule,
+            cluster,
+            "c",
+            "counter",
+            CounterBehaviour::initial_state(),
+            1,
+        )
         .unwrap();
     (e, refs[0], (node, capsule, cluster))
 }
@@ -65,7 +82,12 @@ fn relocator_tracks_engine_migrations_with_monotone_epochs() {
 fn coordinated_checkpoint_flows_into_storage_and_events() {
     let (mut engine, iref, home) = engine_with_counter();
     engine
-        .invoke_local(home.0, iref.interface, "Add", &Value::record([("k", Value::Int(9))]))
+        .invoke_local(
+            home.0,
+            iref.interface,
+            "Add",
+            &Value::record([("k", Value::Int(9))]),
+        )
         .unwrap();
     let checkpoint: CoordinatedCheckpoint = {
         let mut mgmt = ManagementFunctions::new(&mut engine);

@@ -295,7 +295,10 @@ mod tests {
         set.link(1, 101).unwrap();
         // …but account 100 has exactly one owner.
         let err = set.link(2, 100).unwrap_err();
-        assert!(matches!(err, AssociationError::RightCardinality { right: 100, .. }));
+        assert!(matches!(
+            err,
+            AssociationError::RightCardinality { right: 100, .. }
+        ));
         assert_eq!(set.rights_of(1), vec![100, 101]);
         assert_eq!(set.lefts_of(100), vec![1]);
         assert_eq!(set.len(), 2);

@@ -185,7 +185,8 @@ mod tests {
     #[test]
     fn failed_apply_leaves_state_and_log_untouched() {
         let mut obj = counter();
-        obj.apply(&add(), Value::record([("k", Value::Int(3))])).unwrap();
+        obj.apply(&add(), Value::record([("k", Value::Int(3))]))
+            .unwrap();
         let err = obj
             .apply(&add(), Value::record([("k", Value::Int(-10))]))
             .unwrap_err();
@@ -200,7 +201,9 @@ mod tests {
         assert!(obj.restore(Value::record([("n", Value::Int(9))])).is_ok());
         assert_eq!(obj.state().field("n"), Some(&Value::Int(9)));
         assert!(obj.restore(Value::record([("n", Value::Int(-1))])).is_err());
-        assert!(obj.restore(Value::record([("n", Value::text("x"))])).is_err());
+        assert!(obj
+            .restore(Value::record([("n", Value::text("x"))]))
+            .is_err());
         // Failed restores leave the state alone.
         assert_eq!(obj.state().field("n"), Some(&Value::Int(9)));
     }
@@ -209,12 +212,14 @@ mod tests {
     fn replay_reproduces_state() {
         let mut obj = counter();
         for k in [1, 2, 3] {
-            obj.apply(&add(), Value::record([("k", Value::Int(k))])).unwrap();
+            obj.apply(&add(), Value::record([("k", Value::Int(k))]))
+                .unwrap();
         }
         assert!(obj.replay_consistent());
         assert_eq!(obj.state().field("n"), Some(&Value::Int(6)));
         // A restore that bypasses the log breaks replay consistency.
-        obj.restore(Value::record([("n", Value::Int(100))])).unwrap();
+        obj.restore(Value::record([("n", Value::Int(100))]))
+            .unwrap();
         assert!(!obj.replay_consistent());
     }
 

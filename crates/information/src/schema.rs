@@ -35,7 +35,10 @@ impl fmt::Display for SchemaError {
             SchemaError::Eval(e) => write!(f, "schema evaluation error: {e}"),
             SchemaError::Type(e) => write!(f, "schema type error: {e}"),
             SchemaError::GuardFailed { schema } => {
-                write!(f, "guard of dynamic schema {schema} rejected the transition")
+                write!(
+                    f,
+                    "guard of dynamic schema {schema} rejected the transition"
+                )
             }
             SchemaError::InvariantViolated { invariant } => {
                 write!(f, "invariant schema {invariant} violated")
@@ -260,9 +263,11 @@ impl DynamicSchema {
     /// Returns guard, argument or evaluation failures.
     pub fn apply(&self, state: &Value, args: &Value) -> Result<Value, SchemaError> {
         self.check_args(args)?;
-        let record = state.as_record().ok_or_else(|| SchemaError::BadDefinition {
-            detail: format!("state must be a record, got {}", state.kind()),
-        })?;
+        let record = state
+            .as_record()
+            .ok_or_else(|| SchemaError::BadDefinition {
+                detail: format!("state must be a record, got {}", state.kind()),
+            })?;
 
         // Environment: state fields and parameters at top level (parameters
         // shadow state fields), and the whole old state under `old`.
@@ -543,7 +548,10 @@ mod tests {
             .build()
             .unwrap();
         let err = schema
-            .apply(&Value::record([("x", Value::Int(1))]), &Value::record::<&str, _>([]))
+            .apply(
+                &Value::record([("x", Value::Int(1))]),
+                &Value::record::<&str, _>([]),
+            )
             .unwrap_err();
         assert!(matches!(err, SchemaError::UnknownField { .. }));
     }
@@ -564,7 +572,9 @@ mod tests {
             .unwrap_err();
         assert_eq!(
             err,
-            SchemaError::InvariantViolated { invariant: "DailyLimit".into() }
+            SchemaError::InvariantViolated {
+                invariant: "DailyLimit".into()
+            }
         );
     }
 
@@ -579,7 +589,10 @@ mod tests {
             Err(SchemaError::Parse(_))
         ));
         assert!(matches!(
-            DynamicSchema::builder("E").guard("(").effect("x", "1").build(),
+            DynamicSchema::builder("E")
+                .guard("(")
+                .effect("x", "1")
+                .build(),
             Err(SchemaError::Parse(_))
         ));
         assert!(matches!(

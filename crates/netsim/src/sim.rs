@@ -7,6 +7,7 @@ use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
@@ -133,7 +134,11 @@ impl<'a> Ctx<'a> {
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
         let id = TimerId(*self.next_timer);
         *self.next_timer += 1;
-        self.out.push(Command::SetTimer { at: self.now + delay, tag, id });
+        self.out.push(Command::SetTimer {
+            at: self.now + delay,
+            tag,
+            id,
+        });
         id
     }
 
@@ -174,7 +179,7 @@ enum Command {
 
 #[derive(Debug)]
 enum Pending {
-    Deliver(Message),
+    Deliver { msg: Message, span: u64 },
     Timer { addr: Addr, tag: u64, id: TimerId },
 }
 
@@ -241,7 +246,12 @@ impl Sim {
     }
 
     /// Creates a simulator with an explicit topology.
+    ///
+    /// Also resets the thread's [`rmodp_observe`] bus, so every
+    /// simulation starts a fresh, deterministic event stream: the same
+    /// seed and workload produce a byte-identical trace.
     pub fn with_topology(seed: u64, topology: Topology) -> Self {
+        bus::reset();
         Self {
             now: SimTime::ZERO,
             seq: 0,
@@ -350,8 +360,9 @@ impl Sim {
         };
         debug_assert!(scheduled.at >= self.now, "time went backwards");
         self.now = scheduled.at;
+        bus::set_time_us(self.now.as_micros());
         match scheduled.pending {
-            Pending::Deliver(msg) => self.deliver(msg),
+            Pending::Deliver { msg, span } => self.deliver(msg, span),
             Pending::Timer { addr, tag, id } => self.fire_timer(addr, tag, id),
         }
         true
@@ -411,18 +422,53 @@ impl Sim {
         }
     }
 
+    /// Builds a located event: node/port coordinates attached unless the
+    /// address is the external injector.
+    fn located(kind: EventKind, addr: Addr) -> rmodp_observe::EventBuilder {
+        let b = event(Layer::Netsim, kind);
+        if addr == Addr::EXTERNAL {
+            b
+        } else {
+            b.node(addr.node.0 as u64).port(addr.port as u64)
+        }
+    }
+
+    fn drop_msg(&mut self, span: u64, at: Addr, reason: &'static str) {
+        self.record(TraceKind::Drop, at, reason);
+        Self::located(EventKind::Drop, at)
+            .span(span)
+            .detail(reason)
+            .emit();
+        bus::counter_add("netsim.dropped", 1);
+    }
+
     fn do_send(&mut self, src: Addr, dst: Addr, payload: Vec<u8>) {
+        bus::set_time_us(self.now.as_micros());
         self.metrics.sent += 1;
-        self.record(TraceKind::Send, src, format!("-> {dst} ({} bytes)", payload.len()));
+        // One causal span per message: allocated at the send, carried to
+        // the delivery (or drop), parented on whatever activity —
+        // an invocation, a delivery being handled — caused the send.
+        let span = bus::new_span();
+        Self::located(EventKind::Send, src)
+            .span(span)
+            .parent_from_context()
+            .detail(format!("-> {dst} ({} bytes)", payload.len()))
+            .emit();
+        bus::counter_add("netsim.sent", 1);
+        self.record(
+            TraceKind::Send,
+            src,
+            format!("-> {dst} ({} bytes)", payload.len()),
+        );
         if self.topology.is_crashed(dst.node) || self.topology.is_crashed(src.node) {
             self.metrics.dropped_crash += 1;
-            self.record(TraceKind::Drop, dst, "endpoint crashed");
+            self.drop_msg(span, dst, "endpoint crashed");
             return;
         }
         let cross_node = src.node != dst.node && src != Addr::EXTERNAL;
         if cross_node && !self.topology.connected(src.node, dst.node) {
             self.metrics.dropped_partition += 1;
-            self.record(TraceKind::Drop, dst, "partitioned");
+            self.drop_msg(span, dst, "partitioned");
             return;
         }
         let latency = if !cross_node {
@@ -431,7 +477,7 @@ impl Sim {
             let link = self.topology.link(src.node, dst.node);
             if link.loss > 0.0 && self.rng.gen::<f64>() < link.loss {
                 self.metrics.dropped_loss += 1;
-                self.record(TraceKind::Drop, dst, "random loss");
+                self.drop_msg(span, dst, "random loss");
                 return;
             }
             let jitter_us = link.jitter.as_micros();
@@ -448,24 +494,47 @@ impl Sim {
             payload,
             sent_at: self.now,
         };
-        self.push(self.now + latency, Pending::Deliver(msg));
+        self.push(self.now + latency, Pending::Deliver { msg, span });
     }
 
-    fn deliver(&mut self, msg: Message) {
+    fn deliver(&mut self, msg: Message, span: u64) {
         let dst = msg.dst;
         if self.topology.is_crashed(dst.node) {
             self.metrics.dropped_crash += 1;
             self.record(TraceKind::Drop, dst, "destination crashed in flight");
+            Self::located(EventKind::Drop, dst)
+                .span(span)
+                .detail("destination crashed in flight")
+                .emit();
+            bus::counter_add("netsim.dropped", 1);
             return;
         }
         let Some(mut process) = self.procs.remove(&dst) else {
             self.metrics.dropped_unroutable += 1;
             self.record(TraceKind::Drop, dst, "no process attached");
+            Self::located(EventKind::Drop, dst)
+                .span(span)
+                .detail("no process attached")
+                .emit();
+            bus::counter_add("netsim.dropped", 1);
             return;
         };
         self.metrics.delivered += 1;
         self.metrics.bytes_delivered += msg.payload.len() as u64;
-        self.record(TraceKind::Deliver, dst, format!("<- {} ({} bytes)", msg.src, msg.payload.len()));
+        self.record(
+            TraceKind::Deliver,
+            dst,
+            format!("<- {} ({} bytes)", msg.src, msg.payload.len()),
+        );
+        Self::located(EventKind::Deliver, dst)
+            .span(span)
+            .detail(format!("<- {} ({} bytes)", msg.src, msg.payload.len()))
+            .emit();
+        bus::counter_add("netsim.delivered", 1);
+        bus::observe(
+            "netsim.delivery_us",
+            self.now.as_micros().saturating_sub(msg.sent_at.as_micros()),
+        );
         let mut ctx = Ctx {
             now: self.now,
             self_addr: dst,
@@ -473,12 +542,15 @@ impl Sim {
             next_timer: &mut self.next_timer,
             out: Vec::new(),
         };
+        // Handler effects are causally downstream of this delivery.
+        bus::push_context(span);
         process.on_message(&mut ctx, msg);
         let commands = ctx.out;
         // Reinsert unless the handler's own node was detached meanwhile —
         // it cannot have been, since we hold &mut self.
         self.procs.insert(dst, process);
         self.apply(dst, commands);
+        bus::pop_context();
     }
 
     fn fire_timer(&mut self, addr: Addr, tag: u64, id: TimerId) {
@@ -486,7 +558,11 @@ impl Sim {
             return;
         }
         if self.topology.is_crashed(addr.node) {
-            self.record(TraceKind::Drop, addr, format!("timer {tag} on crashed node"));
+            self.record(
+                TraceKind::Drop,
+                addr,
+                format!("timer {tag} on crashed node"),
+            );
             return;
         }
         let Some(mut process) = self.procs.remove(&addr) else {
@@ -494,6 +570,10 @@ impl Sim {
         };
         self.metrics.timers_fired += 1;
         self.record(TraceKind::Timer, addr, format!("tag={tag}"));
+        Self::located(EventKind::TimerFired, addr)
+            .detail(format!("tag={tag}"))
+            .emit();
+        bus::counter_add("netsim.timers_fired", 1);
         let mut ctx = Ctx {
             now: self.now,
             self_addr: addr,
@@ -511,13 +591,23 @@ impl Sim {
         for cmd in commands {
             match cmd {
                 Command::Send { dst, payload } => self.do_send(from, dst, payload),
-                Command::SetTimer { at, tag, id } => {
-                    self.push(at, Pending::Timer { addr: from, tag, id })
-                }
+                Command::SetTimer { at, tag, id } => self.push(
+                    at,
+                    Pending::Timer {
+                        addr: from,
+                        tag,
+                        id,
+                    },
+                ),
                 Command::CancelTimer(id) => {
                     self.cancelled.insert(id);
                 }
-                Command::Note(detail) => self.record(TraceKind::Note, from, detail),
+                Command::Note(detail) => {
+                    Self::located(EventKind::Note, from)
+                        .detail(detail.clone())
+                        .emit();
+                    self.record(TraceKind::Note, from, detail);
+                }
             }
         }
     }
@@ -571,8 +661,7 @@ mod tests {
 
     #[test]
     fn message_round_trip_with_latency() {
-        let (mut sim, pa, pb) =
-            two_node_sim(LinkConfig::with_latency(SimDuration::from_millis(3)));
+        let (mut sim, pa, pb) = two_node_sim(LinkConfig::with_latency(SimDuration::from_millis(3)));
         sim.send_from(pb, pa, b"ping".to_vec());
         sim.run_until_idle();
         // pb -> pa (3ms) then echo pa -> pb (3ms).

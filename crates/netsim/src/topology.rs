@@ -56,7 +56,10 @@ impl LinkConfig {
     ///
     /// Panics if `loss` is not within `[0, 1]`.
     pub fn loss(mut self, loss: f64) -> Self {
-        assert!((0.0..=1.0).contains(&loss), "loss must be in [0,1], got {loss}");
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "loss must be in [0,1], got {loss}"
+        );
         self.loss = loss;
         self
     }
@@ -161,7 +164,11 @@ mod tests {
     fn default_and_override_links() {
         let mut t = Topology::full_mesh(LinkConfig::with_latency(SimDuration::from_millis(1)));
         assert_eq!(t.link(N0, N1).latency, SimDuration::from_millis(1));
-        t.set_link(N0, N1, LinkConfig::with_latency(SimDuration::from_millis(9)));
+        t.set_link(
+            N0,
+            N1,
+            LinkConfig::with_latency(SimDuration::from_millis(9)),
+        );
         assert_eq!(t.link(N0, N1).latency, SimDuration::from_millis(9));
         // Overrides are directional.
         assert_eq!(t.link(N1, N0).latency, SimDuration::from_millis(1));

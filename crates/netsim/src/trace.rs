@@ -1,8 +1,19 @@
-//! Trace collection and counters for experiment harnesses.
+//! Legacy trace collection and counters for experiment harnesses.
+//!
+//! This module predates the workspace-wide observability layer
+//! (`rmodp-observe`): the simulator now emits every Send/Deliver/Drop/
+//! Timer/Note as a structured, causally-spanned event on the shared bus,
+//! and [`TraceEntry`] / [`Metrics`] remain as a thin per-`Sim` view of
+//! the same stream. Existing accessors (`Sim::set_tracing`,
+//! `Sim::take_trace`, `Sim::metrics`) keep working unchanged; new code
+//! should read the bus instead (`rmodp_observe::bus::snapshot_events`),
+//! which also carries the cross-layer events this view cannot express.
+//! [`TraceEntry::from_event`] bridges bus events back into this legacy
+//! shape where old tooling expects it.
 
 use std::fmt;
 
-use crate::sim::Addr;
+use crate::sim::{Addr, NodeIdx};
 use crate::time::SimTime;
 
 /// What kind of simulator event a trace entry records.
@@ -43,6 +54,29 @@ pub struct TraceEntry {
     pub addr: Addr,
     /// Free-form detail (message size, drop reason, note text…).
     pub detail: String,
+}
+
+impl TraceEntry {
+    /// Bridges a bus event back into the legacy entry shape. Returns
+    /// `None` for events this view cannot express: cross-layer kinds
+    /// (channel hops, trader lookups, 2PC votes…) or events without a
+    /// node coordinate.
+    pub fn from_event(e: &rmodp_observe::Event) -> Option<Self> {
+        let kind = match e.kind {
+            rmodp_observe::EventKind::Send => TraceKind::Send,
+            rmodp_observe::EventKind::Deliver => TraceKind::Deliver,
+            rmodp_observe::EventKind::Drop => TraceKind::Drop,
+            rmodp_observe::EventKind::TimerFired => TraceKind::Timer,
+            rmodp_observe::EventKind::Note => TraceKind::Note,
+            _ => return None,
+        };
+        Some(TraceEntry {
+            at: SimTime::from_micros(e.t_us),
+            kind,
+            addr: Addr::new(NodeIdx(e.node? as u32), e.port.unwrap_or(0) as u32),
+            detail: e.detail.clone(),
+        })
+    }
 }
 
 impl fmt::Display for TraceEntry {

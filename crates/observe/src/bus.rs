@@ -1,0 +1,256 @@
+//! The thread-local event bus.
+//!
+//! Every crate in the workspace emits onto one per-thread bus through
+//! free functions, so no plumbing of handles through constructors is
+//! needed and there are no dependency cycles. The simulation is
+//! single-threaded, which makes "per thread" mean "per simulation" in
+//! practice (and keeps parallel test binaries isolated from each other).
+//!
+//! Determinism: sequence numbers and span ids are dense counters, time
+//! comes from the simulator's virtual clock, and nothing reads the wall
+//! clock — so the same seed produces a byte-identical event stream.
+//! [`reset`] is called by `Sim::new`, giving each simulation a fresh
+//! stream.
+
+use crate::event::{Event, EventBuilder, SpanId};
+use crate::metrics::{Histogram, Registry};
+use std::cell::RefCell;
+
+#[derive(Debug)]
+struct BusState {
+    enabled: bool,
+    now_us: u64,
+    next_seq: u64,
+    next_span: SpanId,
+    context: Vec<SpanId>,
+    events: Vec<Event>,
+    metrics: Registry,
+}
+
+impl BusState {
+    fn fresh() -> Self {
+        Self {
+            enabled: true,
+            now_us: 0,
+            next_seq: 0,
+            // Span 0 is reserved as "no span" in renderings.
+            next_span: 1,
+            context: Vec::new(),
+            events: Vec::new(),
+            metrics: Registry::new(),
+        }
+    }
+}
+
+thread_local! {
+    static BUS: RefCell<BusState> = RefCell::new(BusState::fresh());
+}
+
+/// Clears the bus: events, metrics, counters, clock. Called by
+/// `Sim::new` so each simulation starts a fresh deterministic stream.
+/// The enabled/disabled setting survives the reset, so a benchmark that
+/// turned recording off stays off across simulation rebuilds.
+pub fn reset() {
+    BUS.with(|b| {
+        let enabled = b.borrow().enabled;
+        let mut fresh = BusState::fresh();
+        fresh.enabled = enabled;
+        *b.borrow_mut() = fresh;
+    });
+}
+
+/// Enables or disables recording. Disabled recording is a cheap no-op;
+/// span allocation still works (ids keep advancing) so code paths do not
+/// branch on the setting.
+pub fn set_enabled(enabled: bool) {
+    BUS.with(|b| b.borrow_mut().enabled = enabled);
+}
+
+/// Whether the bus is currently recording.
+pub fn is_enabled() -> bool {
+    BUS.with(|b| b.borrow().enabled)
+}
+
+/// Advances the bus's virtual clock (microseconds). Called by the
+/// simulator as it processes the event queue.
+pub fn set_time_us(t_us: u64) {
+    BUS.with(|b| b.borrow_mut().now_us = t_us);
+}
+
+/// The bus's current virtual time in microseconds.
+pub fn now_us() -> u64 {
+    BUS.with(|b| b.borrow().now_us)
+}
+
+/// Pushes a span onto the causal context stack: spans allocated while it
+/// is on top get it as their parent. The simulator pushes a message's
+/// span around its handler so replies are causally linked; the engine
+/// pushes an invocation's span around the whole call.
+pub fn push_context(span: SpanId) {
+    BUS.with(|b| b.borrow_mut().context.push(span));
+}
+
+/// Pops the causal context stack (no-op if empty).
+pub fn pop_context() {
+    BUS.with(|b| {
+        b.borrow_mut().context.pop();
+    });
+}
+
+/// The span on top of the causal context stack, if any.
+pub fn current_context() -> Option<SpanId> {
+    BUS.with(|b| b.borrow().context.last().copied())
+}
+
+/// Allocates a fresh causal span id.
+pub fn new_span() -> SpanId {
+    BUS.with(|b| {
+        let mut s = b.borrow_mut();
+        let id = s.next_span;
+        s.next_span += 1;
+        id
+    })
+}
+
+/// Records an event built by [`EventBuilder`]; returns its sequence
+/// number, or `None` if disabled.
+pub(crate) fn record(builder: EventBuilder) -> Option<u64> {
+    BUS.with(|b| {
+        let mut s = b.borrow_mut();
+        if !s.enabled {
+            return None;
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        let t_us = s.now_us;
+        s.events.push(Event {
+            seq,
+            t_us,
+            layer: builder.layer,
+            kind: builder.kind,
+            span: builder.span,
+            parent: builder.parent,
+            node: builder.node,
+            port: builder.port,
+            channel: builder.channel,
+            capsule: builder.capsule,
+            detail: builder.detail,
+        });
+        Some(seq)
+    })
+}
+
+/// Number of events recorded so far.
+pub fn event_count() -> usize {
+    BUS.with(|b| b.borrow().events.len())
+}
+
+/// A copy of every event recorded so far, in emission order.
+pub fn snapshot_events() -> Vec<Event> {
+    BUS.with(|b| b.borrow().events.clone())
+}
+
+/// Removes and returns every event recorded so far.
+pub fn take_events() -> Vec<Event> {
+    BUS.with(|b| std::mem::take(&mut b.borrow_mut().events))
+}
+
+/// Adds to a counter in the bus's metrics registry.
+pub fn counter_add(name: &str, v: u64) {
+    BUS.with(|b| {
+        let mut s = b.borrow_mut();
+        if s.enabled {
+            s.metrics.counter_add(name, v);
+        }
+    });
+}
+
+/// Sets a gauge in the bus's metrics registry.
+pub fn gauge_set(name: &str, v: i64) {
+    BUS.with(|b| {
+        let mut s = b.borrow_mut();
+        if s.enabled {
+            s.metrics.gauge_set(name, v);
+        }
+    });
+}
+
+/// Records a histogram sample (typically sim-time microseconds).
+pub fn observe(name: &str, v: u64) {
+    BUS.with(|b| {
+        let mut s = b.borrow_mut();
+        if s.enabled {
+            s.metrics.observe(name, v);
+        }
+    });
+}
+
+/// A copy of the metrics registry.
+pub fn snapshot_metrics() -> Registry {
+    BUS.with(|b| b.borrow().metrics.clone())
+}
+
+/// Reads one counter (0 if absent).
+pub fn counter(name: &str) -> u64 {
+    BUS.with(|b| b.borrow().metrics.counter(name))
+}
+
+/// Reads one histogram (cloned; `None` if absent).
+pub fn histogram(name: &str) -> Option<Histogram> {
+    BUS.with(|b| b.borrow().metrics.histogram(name).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventBuilder, EventKind, Layer};
+
+    #[test]
+    fn bus_records_in_order_with_dense_seq() {
+        reset();
+        set_time_us(5);
+        let s1 = new_span();
+        EventBuilder::new(Layer::Netsim, EventKind::Send)
+            .span(s1)
+            .node(0)
+            .detail("a")
+            .emit();
+        set_time_us(9);
+        EventBuilder::new(Layer::Netsim, EventKind::Deliver)
+            .span(s1)
+            .node(1)
+            .emit();
+        let evs = snapshot_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[1].seq, 1);
+        assert_eq!(evs[0].t_us, 5);
+        assert_eq!(evs[1].t_us, 9);
+        assert_eq!(evs[0].span, Some(s1));
+    }
+
+    #[test]
+    fn disabled_bus_drops_events_and_metrics() {
+        reset();
+        set_enabled(false);
+        assert!(!is_enabled());
+        EventBuilder::new(Layer::Application, EventKind::Note).emit();
+        counter_add("c", 1);
+        observe("h", 1);
+        assert_eq!(event_count(), 0);
+        assert_eq!(counter("c"), 0);
+        set_enabled(true);
+        EventBuilder::new(Layer::Application, EventKind::Note).emit();
+        assert_eq!(event_count(), 1);
+    }
+
+    #[test]
+    fn reset_restarts_spans_and_seq() {
+        reset();
+        let a = new_span();
+        reset();
+        let b = new_span();
+        assert_eq!(a, b);
+        assert_eq!(event_count(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The structured event model: one cross-layer taxonomy of everything
+//! the RM-ODP stack does that is worth seeing.
+
+use std::fmt;
+
+/// Which part of the stack emitted an event.
+///
+/// The layers mirror the workspace's crate structure, which in turn
+/// mirrors the model: the network simulator at the bottom, the
+/// engineering viewpoint's channel machinery above it, the transparency
+/// functions, the ODP functions (trading, transactions), and finally the
+/// application itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// The discrete-event network simulator (`rmodp-netsim`).
+    Netsim,
+    /// Nucleus, capsules, channels (`rmodp-engineering`).
+    Engineering,
+    /// Distribution transparencies (`rmodp-transparency`).
+    Transparency,
+    /// Atomic commitment (`rmodp-transactions`).
+    Transactions,
+    /// The trading function (`rmodp-trader`).
+    Trader,
+    /// Common ODP functions (`rmodp-functions`).
+    Functions,
+    /// Code driving the stack: examples, tests, benches.
+    Application,
+}
+
+impl Layer {
+    /// The stable lower-case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Netsim => "netsim",
+            Layer::Engineering => "engineering",
+            Layer::Transparency => "transparency",
+            Layer::Transactions => "transactions",
+            Layer::Trader => "trader",
+            Layer::Functions => "functions",
+            Layer::Application => "application",
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What happened. One flat taxonomy across every layer, so a single
+/// trace can show a trader lookup causing a channel hop causing a
+/// message send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    // ---- netsim ----
+    /// A message entered the network.
+    Send,
+    /// A message reached its destination process.
+    Deliver,
+    /// A message was dropped (loss, partition, crash, unroutable).
+    Drop,
+    /// A timer fired.
+    TimerFired,
+    /// A free-form annotation from a simulated process.
+    Note,
+    // ---- engineering ----
+    /// An envelope traversed one channel component (stub/binder/...).
+    ChannelHop,
+    /// A value was re-encoded between transfer syntaxes.
+    Marshal,
+    /// An operation invocation began.
+    CallStart,
+    /// An operation invocation completed (ok or error).
+    CallEnd,
+    /// A timed-out attempt was retried.
+    Retry,
+    /// A cluster checkpoint was taken.
+    Checkpoint,
+    /// A cluster was deactivated.
+    Deactivate,
+    /// A cluster was reactivated from a checkpoint.
+    Reactivate,
+    /// A cluster migration began.
+    MigrateStart,
+    /// A cluster migration completed.
+    MigrateEnd,
+    /// A client was redirected to a relocated interface.
+    Relocate,
+    // ---- transparency ----
+    /// A write was applied to replicas.
+    ReplicaUpdate,
+    /// A read was served by a replica.
+    ReplicaRead,
+    /// A replica voted / was reconciled in a read-all.
+    ReplicaVote,
+    /// Failure recovery began.
+    RecoveryStart,
+    /// Failure recovery completed.
+    RecoveryEnd,
+    /// A cluster state was persisted / restored by persistence fns.
+    Persist,
+    // ---- trader ----
+    /// A service offer was exported to a trader.
+    TraderExport,
+    /// An importer queried a trader.
+    TraderLookup,
+    /// A query was forwarded across a federation link.
+    FederationHop,
+    // ---- transactions ----
+    /// A coordinator asked a participant to prepare.
+    TxPrepare,
+    /// A participant voted.
+    TxVote,
+    /// A transaction committed.
+    TxCommit,
+    /// A transaction aborted.
+    TxAbort,
+}
+
+impl EventKind {
+    /// The stable snake_case name used in the JSONL export.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Send => "send",
+            EventKind::Deliver => "deliver",
+            EventKind::Drop => "drop",
+            EventKind::TimerFired => "timer_fired",
+            EventKind::Note => "note",
+            EventKind::ChannelHop => "channel_hop",
+            EventKind::Marshal => "marshal",
+            EventKind::CallStart => "call_start",
+            EventKind::CallEnd => "call_end",
+            EventKind::Retry => "retry",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Deactivate => "deactivate",
+            EventKind::Reactivate => "reactivate",
+            EventKind::MigrateStart => "migrate_start",
+            EventKind::MigrateEnd => "migrate_end",
+            EventKind::Relocate => "relocate",
+            EventKind::ReplicaUpdate => "replica_update",
+            EventKind::ReplicaRead => "replica_read",
+            EventKind::ReplicaVote => "replica_vote",
+            EventKind::RecoveryStart => "recovery_start",
+            EventKind::RecoveryEnd => "recovery_end",
+            EventKind::Persist => "persist",
+            EventKind::TraderExport => "trader_export",
+            EventKind::TraderLookup => "trader_lookup",
+            EventKind::FederationHop => "federation_hop",
+            EventKind::TxPrepare => "tx_prepare",
+            EventKind::TxVote => "tx_vote",
+            EventKind::TxCommit => "tx_commit",
+            EventKind::TxAbort => "tx_abort",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A causal span identifier. Spans are allocated by the bus; an event's
+/// `span` ties it to one causal activity (one message in flight, one
+/// invocation, one migration), and `parent` links that activity to the
+/// one that started it.
+pub type SpanId = u64;
+
+/// One structured trace event.
+///
+/// Coordinates are plain integers (node index, port, channel id, capsule
+/// id) rather than the emitting crate's id types, so the bus depends on
+/// nothing and every crate can emit without dependency cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global emission order (dense, starting at 0).
+    pub seq: u64,
+    /// Virtual simulation time, microseconds.
+    pub t_us: u64,
+    /// Emitting layer.
+    pub layer: Layer,
+    /// What happened.
+    pub kind: EventKind,
+    /// Causal span this event belongs to, if any.
+    pub span: Option<SpanId>,
+    /// Span that caused this span to exist, if any.
+    pub parent: Option<SpanId>,
+    /// Node index, if the event is located at a node.
+    pub node: Option<u64>,
+    /// Port on the node, if meaningful.
+    pub port: Option<u64>,
+    /// Channel id, if the event belongs to a channel.
+    pub channel: Option<u64>,
+    /// Capsule id, if the event belongs to a capsule.
+    pub capsule: Option<u64>,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "#{} t={}us [{}] {}",
+            self.seq, self.t_us, self.layer, self.kind
+        )?;
+        if let Some(s) = self.span {
+            write!(f, " span={s}")?;
+        }
+        if let Some(p) = self.parent {
+            write!(f, " parent={p}")?;
+        }
+        if let Some(n) = self.node {
+            write!(f, " node={n}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for an [`Event`]; all coordinates optional.
+#[derive(Debug, Clone)]
+pub struct EventBuilder {
+    pub(crate) layer: Layer,
+    pub(crate) kind: EventKind,
+    pub(crate) span: Option<SpanId>,
+    pub(crate) parent: Option<SpanId>,
+    pub(crate) node: Option<u64>,
+    pub(crate) port: Option<u64>,
+    pub(crate) channel: Option<u64>,
+    pub(crate) capsule: Option<u64>,
+    pub(crate) detail: String,
+}
+
+impl EventBuilder {
+    /// Starts an event of the given layer and kind.
+    pub fn new(layer: Layer, kind: EventKind) -> Self {
+        Self {
+            layer,
+            kind,
+            span: None,
+            parent: None,
+            node: None,
+            port: None,
+            channel: None,
+            capsule: None,
+            detail: String::new(),
+        }
+    }
+
+    /// Attaches the causal span.
+    pub fn span(mut self, span: SpanId) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Attaches the parent span.
+    pub fn parent(mut self, parent: SpanId) -> Self {
+        self.parent = Some(parent);
+        self
+    }
+
+    /// Attaches the node coordinate.
+    pub fn node(mut self, node: u64) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// Attaches the port coordinate.
+    pub fn port(mut self, port: u64) -> Self {
+        self.port = Some(port);
+        self
+    }
+
+    /// Attaches the channel coordinate.
+    pub fn channel(mut self, channel: u64) -> Self {
+        self.channel = Some(channel);
+        self
+    }
+
+    /// Attaches the capsule coordinate.
+    pub fn capsule(mut self, capsule: u64) -> Self {
+        self.capsule = Some(capsule);
+        self
+    }
+
+    /// Attaches the bus's current context span as this event's span
+    /// (no-op if a span is already set or no context is active). Lets
+    /// mid-activity events — a checkpoint inside a migration, a vote
+    /// inside a transaction — land on the enclosing causal span.
+    pub fn in_context(mut self) -> Self {
+        if self.span.is_none() {
+            self.span = crate::bus::current_context();
+        }
+        self
+    }
+
+    /// Attaches the bus's current context span as this event's *parent*
+    /// (no-op if a parent is already set or no context is active).
+    pub fn parent_from_context(mut self) -> Self {
+        if self.parent.is_none() {
+            self.parent = crate::bus::current_context();
+        }
+        self
+    }
+
+    /// Attaches free-form detail text.
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+
+    /// Records the event on the thread's bus. Returns the sequence
+    /// number, or `None` if the bus is disabled.
+    pub fn emit(self) -> Option<u64> {
+        crate::bus::record(self)
+    }
+}

@@ -1,0 +1,232 @@
+//! The metrics registry: counters, gauges, and sim-time histograms keyed
+//! by hierarchical dot-separated names (`netsim.delivery_us`,
+//! `engineering.calls`, `twopc.commits`).
+//!
+//! Everything is deterministic: histograms store raw samples and compute
+//! percentiles by sorting, so the same run yields byte-identical
+//! summaries.
+
+use std::collections::BTreeMap;
+
+/// A latency/size distribution over `u64` samples (typically sim-time
+/// microseconds).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    samples: Vec<u64>,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.samples.iter().map(|&v| v as u128).sum()
+    }
+
+    /// Mean of all samples (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// The smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The `p`-th percentile (nearest-rank), `0.0 < p <= 100.0`.
+    /// Returns 0 for an empty histogram. Monotone in `p` by
+    /// construction: it indexes into the same sorted sample vector.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1]
+    }
+
+    /// Convenience: (p50, p95, p99).
+    pub fn quantiles(&self) -> (u64, u64, u64) {
+        // One sort for all three.
+        if self.samples.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let at = |p: f64| {
+            let rank = ((p / 100.0) * n as f64).ceil() as usize;
+            sorted[rank.clamp(1, n) - 1]
+        };
+        (at(50.0), at(95.0), at(99.0))
+    }
+}
+
+/// The registry: hierarchically-named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds to a counter, creating it at 0 first if absent.
+    pub fn counter_add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += v;
+    }
+
+    /// Sets a gauge.
+    pub fn gauge_set(&mut self, name: &str, v: i64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// Records a histogram sample.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .observe(v);
+    }
+
+    /// Reads a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Clears everything.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Renders the registry as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name:<44} {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name:<44} {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (us):\n");
+            out.push_str(&format!(
+                "  {:<44} {:>7} {:>9} {:>7} {:>7} {:>7}\n",
+                "name", "count", "mean", "p50", "p95", "p99"
+            ));
+            for (name, h) in &self.histograms {
+                let (p50, p95, p99) = h.quantiles();
+                out.push_str(&format!(
+                    "  {:<44} {:>7} {:>9.1} {:>7} {:>7} {:>7}\n",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    p50,
+                    p95,
+                    p99
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let mut h = Histogram::default();
+        for v in [5u64, 1, 9, 7, 3, 3, 8, 2, 6, 4] {
+            h.observe(v);
+        }
+        let (p50, p95, p99) = h.quantiles();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 9);
+        assert_eq!(p99, 9);
+        assert_eq!(h.percentile(50.0), p50);
+        assert_eq!(h.percentile(100.0), 9);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut r = Registry::new();
+        r.counter_add("a.b", 2);
+        r.counter_add("a.b", 3);
+        r.gauge_set("g", -7);
+        r.observe("h", 10);
+        r.observe("h", 20);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.gauge("g"), Some(-7));
+        assert_eq!(r.histogram("h").unwrap().count(), 2);
+        let rendered = r.render();
+        assert!(rendered.contains("a.b"));
+        assert!(rendered.contains("p95"));
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let h = Histogram::default();
+        assert_eq!(h.quantiles(), (0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+}

@@ -1,0 +1,188 @@
+//! The observability layer as a correctness oracle.
+//!
+//! A trace is not just for reading: it encodes invariants the stack must
+//! uphold. [`verify_causality`] checks them and is run by the property
+//! tests over every scenario's trace.
+
+use crate::event::{Event, EventKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Violations found by [`verify_causality`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CausalityViolation {
+    /// A `Deliver` event whose span has no earlier `Send` event.
+    DeliverWithoutSend {
+        /// Sequence number of the offending deliver.
+        seq: u64,
+    },
+    /// A `Deliver` that happened at an earlier sim time than its `Send`.
+    DeliverBeforeSend {
+        /// Sequence number of the offending deliver.
+        seq: u64,
+    },
+    /// The span parent graph contains a cycle through this span.
+    SpanCycle {
+        /// A span on the cycle.
+        span: u64,
+    },
+    /// Events are not in strictly increasing `seq` order, or sim time
+    /// moves backwards between consecutive events.
+    DisorderedStream {
+        /// Sequence number where order breaks.
+        seq: u64,
+    },
+}
+
+impl std::fmt::Display for CausalityViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CausalityViolation::DeliverWithoutSend { seq } => {
+                write!(
+                    f,
+                    "deliver #{seq} has no causally-preceding send in its span"
+                )
+            }
+            CausalityViolation::DeliverBeforeSend { seq } => {
+                write!(f, "deliver #{seq} precedes its send in sim time")
+            }
+            CausalityViolation::SpanCycle { span } => {
+                write!(f, "span {span} participates in a parent cycle")
+            }
+            CausalityViolation::DisorderedStream { seq } => {
+                write!(f, "event stream loses order at #{seq}")
+            }
+        }
+    }
+}
+
+/// Checks the core causal invariants of a trace:
+///
+/// 1. the stream is ordered — `seq` strictly increases and `t_us` never
+///    decreases;
+/// 2. every `Deliver` has a causally-preceding `Send` in the same span,
+///    at an equal or earlier sim time;
+/// 3. the span parent graph is acyclic.
+///
+/// Returns every violation found (empty = trace is causally sound).
+pub fn verify_causality(events: &[Event]) -> Vec<CausalityViolation> {
+    let mut violations = Vec::new();
+
+    // 1. Stream order.
+    for pair in events.windows(2) {
+        if pair[1].seq <= pair[0].seq || pair[1].t_us < pair[0].t_us {
+            violations.push(CausalityViolation::DisorderedStream { seq: pair[1].seq });
+        }
+    }
+
+    // 2. Every Deliver has a prior Send in its span.
+    let mut send_time_by_span: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in events {
+        match e.kind {
+            EventKind::Send => {
+                if let Some(span) = e.span {
+                    send_time_by_span.entry(span).or_insert(e.t_us);
+                }
+            }
+            EventKind::Deliver => match e.span.and_then(|s| send_time_by_span.get(&s)) {
+                None => violations.push(CausalityViolation::DeliverWithoutSend { seq: e.seq }),
+                Some(&sent_at) if e.t_us < sent_at => {
+                    violations.push(CausalityViolation::DeliverBeforeSend { seq: e.seq })
+                }
+                Some(_) => {}
+            },
+            _ => {}
+        }
+    }
+
+    // 3. Acyclic span parent graph.
+    let mut parent_of: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in events {
+        if let (Some(span), Some(parent)) = (e.span, e.parent) {
+            parent_of.entry(span).or_insert(parent);
+        }
+    }
+    let mut cleared: BTreeSet<u64> = BTreeSet::new();
+    for &start in parent_of.keys() {
+        if cleared.contains(&start) {
+            continue;
+        }
+        let mut path: BTreeSet<u64> = BTreeSet::new();
+        let mut cur = start;
+        loop {
+            if !path.insert(cur) {
+                violations.push(CausalityViolation::SpanCycle { span: cur });
+                break;
+            }
+            match parent_of.get(&cur) {
+                Some(&p) if !cleared.contains(&p) => cur = p,
+                _ => break,
+            }
+        }
+        cleared.extend(path);
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, Layer};
+
+    fn ev(seq: u64, t_us: u64, kind: EventKind, span: Option<u64>, parent: Option<u64>) -> Event {
+        Event {
+            seq,
+            t_us,
+            layer: Layer::Netsim,
+            kind,
+            span,
+            parent,
+            node: None,
+            port: None,
+            channel: None,
+            capsule: None,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn sound_trace_passes() {
+        let evs = vec![
+            ev(0, 0, EventKind::Send, Some(1), None),
+            ev(1, 5, EventKind::Deliver, Some(1), None),
+            ev(2, 5, EventKind::Send, Some(2), Some(1)),
+            ev(3, 9, EventKind::Deliver, Some(2), Some(1)),
+        ];
+        assert!(verify_causality(&evs).is_empty());
+    }
+
+    #[test]
+    fn orphan_deliver_is_flagged() {
+        let evs = vec![ev(0, 3, EventKind::Deliver, Some(7), None)];
+        assert_eq!(
+            verify_causality(&evs),
+            vec![CausalityViolation::DeliverWithoutSend { seq: 0 }]
+        );
+    }
+
+    #[test]
+    fn time_travel_is_flagged() {
+        let evs = vec![
+            ev(0, 9, EventKind::Send, Some(1), None),
+            ev(1, 4, EventKind::Deliver, Some(1), None),
+        ];
+        let v = verify_causality(&evs);
+        assert!(v.contains(&CausalityViolation::DisorderedStream { seq: 1 }));
+        assert!(v.contains(&CausalityViolation::DeliverBeforeSend { seq: 1 }));
+    }
+
+    #[test]
+    fn span_cycle_is_flagged() {
+        let evs = vec![
+            ev(0, 0, EventKind::Note, Some(1), Some(2)),
+            ev(1, 0, EventKind::Note, Some(2), Some(1)),
+        ];
+        let v = verify_causality(&evs);
+        assert!(matches!(v[0], CausalityViolation::SpanCycle { .. }));
+    }
+}

@@ -69,7 +69,9 @@ impl Federation {
     pub fn trader_mut(&mut self, name: &str) -> Result<&mut Trader, FederationError> {
         self.traders
             .get_mut(name)
-            .ok_or_else(|| FederationError::UnknownTrader { name: name.to_owned() })
+            .ok_or_else(|| FederationError::UnknownTrader {
+                name: name.to_owned(),
+            })
     }
 
     /// Immutable access to one trader.
@@ -85,7 +87,9 @@ impl Federation {
     /// Unknown trader on either end.
     pub fn link(&mut self, from: &str, to: &str) -> Result<(), FederationError> {
         if !self.traders.contains_key(to) {
-            return Err(FederationError::UnknownTrader { name: to.to_owned() });
+            return Err(FederationError::UnknownTrader {
+                name: to.to_owned(),
+            });
         }
         let from_trader = self.trader_mut(from)?;
         if !from_trader.links.contains(&to.to_owned()) {
@@ -115,8 +119,21 @@ impl Federation {
         max_hops: usize,
     ) -> Result<Vec<Match>, FederationError> {
         if !self.traders.contains_key(start) {
-            return Err(FederationError::UnknownTrader { name: start.to_owned() });
+            return Err(FederationError::UnknownTrader {
+                name: start.to_owned(),
+            });
         }
+        use rmodp_observe::{bus, event, EventKind, Layer};
+        let span = bus::new_span();
+        event(Layer::Trader, EventKind::TraderLookup)
+            .span(span)
+            .parent_from_context()
+            .detail(format!(
+                "federated start={start} type={} max_hops={max_hops}",
+                request.service_type
+            ))
+            .emit();
+        bus::push_context(span);
         let mut visited = BTreeSet::new();
         let mut queue = VecDeque::from([(start.to_owned(), 0usize)]);
         let mut seen_offers = BTreeSet::new();
@@ -124,6 +141,13 @@ impl Federation {
         while let Some((name, hops)) = queue.pop_front() {
             if !visited.insert(name.clone()) {
                 continue;
+            }
+            if hops > 0 {
+                event(Layer::Trader, EventKind::FederationHop)
+                    .in_context()
+                    .detail(format!("-> {name} (hop {hops})"))
+                    .emit();
+                bus::counter_add("trader.federation_hops", 1);
             }
             let trader = self.traders.get_mut(&name).expect("visited traders exist");
             for m in trader.import(request, repo) {
@@ -137,6 +161,7 @@ impl Federation {
                 }
             }
         }
+        bus::pop_context();
         match &request.preference {
             Preference::FirstFound => {}
             Preference::Max(_) => matches.sort_by(|a, b| {
@@ -191,11 +216,25 @@ mod tests {
     fn hop_bound_limits_the_search() {
         let mut f = chain();
         let req = ImportRequest::new("Printer");
-        assert_eq!(f.import_federated("brisbane", &req, None, 0).unwrap().len(), 1);
-        assert_eq!(f.import_federated("brisbane", &req, None, 1).unwrap().len(), 2);
-        assert_eq!(f.import_federated("brisbane", &req, None, 2).unwrap().len(), 3);
+        assert_eq!(
+            f.import_federated("brisbane", &req, None, 0).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            f.import_federated("brisbane", &req, None, 1).unwrap().len(),
+            2
+        );
+        assert_eq!(
+            f.import_federated("brisbane", &req, None, 2).unwrap().len(),
+            3
+        );
         // Links are directed: melbourne sees only itself.
-        assert_eq!(f.import_federated("melbourne", &req, None, 5).unwrap().len(), 1);
+        assert_eq!(
+            f.import_federated("melbourne", &req, None, 5)
+                .unwrap()
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -245,11 +284,13 @@ mod tests {
     #[test]
     fn constraints_apply_federation_wide() {
         let mut f = chain();
-        let req = ImportRequest::new("Printer").constraint("ppm >= 40").unwrap();
+        let req = ImportRequest::new("Printer")
+            .constraint("ppm >= 40")
+            .unwrap();
         let matches = f.import_federated("brisbane", &req, None, 2).unwrap();
         assert_eq!(matches.len(), 2);
-        assert!(matches.iter().all(|m| {
-            m.offer.properties.field("ppm").unwrap().as_int().unwrap() >= 40
-        }));
+        assert!(matches
+            .iter()
+            .all(|m| { m.offer.properties.field("ppm").unwrap().as_int().unwrap() >= 40 }));
     }
 }

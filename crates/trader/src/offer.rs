@@ -51,10 +51,7 @@ mod tests {
             id: OfferId::new(1),
             service_type: "Printer".into(),
             interface: InterfaceId::new(5),
-            properties: Value::record([
-                ("ppm", Value::Int(30)),
-                ("colour", Value::Bool(true)),
-            ]),
+            properties: Value::record([("ppm", Value::Int(30)), ("colour", Value::Bool(true))]),
             held_by: "t".into(),
         }
     }

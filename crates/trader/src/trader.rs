@@ -21,10 +21,16 @@ pub enum TraderError {
     BadExpression(ParseError),
     /// An offer's properties do not conform to the declared property type
     /// for its service type.
-    PropertyType { service_type: String, detail: String },
+    PropertyType {
+        service_type: String,
+        detail: String,
+    },
     /// A constraint is statically ill-typed against the declared property
     /// type.
-    ConstraintType { service_type: String, detail: String },
+    ConstraintType {
+        service_type: String,
+        detail: String,
+    },
 }
 
 impl fmt::Display for TraderError {
@@ -35,10 +41,19 @@ impl fmt::Display for TraderError {
             }
             TraderError::UnknownOffer { offer } => write!(f, "unknown offer {offer}"),
             TraderError::BadExpression(e) => write!(f, "bad expression: {e}"),
-            TraderError::PropertyType { service_type, detail } => {
-                write!(f, "offer properties do not conform to {service_type}: {detail}")
+            TraderError::PropertyType {
+                service_type,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "offer properties do not conform to {service_type}: {detail}"
+                )
             }
-            TraderError::ConstraintType { service_type, detail } => {
+            TraderError::ConstraintType {
+                service_type,
+                detail,
+            } => {
                 write!(f, "constraint ill-typed for {service_type}: {detail}")
             }
         }
@@ -246,10 +261,12 @@ impl Trader {
             return Ok(());
         };
         if let Some(constraint) = &request.constraint {
-            let inferred = constraint.infer(ptype).map_err(|e| TraderError::ConstraintType {
-                service_type: request.service_type.clone(),
-                detail: e.to_string(),
-            })?;
+            let inferred = constraint
+                .infer(ptype)
+                .map_err(|e| TraderError::ConstraintType {
+                    service_type: request.service_type.clone(),
+                    detail: e.to_string(),
+                })?;
             if inferred != rmodp_core::dtype::DataType::Bool {
                 return Err(TraderError::ConstraintType {
                     service_type: request.service_type.clone(),
@@ -280,10 +297,12 @@ impl Trader {
         }
         let service_type = service_type.into();
         if let Some(ptype) = self.property_types.get(&service_type) {
-            ptype.check(&properties).map_err(|e| TraderError::PropertyType {
-                service_type: service_type.clone(),
-                detail: e.to_string(),
-            })?;
+            ptype
+                .check(&properties)
+                .map_err(|e| TraderError::PropertyType {
+                    service_type: service_type.clone(),
+                    detail: e.to_string(),
+                })?;
         }
         let id = self.gen.fresh();
         self.offers.insert(
@@ -297,6 +316,18 @@ impl Trader {
             },
         );
         self.stats.exports += 1;
+        let service_type = &self.offers[&id].service_type;
+        rmodp_observe::event(
+            rmodp_observe::Layer::Trader,
+            rmodp_observe::EventKind::TraderExport,
+        )
+        .in_context()
+        .detail(format!(
+            "trader={} offer={id} type={service_type} interface={interface}",
+            self.name
+        ))
+        .emit();
+        rmodp_observe::bus::counter_add("trader.exports", 1);
         Ok(id)
     }
 
@@ -357,9 +388,8 @@ impl Trader {
             self.stats.offers_considered += 1;
             let type_ok = offer.service_type == request.service_type
                 || (request.allow_subtypes
-                    && repo.is_some_and(|r| {
-                        r.is_subtype(&offer.service_type, &request.service_type)
-                    }));
+                    && repo
+                        .is_some_and(|r| r.is_subtype(&offer.service_type, &request.service_type)));
             if !type_ok {
                 continue;
             }
@@ -388,14 +418,31 @@ impl Trader {
         }
         match &request.preference {
             Preference::FirstFound => {}
-            Preference::Max(_) => {
-                matches.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.offer.id.cmp(&b.offer.id)))
-            }
-            Preference::Min(_) => {
-                matches.sort_by(|a, b| a.score.total_cmp(&b.score).then(a.offer.id.cmp(&b.offer.id)))
-            }
+            Preference::Max(_) => matches.sort_by(|a, b| {
+                b.score
+                    .total_cmp(&a.score)
+                    .then(a.offer.id.cmp(&b.offer.id))
+            }),
+            Preference::Min(_) => matches.sort_by(|a, b| {
+                a.score
+                    .total_cmp(&b.score)
+                    .then(a.offer.id.cmp(&b.offer.id))
+            }),
         }
         matches.truncate(request.max_matches);
+        rmodp_observe::event(
+            rmodp_observe::Layer::Trader,
+            rmodp_observe::EventKind::TraderLookup,
+        )
+        .in_context()
+        .detail(format!(
+            "trader={} type={} matches={}",
+            self.name,
+            request.service_type,
+            matches.len()
+        ))
+        .emit();
+        rmodp_observe::bus::counter_add("trader.lookups", 1);
         matches
     }
 }
@@ -466,7 +513,10 @@ mod tests {
         );
         assert_eq!(lowest_floor[0].offer.interface, InterfaceId::new(2));
         let limited = t.import(
-            &ImportRequest::new("Printer").prefer_max("ppm").unwrap().at_most(1),
+            &ImportRequest::new("Printer")
+                .prefer_max("ppm")
+                .unwrap()
+                .at_most(1),
             None,
         );
         assert_eq!(limited.len(), 1);
@@ -484,17 +534,23 @@ mod tests {
     #[test]
     fn subtype_offers_match_via_type_repository() {
         let mut repo = TypeRepository::new();
-        let teller = OperationalSignature::new("BankTeller")
-            .announcement("Deposit", [("d", DataType::Int)]);
+        let teller =
+            OperationalSignature::new("BankTeller").announcement("Deposit", [("d", DataType::Int)]);
         let manager = OperationalSignature::new("BankManager")
             .announcement("Deposit", [("d", DataType::Int)])
             .announcement("CreateAccount", [("c", DataType::Int)]);
-        repo.register(InterfaceSignature::Operational(teller)).unwrap();
-        repo.register(InterfaceSignature::Operational(manager)).unwrap();
+        repo.register(InterfaceSignature::Operational(teller))
+            .unwrap();
+        repo.register(InterfaceSignature::Operational(manager))
+            .unwrap();
 
         let mut t = Trader::new("bank");
-        t.export("BankManager", InterfaceId::new(9), Value::record::<&str, _>([]))
-            .unwrap();
+        t.export(
+            "BankManager",
+            InterfaceId::new(9),
+            Value::record::<&str, _>([]),
+        )
+        .unwrap();
         // A BankManager offer satisfies a BankTeller import (Figure 3).
         let matches = t.import(&ImportRequest::new("BankTeller"), Some(&repo));
         assert_eq!(matches.len(), 1);
@@ -503,23 +559,35 @@ mod tests {
         assert!(exact.is_empty());
         // And never the reverse direction.
         let t2 = &mut Trader::new("bank2");
-        t2.export("BankTeller", InterfaceId::new(1), Value::record::<&str, _>([]))
-            .unwrap();
-        assert!(t2.import(&ImportRequest::new("BankManager"), Some(&repo)).is_empty());
+        t2.export(
+            "BankTeller",
+            InterfaceId::new(1),
+            Value::record::<&str, _>([]),
+        )
+        .unwrap();
+        assert!(t2
+            .import(&ImportRequest::new("BankManager"), Some(&repo))
+            .is_empty());
     }
 
     #[test]
     fn withdraw_and_modify() {
         let mut t = printer_trader();
         let id = t.import(&ImportRequest::new("Scanner"), None)[0].offer.id;
-        t.modify(id, Value::record([("dpi", Value::Int(1200))])).unwrap();
+        t.modify(id, Value::record([("dpi", Value::Int(1200))]))
+            .unwrap();
         let m = t.import(
-            &ImportRequest::new("Scanner").constraint("dpi >= 1200").unwrap(),
+            &ImportRequest::new("Scanner")
+                .constraint("dpi >= 1200")
+                .unwrap(),
             None,
         );
         assert_eq!(m.len(), 1);
         t.withdraw(id).unwrap();
-        assert!(matches!(t.withdraw(id), Err(TraderError::UnknownOffer { .. })));
+        assert!(matches!(
+            t.withdraw(id),
+            Err(TraderError::UnknownOffer { .. })
+        ));
         assert!(t.import(&ImportRequest::new("Scanner"), None).is_empty());
         assert_eq!(t.len(), 2);
     }

@@ -48,7 +48,11 @@ fn nonconforming_exports_fail() {
     let mut t = declared_trader();
     // Missing required property.
     let err = t
-        .export("Printer", InterfaceId::new(1), Value::record([("ppm", Value::Int(30))]))
+        .export(
+            "Printer",
+            InterfaceId::new(1),
+            Value::record([("ppm", Value::Int(30))]),
+        )
         .unwrap_err();
     assert!(matches!(err, TraderError::PropertyType { .. }), "{err}");
     // Wrong property type.
@@ -78,21 +82,29 @@ fn undeclared_service_types_stay_permissive() {
 fn constraints_are_statically_checked() {
     let t = declared_trader();
     // Well-typed boolean constraint: fine.
-    let ok = ImportRequest::new("Printer").constraint("ppm >= 30 and colour").unwrap();
+    let ok = ImportRequest::new("Printer")
+        .constraint("ppm >= 30 and colour")
+        .unwrap();
     t.check_request(&ok).unwrap();
     // Unknown property: rejected before any offer is touched.
-    let bad = ImportRequest::new("Printer").constraint("dpi > 300").unwrap();
+    let bad = ImportRequest::new("Printer")
+        .constraint("dpi > 300")
+        .unwrap();
     let err = t.check_request(&bad).unwrap_err();
     assert!(matches!(err, TraderError::ConstraintType { .. }), "{err}");
     // Type mismatch inside the constraint.
-    let bad = ImportRequest::new("Printer").constraint("ppm and colour").unwrap();
+    let bad = ImportRequest::new("Printer")
+        .constraint("ppm and colour")
+        .unwrap();
     assert!(t.check_request(&bad).is_err());
     // Non-boolean result.
     let bad = ImportRequest::new("Printer").constraint("ppm + 1").unwrap();
     let err = t.check_request(&bad).unwrap_err();
     assert!(err.to_string().contains("expected bool"), "{err}");
     // Undeclared types are unchecked.
-    let any = ImportRequest::new("Scanner").constraint("dpi > 300").unwrap();
+    let any = ImportRequest::new("Scanner")
+        .constraint("dpi > 300")
+        .unwrap();
     t.check_request(&any).unwrap();
 }
 

@@ -158,7 +158,8 @@ impl LockManager {
         for w in &woken {
             self.waits_for.remove(w);
         }
-        self.items.retain(|_, l| !l.holders.is_empty() || !l.waiters.is_empty());
+        self.items
+            .retain(|_, l| !l.holders.is_empty() || !l.waiters.is_empty());
         woken
     }
 
@@ -223,7 +224,10 @@ mod tests {
     #[test]
     fn exclusive_conflicts_queue() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(T1, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(T1, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         match lm.acquire(T2, "x", LockMode::Shared) {
             LockOutcome::Wait { blockers } => assert_eq!(blockers, vec![T1]),
             other => panic!("expected wait, got {other:?}"),
@@ -240,7 +244,10 @@ mod tests {
         assert_eq!(lm.acquire(T1, "x", LockMode::Shared), LockOutcome::Granted);
         assert_eq!(lm.acquire(T1, "x", LockMode::Shared), LockOutcome::Granted);
         // Sole-holder upgrade succeeds.
-        assert_eq!(lm.acquire(T1, "x", LockMode::Exclusive), LockOutcome::Granted);
+        assert_eq!(
+            lm.acquire(T1, "x", LockMode::Exclusive),
+            LockOutcome::Granted
+        );
         assert!(lm.holds(T1, "x", LockMode::Exclusive));
         // Exclusive holder may "downgrade-request" shared: still granted.
         assert_eq!(lm.acquire(T1, "x", LockMode::Shared), LockOutcome::Granted);
@@ -286,8 +293,14 @@ mod tests {
         lm.acquire(T1, "a", LockMode::Exclusive);
         lm.acquire(T2, "b", LockMode::Exclusive);
         lm.acquire(T3, "c", LockMode::Exclusive);
-        assert!(matches!(lm.acquire(T1, "b", LockMode::Exclusive), LockOutcome::Wait { .. }));
-        assert!(matches!(lm.acquire(T2, "c", LockMode::Exclusive), LockOutcome::Wait { .. }));
+        assert!(matches!(
+            lm.acquire(T1, "b", LockMode::Exclusive),
+            LockOutcome::Wait { .. }
+        ));
+        assert!(matches!(
+            lm.acquire(T2, "c", LockMode::Exclusive),
+            LockOutcome::Wait { .. }
+        ));
         assert!(matches!(
             lm.acquire(T3, "a", LockMode::Exclusive),
             LockOutcome::Deadlock { .. }
@@ -299,9 +312,15 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(T1, "x", LockMode::Shared);
         // Writer queues.
-        assert!(matches!(lm.acquire(T2, "x", LockMode::Exclusive), LockOutcome::Wait { .. }));
+        assert!(matches!(
+            lm.acquire(T2, "x", LockMode::Exclusive),
+            LockOutcome::Wait { .. }
+        ));
         // A later reader must queue behind the writer, not sneak in.
-        assert!(matches!(lm.acquire(T3, "x", LockMode::Shared), LockOutcome::Wait { .. }));
+        assert!(matches!(
+            lm.acquire(T3, "x", LockMode::Shared),
+            LockOutcome::Wait { .. }
+        ));
         let woken = lm.release_all(T1);
         assert_eq!(woken, vec![T2]);
         assert!(lm.holds(T2, "x", LockMode::Exclusive));

@@ -140,7 +140,10 @@ impl WriteAheadLog {
         let analysis = self.analyze();
         let mut store = BTreeMap::new();
         for r in &self.records {
-            if let LogRecord::Write { tx, item, after, .. } = r {
+            if let LogRecord::Write {
+                tx, item, after, ..
+            } = r
+            {
                 if analysis.committed.contains(tx) {
                     store.insert(item.clone(), after.clone());
                 }
@@ -155,9 +158,12 @@ impl WriteAheadLog {
             .iter()
             .rev()
             .filter_map(|r| match r {
-                LogRecord::Write { tx: t, item, before, .. } if *t == tx => {
-                    Some((item.clone(), before.clone()))
-                }
+                LogRecord::Write {
+                    tx: t,
+                    item,
+                    before,
+                    ..
+                } if *t == tx => Some((item.clone(), before.clone())),
                 _ => None,
             })
             .collect()

@@ -81,7 +81,11 @@ pub enum RmError {
     NotActive { tx: TxId },
     /// The transaction must wait for a lock (retry after the blockers
     /// finish).
-    WouldBlock { tx: TxId, item: String, blockers: Vec<TxId> },
+    WouldBlock {
+        tx: TxId,
+        item: String,
+        blockers: Vec<TxId>,
+    },
     /// Granting the lock would deadlock; the transaction was aborted.
     Deadlock { tx: TxId, cycle: Vec<TxId> },
     /// The transaction is prepared; only commit/abort are legal.
@@ -338,7 +342,10 @@ impl ResourceManager {
             self.tx_states.insert(*tx, TxState::Prepared);
             let mut ws = BTreeMap::new();
             for r in self.log.records() {
-                if let LogRecord::Write { tx: t, item, after, .. } = r {
+                if let LogRecord::Write {
+                    tx: t, item, after, ..
+                } = r
+                {
                     if t == tx {
                         ws.insert(item.clone(), after.clone());
                     }
@@ -464,11 +471,17 @@ mod tests {
         let t2 = rm.begin();
         rm.write(t1, "a", Value::Int(1)).unwrap();
         rm.write(t2, "b", Value::Int(2)).unwrap();
-        assert!(matches!(rm.write(t1, "b", Value::Int(3)), Err(RmError::WouldBlock { .. })));
+        assert!(matches!(
+            rm.write(t1, "b", Value::Int(3)),
+            Err(RmError::WouldBlock { .. })
+        ));
         let err = rm.write(t2, "a", Value::Int(4)).unwrap_err();
         assert!(matches!(err, RmError::Deadlock { .. }));
         // The victim is gone; t1 can proceed.
-        assert!(matches!(rm.write(t2, "a", Value::Int(4)), Err(RmError::NotActive { .. })));
+        assert!(matches!(
+            rm.write(t2, "a", Value::Int(4)),
+            Err(RmError::NotActive { .. })
+        ));
         rm.write(t1, "b", Value::Int(3)).unwrap();
         rm.commit(t1).unwrap();
         assert_eq!(rm.stats().2, 1);
@@ -480,7 +493,10 @@ mod tests {
         let tx = rm.begin();
         rm.write(tx, "x", Value::Int(7)).unwrap();
         rm.prepare(tx).unwrap();
-        assert!(matches!(rm.write(tx, "y", Value::Int(1)), Err(RmError::Prepared { .. })));
+        assert!(matches!(
+            rm.write(tx, "y", Value::Int(1)),
+            Err(RmError::Prepared { .. })
+        ));
         assert!(rm.is_prepared(tx));
 
         rm.crash();
@@ -529,8 +545,14 @@ mod tests {
     fn operations_on_unknown_tx_fail() {
         let mut rm = acid();
         let ghost = TxId::new(99);
-        assert!(matches!(rm.read(ghost, "x"), Err(RmError::NotActive { .. })));
-        assert!(matches!(rm.write(ghost, "x", Value::Null), Err(RmError::NotActive { .. })));
+        assert!(matches!(
+            rm.read(ghost, "x"),
+            Err(RmError::NotActive { .. })
+        ));
+        assert!(matches!(
+            rm.write(ghost, "x", Value::Null),
+            Err(RmError::NotActive { .. })
+        ));
         assert!(matches!(rm.commit(ghost), Err(RmError::NotActive { .. })));
         assert!(matches!(rm.abort(ghost), Err(RmError::NotActive { .. })));
         assert!(matches!(rm.prepare(ghost), Err(RmError::NotActive { .. })));

@@ -12,6 +12,7 @@ use rmodp_core::id::TxId;
 use rmodp_core::value::Value;
 use rmodp_netsim::sim::{Addr, Ctx, Message, Process};
 use rmodp_netsim::time::SimDuration;
+use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::rm::{ResourceManager, TxProfile};
 
@@ -127,6 +128,13 @@ impl Coordinator {
             if self.transactions[&tx].votes.contains_key(addr) {
                 continue;
             }
+            event(Layer::Transactions, EventKind::TxPrepare)
+                .in_context()
+                .node(addr.node.0 as u64)
+                .port(addr.port as u64)
+                .detail(format!("{tx} prepare -> participant {i}"))
+                .emit();
+            bus::counter_add("transactions.prepares", 1);
             let writes = self.writes_for(tx, i);
             ctx.send(*addr, msg("prepare", tx, vec![("writes", writes)]));
         }
@@ -156,7 +164,28 @@ impl Coordinator {
         } else {
             TxOutcome::Aborted
         };
-        ctx.note(format!("{tx} decided {}", if commit { "commit" } else { "abort" }));
+        let kind = if commit {
+            EventKind::TxCommit
+        } else {
+            EventKind::TxAbort
+        };
+        let votes = progress.votes.len();
+        event(Layer::Transactions, kind)
+            .in_context()
+            .detail(format!("{tx} decided with {votes} vote(s) in"))
+            .emit();
+        bus::counter_add(
+            if commit {
+                "transactions.commits"
+            } else {
+                "transactions.aborts"
+            },
+            1,
+        );
+        ctx.note(format!(
+            "{tx} decided {}",
+            if commit { "commit" } else { "abort" }
+        ));
         self.send_decision(ctx, tx, commit);
     }
 }
@@ -204,11 +233,20 @@ impl Process for Coordinator {
             }
             "vote" => {
                 let yes = v.field("yes").and_then(Value::as_bool).unwrap_or(false);
-                let Some(progress) = self.transactions.get_mut(&tx) else { return };
+                let Some(progress) = self.transactions.get_mut(&tx) else {
+                    return;
+                };
                 if progress.decided.is_some() {
                     return;
                 }
                 progress.votes.insert(m.src, yes);
+                event(Layer::Transactions, EventKind::TxVote)
+                    .in_context()
+                    .node(m.src.node.0 as u64)
+                    .port(m.src.port as u64)
+                    .detail(format!("{tx} vote yes={yes}"))
+                    .emit();
+                bus::counter_add("transactions.votes", 1);
                 if !yes {
                     self.decide(ctx, tx, false);
                 } else if self
@@ -221,7 +259,9 @@ impl Process for Coordinator {
             }
             "ack" => {
                 let all = {
-                    let Some(progress) = self.transactions.get_mut(&tx) else { return };
+                    let Some(progress) = self.transactions.get_mut(&tx) else {
+                        return;
+                    };
                     progress.acked.insert(m.src);
                     progress.acked.len() >= self.participants.len()
                 };
@@ -235,7 +275,9 @@ impl Process for Coordinator {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
         let tx = TxId::new(tag);
-        let Some(progress) = self.transactions.get_mut(&tx) else { return };
+        let Some(progress) = self.transactions.get_mut(&tx) else {
+            return;
+        };
         match progress.decided {
             None => {
                 progress.attempts += 1;
@@ -290,7 +332,10 @@ impl Process for Participant {
             "prepare" => {
                 if let Some(&committed) = self.applied.get(&tx) {
                     // Already resolved: repeat the (implied) vote.
-                    ctx.send(m.src, msg("vote", tx, vec![("yes", Value::Bool(committed))]));
+                    ctx.send(
+                        m.src,
+                        msg("vote", tx, vec![("yes", Value::Bool(committed))]),
+                    );
                     return;
                 }
                 if self.rm.is_prepared(tx) {
@@ -467,7 +512,10 @@ mod tests {
         let o2 = outcome(&net, 2);
         // At least one commits; atomicity holds for whatever committed:
         // both participants agree on each transaction's fate.
-        assert!(o1 == TxOutcome::Committed || o2 == TxOutcome::Committed, "{o1:?} {o2:?}");
+        assert!(
+            o1 == TxOutcome::Committed || o2 == TxOutcome::Committed,
+            "{o1:?} {o2:?}"
+        );
         let x = committed(&net, 0, "x");
         let y = committed(&net, 1, "y");
         match (o1, o2) {

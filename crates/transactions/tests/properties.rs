@@ -22,8 +22,11 @@ enum LockOp {
 fn arb_lock_ops() -> impl Strategy<Value = Vec<LockOp>> {
     proptest::collection::vec(
         prop_oneof![
-            (0u8..6, 0u8..4, any::<bool>())
-                .prop_map(|(tx, item, exclusive)| LockOp::Acquire { tx, item, exclusive }),
+            (0u8..6, 0u8..4, any::<bool>()).prop_map(|(tx, item, exclusive)| LockOp::Acquire {
+                tx,
+                item,
+                exclusive
+            }),
             (0u8..6).prop_map(|tx| LockOp::Release { tx }),
         ],
         1..60,

@@ -13,6 +13,7 @@ use std::fmt;
 use rmodp_core::id::{CapsuleId, ClusterId, InterfaceId, NodeId};
 use rmodp_engineering::engine::{EngError, Engine};
 use rmodp_engineering::structure::ClusterCheckpoint;
+use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::proxy::OdpInfra;
 
@@ -126,12 +127,37 @@ impl FailureGuard {
             .clone()
             .ok_or(FailureError::NoCheckpoint)?;
         let (backup_node, backup_capsule) = self.backup;
-        let new_cluster = engine.reactivate_cluster(backup_node, backup_capsule, &cp)?;
-        for ifc in &self.interfaces {
-            infra.publish(engine, *ifc)?;
-        }
+        let span = bus::new_span();
+        event(Layer::Transparency, EventKind::RecoveryStart)
+            .span(span)
+            .parent_from_context()
+            .capsule(backup_capsule.raw())
+            .detail(format!(
+                "cluster={} {} -> {backup_node}",
+                self.home.2, self.home.0
+            ))
+            .emit();
+        bus::push_context(span);
+        let recovered = (|| {
+            let new_cluster = engine.reactivate_cluster(backup_node, backup_capsule, &cp)?;
+            for ifc in &self.interfaces {
+                infra.publish(engine, *ifc)?;
+            }
+            Ok::<_, FailureError>(new_cluster)
+        })();
+        bus::pop_context();
+        let new_cluster = recovered?;
         self.home = (backup_node, backup_capsule, new_cluster);
         self.recoveries += 1;
+        event(Layer::Transparency, EventKind::RecoveryEnd)
+            .span(span)
+            .capsule(backup_capsule.raw())
+            .detail(format!(
+                "cluster={new_cluster} recovery #{}",
+                self.recoveries
+            ))
+            .emit();
+        bus::counter_add("transparency.recoveries", 1);
         Ok(new_cluster)
     }
 
@@ -171,7 +197,15 @@ mod tests {
         let backup_capsule = engine.add_capsule(backup).unwrap();
         let cluster = engine.add_cluster(home, home_capsule).unwrap();
         let (_, refs) = engine
-            .create_object(home, home_capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+            .create_object(
+                home,
+                home_capsule,
+                cluster,
+                "c",
+                "counter",
+                CounterBehaviour::initial_state(),
+                1,
+            )
             .unwrap();
         let mut infra = OdpInfra::new();
         infra.publish(&engine, refs[0].interface).unwrap();
@@ -201,10 +235,14 @@ mod tests {
             w.interface,
             TransparencySet::none().with(Transparency::Relocation),
         );
-        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(10)).unwrap();
+        proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(10))
+            .unwrap();
         w.guard.checkpoint_now(&mut w.engine).unwrap();
         // Post-checkpoint work that will be lost by the failure.
-        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(5)).unwrap();
+        proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(5))
+            .unwrap();
 
         // The home node crashes.
         let idx = w.engine.sim_node(w.guard.home().0).unwrap();
@@ -217,7 +255,12 @@ mod tests {
         // The client's next call is transparently routed to the recovered
         // replica; state is the checkpointed 10, not 15.
         let t = proxy
-            .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+            .call(
+                &mut w.engine,
+                &mut w.infra,
+                "Get",
+                &Value::record::<&str, _>([]),
+            )
             .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(10)));
     }
@@ -245,7 +288,9 @@ mod tests {
             w.interface,
             TransparencySet::none().with(Transparency::Relocation),
         );
-        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(1)).unwrap();
+        proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(1))
+            .unwrap();
         w.guard.checkpoint_now(&mut w.engine).unwrap();
 
         for round in 0..2 {
@@ -253,7 +298,12 @@ mod tests {
             w.engine.sim_mut().topology_mut().crash(idx);
             w.guard.recover(&mut w.engine, &mut w.infra).unwrap();
             let t = proxy
-                .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+                .call(
+                    &mut w.engine,
+                    &mut w.infra,
+                    "Get",
+                    &Value::record::<&str, _>([]),
+                )
                 .unwrap();
             assert_eq!(t.results.field("n"), Some(&Value::Int(1)), "round {round}");
             // Prepare the next backup and refresh the recovery point.

@@ -93,12 +93,21 @@ pub fn decode_checkpoint(bytes: &[u8]) -> Result<ClusterCheckpoint, String> {
         .field("cluster")
         .and_then(Value::as_int)
         .ok_or("missing cluster id")?;
-    let epoch = v.field("epoch").and_then(Value::as_int).ok_or("missing epoch")?;
+    let epoch = v
+        .field("epoch")
+        .and_then(Value::as_int)
+        .ok_or("missing epoch")?;
     let mut objects = Vec::new();
-    for o in v.field("objects").and_then(Value::as_seq).ok_or("missing objects")? {
+    for o in v
+        .field("objects")
+        .and_then(Value::as_seq)
+        .ok_or("missing objects")?
+    {
         let record = BeoRecord {
             object: ObjectId::new(
-                o.field("object").and_then(Value::as_int).ok_or("missing object id")? as u64,
+                o.field("object")
+                    .and_then(Value::as_int)
+                    .ok_or("missing object id")? as u64,
             ),
             name: o
                 .field("name")
@@ -177,6 +186,15 @@ impl PersistenceManager {
                 self.interface_index.insert(*ifc, label.to_owned());
             }
         }
+        rmodp_observe::event(
+            rmodp_observe::Layer::Transparency,
+            rmodp_observe::EventKind::Persist,
+        )
+        .in_context()
+        .capsule(capsule.raw())
+        .detail(format!("stored label={label} objects={}", cp.objects.len()))
+        .emit();
+        rmodp_observe::bus::counter_add("transparency.persists", 1);
         Ok(())
     }
 
@@ -196,17 +214,33 @@ impl PersistenceManager {
             .homes
             .get(label)
             .copied()
-            .ok_or_else(|| PersistenceError::NotStored { name: label.to_owned() })?;
+            .ok_or_else(|| PersistenceError::NotStored {
+                name: label.to_owned(),
+            })?;
         let name: Name = format!("persistent/{label}")
             .parse()
             .expect("label forms a valid name");
         let (bytes, _) = storage
             .get(&name)
-            .map_err(|_| PersistenceError::NotStored { name: label.to_owned() })?;
+            .map_err(|_| PersistenceError::NotStored {
+                name: label.to_owned(),
+            })?;
         let cp = decode_checkpoint(bytes).map_err(|detail| PersistenceError::Corrupt {
             name: label.to_owned(),
             detail,
         })?;
+        rmodp_observe::event(
+            rmodp_observe::Layer::Transparency,
+            rmodp_observe::EventKind::Persist,
+        )
+        .in_context()
+        .capsule(home.capsule.raw())
+        .detail(format!(
+            "restored label={label} objects={}",
+            cp.objects.len()
+        ))
+        .emit();
+        rmodp_observe::bus::counter_add("transparency.restores", 1);
         Ok(engine.reactivate_cluster(home.node, home.capsule, &cp)?)
     }
 
@@ -269,7 +303,15 @@ mod tests {
         let capsule = engine.add_capsule(node).unwrap();
         let cluster = engine.add_cluster(node, capsule).unwrap();
         let (_, refs) = engine
-            .create_object(node, capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+            .create_object(
+                node,
+                capsule,
+                cluster,
+                "c",
+                "counter",
+                CounterBehaviour::initial_state(),
+                1,
+            )
             .unwrap();
         let ch = engine
             .open_channel(client, refs[0].interface, ChannelConfig::default())
@@ -288,7 +330,9 @@ mod tests {
         pm.restore(&mut engine, &storage, "acct").unwrap();
         let fresh = engine.lookup(refs[0].interface).unwrap();
         engine.redirect_channel(ch, fresh).unwrap();
-        let t = engine.call(ch, "Get", &Value::record::<&str, _>([])).unwrap();
+        let t = engine
+            .call(ch, "Get", &Value::record::<&str, _>([]))
+            .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(33)));
     }
 

@@ -198,16 +198,18 @@ impl TransparentProxy {
 
     fn try_restore(&mut self, engine: &mut Engine, infra: &mut OdpInfra) -> Result<(), ProxyError> {
         if !self.selection.has(Transparency::Persistence) {
-            return Err(ProxyError::Unresolvable { interface: self.target });
+            return Err(ProxyError::Unresolvable {
+                interface: self.target,
+            });
         }
         let label = infra
             .persistence
             .label_for(self.target)
             .map(str::to_owned)
-            .ok_or(ProxyError::Unresolvable { interface: self.target })?;
-        infra
-            .persistence
-            .restore(engine, &infra.storage, &label)?;
+            .ok_or(ProxyError::Unresolvable {
+                interface: self.target,
+            })?;
+        infra.persistence.restore(engine, &infra.storage, &label)?;
         infra.publish(engine, self.target).map_err(CallError::Eng)?;
         self.stats.restorations += 1;
         Ok(())
@@ -251,10 +253,7 @@ impl TransparentProxy {
                     if attempts > self.max_replays {
                         return Err(ProxyError::ReplaysExhausted { attempts });
                     }
-                    let fresh = infra
-                        .relocator
-                        .lookup(self.target)
-                        .expect("peeked above");
+                    let fresh = infra.relocator.lookup(self.target).expect("peeked above");
                     engine.redirect_channel(ch, fresh).map_err(CallError::Eng)?;
                     self.stats.relocations_masked += 1;
                     continue;
@@ -274,9 +273,7 @@ impl TransparentProxy {
                                 .channel_believes(ch)
                                 .is_some_and(|b| b.epoch < fresh.epoch) =>
                         {
-                            engine
-                                .redirect_channel(ch, fresh)
-                                .map_err(CallError::Eng)?;
+                            engine.redirect_channel(ch, fresh).map_err(CallError::Eng)?;
                             self.stats.relocations_masked += 1;
                             continue;
                         }
@@ -286,12 +283,12 @@ impl TransparentProxy {
                             // transparency restores it.
                             self.try_restore(engine, infra)?;
                             if let Some(fresh) = infra.relocator.lookup(self.target) {
-                                engine
-                                    .redirect_channel(ch, fresh)
-                                    .map_err(CallError::Eng)?;
+                                engine.redirect_channel(ch, fresh).map_err(CallError::Eng)?;
                                 continue;
                             }
-                            return Err(ProxyError::Unresolvable { interface: self.target });
+                            return Err(ProxyError::Unresolvable {
+                                interface: self.target,
+                            });
                         }
                     }
                 }
@@ -353,7 +350,15 @@ mod tests {
         let capsule = engine.add_capsule(node).unwrap();
         let cluster = engine.add_cluster(node, capsule).unwrap();
         let (_, refs) = engine
-            .create_object(node, capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+            .create_object(
+                node,
+                capsule,
+                cluster,
+                "c",
+                "counter",
+                CounterBehaviour::initial_state(),
+                1,
+            )
             .unwrap();
         let mut infra = OdpInfra::new();
         infra.publish(&engine, refs[0].interface).unwrap();
@@ -378,7 +383,9 @@ mod tests {
             w.interface,
             TransparencySet::none().with(Transparency::Location),
         );
-        let t = proxy.call(&mut w.engine, &mut w.infra, "Add", &add(5)).unwrap();
+        let t = proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(5))
+            .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(5)));
         assert_eq!(proxy.stats().calls, 1);
     }
@@ -391,7 +398,9 @@ mod tests {
             w.interface,
             TransparencySet::none().with(Transparency::Relocation),
         );
-        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(7)).unwrap();
+        proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(7))
+            .unwrap();
 
         // Move the cluster to a new node; the relocator is informed.
         let new_node = w.engine.add_node(SyntaxId::Binary);
@@ -407,7 +416,12 @@ mod tests {
 
         // The client keeps calling as if nothing happened.
         let t = proxy
-            .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+            .call(
+                &mut w.engine,
+                &mut w.infra,
+                "Get",
+                &Value::record::<&str, _>([]),
+            )
             .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(7)));
         assert_eq!(proxy.stats().relocations_masked, 1);
@@ -421,12 +435,26 @@ mod tests {
             w.interface,
             TransparencySet::none().with(Transparency::Location),
         );
-        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(1)).unwrap();
+        proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(1))
+            .unwrap();
         let new_node = w.engine.add_node(SyntaxId::Binary);
         let new_capsule = w.engine.add_capsule(new_node).unwrap();
-        migrate_transparently(&mut w.engine, &mut w.infra, w.home, (new_node, new_capsule), &[w.interface]).unwrap();
+        migrate_transparently(
+            &mut w.engine,
+            &mut w.infra,
+            w.home,
+            (new_node, new_capsule),
+            &[w.interface],
+        )
+        .unwrap();
         let err = proxy
-            .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+            .call(
+                &mut w.engine,
+                &mut w.infra,
+                "Get",
+                &Value::record::<&str, _>([]),
+            )
             .unwrap_err();
         assert!(matches!(err, ProxyError::Call(CallError::NotHere { .. })));
     }
@@ -441,19 +469,33 @@ mod tests {
                 .with(Transparency::Relocation)
                 .with(Transparency::Persistence),
         );
-        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(13)).unwrap();
+        proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(13))
+            .unwrap();
 
         // Deactivate to storage; the relocator forgets the location.
         let (node, capsule, cluster) = w.home;
         let mut pm = std::mem::take(&mut w.infra.persistence);
-        pm.deactivate_to_storage(&mut w.engine, &mut w.infra.storage, "c1", node, capsule, cluster)
-            .unwrap();
+        pm.deactivate_to_storage(
+            &mut w.engine,
+            &mut w.infra.storage,
+            "c1",
+            node,
+            capsule,
+            cluster,
+        )
+        .unwrap();
         w.infra.persistence = pm;
         w.infra.relocator.deactivate(w.interface);
 
         // The next call transparently restores and succeeds.
         let t = proxy
-            .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+            .call(
+                &mut w.engine,
+                &mut w.infra,
+                "Get",
+                &Value::record::<&str, _>([]),
+            )
             .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(13)));
         assert_eq!(proxy.stats().restorations, 1);
@@ -467,12 +509,19 @@ mod tests {
             w.interface,
             TransparencySet::none().with(Transparency::Relocation),
         );
-        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(1)).unwrap();
+        proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(1))
+            .unwrap();
         let (node, capsule, cluster) = w.home;
         w.engine.deactivate_cluster(node, capsule, cluster).unwrap();
         w.infra.relocator.deactivate(w.interface);
         let err = proxy
-            .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+            .call(
+                &mut w.engine,
+                &mut w.infra,
+                "Get",
+                &Value::record::<&str, _>([]),
+            )
             .unwrap_err();
         assert!(matches!(err, ProxyError::Unresolvable { .. }));
     }
@@ -485,14 +534,25 @@ mod tests {
             w.interface,
             TransparencySet::none().with(Transparency::Migration),
         );
-        proxy.call(&mut w.engine, &mut w.infra, "Add", &add(1)).unwrap();
+        proxy
+            .call(&mut w.engine, &mut w.infra, "Add", &add(1))
+            .unwrap();
         let mut home = w.home;
         for i in 0..3 {
-            let node = w.engine.add_node(if i % 2 == 0 { SyntaxId::Text } else { SyntaxId::Binary });
+            let node = w.engine.add_node(if i % 2 == 0 {
+                SyntaxId::Text
+            } else {
+                SyntaxId::Binary
+            });
             let capsule = w.engine.add_capsule(node).unwrap();
-            let new_cluster =
-                migrate_transparently(&mut w.engine, &mut w.infra, home, (node, capsule), &[w.interface])
-                    .unwrap();
+            let new_cluster = migrate_transparently(
+                &mut w.engine,
+                &mut w.infra,
+                home,
+                (node, capsule),
+                &[w.interface],
+            )
+            .unwrap();
             home = (node, capsule, new_cluster);
             let t = proxy
                 .call(&mut w.engine, &mut w.infra, "Add", &add(1))
@@ -500,7 +560,12 @@ mod tests {
             assert!(t.is_ok());
         }
         let t = proxy
-            .call(&mut w.engine, &mut w.infra, "Get", &Value::record::<&str, _>([]))
+            .call(
+                &mut w.engine,
+                &mut w.infra,
+                "Get",
+                &Value::record::<&str, _>([]),
+            )
             .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(4)));
         assert_eq!(proxy.stats().relocations_masked, 3);

@@ -17,6 +17,7 @@ use rmodp_core::value::Value;
 use rmodp_engineering::channel::ChannelConfig;
 use rmodp_engineering::engine::{CallError, Engine};
 use rmodp_functions::group::{GroupError, ReplicationPolicy};
+use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::proxy::OdpInfra;
 
@@ -143,22 +144,40 @@ impl ReplicatedService {
                     .collect()
             }
         };
+        let span = bus::new_span();
+        event(Layer::Transparency, EventKind::ReplicaUpdate)
+            .span(span)
+            .parent_from_context()
+            .detail(format!(
+                "group={} op={op} fanout={}",
+                self.group,
+                order.len()
+            ))
+            .emit();
+        bus::counter_add("transparency.replica_updates", 1);
+        bus::push_context(span);
         let mut first: Option<Termination> = None;
         for replica in order {
             match self.call_replica(engine, replica, op, args) {
                 Ok(t) => {
+                    event(Layer::Transparency, EventKind::ReplicaVote)
+                        .span(span)
+                        .detail(format!("replica={replica} applied {op}"))
+                        .emit();
                     if first.is_none() {
                         first = Some(t);
                     }
                 }
                 Err(e) => {
+                    bus::pop_context();
                     return Err(ReplicationError::UpdateFailed {
                         replica,
                         error: e.to_string(),
-                    })
+                    });
                 }
             }
         }
+        bus::pop_context();
         Ok(first.expect("non-empty order produced a termination"))
     }
 
@@ -180,6 +199,11 @@ impl ReplicatedService {
             .groups
             .read_target(self.group, n)?
             .ok_or(ReplicationError::Exhausted)?;
+        event(Layer::Transparency, EventKind::ReplicaRead)
+            .in_context()
+            .detail(format!("group={} op={op} replica={target}", self.group))
+            .emit();
+        bus::counter_add("transparency.replica_reads", 1);
         self.call_replica(engine, target, op, args)
             .map_err(|e| ReplicationError::UpdateFailed {
                 replica: target,
@@ -203,12 +227,12 @@ impl ReplicatedService {
         let view = infra.groups.view(self.group)?;
         let mut out = Vec::with_capacity(view.members.len());
         for replica in view.members {
-            let t = self
-                .call_replica(engine, replica, op, args)
-                .map_err(|e| ReplicationError::UpdateFailed {
+            let t = self.call_replica(engine, replica, op, args).map_err(|e| {
+                ReplicationError::UpdateFailed {
                     replica,
                     error: e.to_string(),
-                })?;
+                }
+            })?;
             out.push(t);
         }
         Ok(out)
@@ -226,6 +250,11 @@ impl ReplicatedService {
     ) -> Result<(), ReplicationError> {
         infra.groups.leave(self.group, replica)?;
         self.channels.remove(&replica);
+        event(Layer::Transparency, EventKind::ReplicaVote)
+            .in_context()
+            .detail(format!("group={} dropped replica={replica}", self.group))
+            .emit();
+        bus::counter_add("transparency.replica_drops", 1);
         Ok(())
     }
 }
@@ -244,20 +273,29 @@ pub fn replicated_counters(
     let mut replicas = Vec::with_capacity(n);
     for _ in 0..n {
         let node = engine.add_node(SyntaxId::Binary);
-        let capsule = engine.add_capsule(node).map_err(|e| {
-            ReplicationError::UpdateFailed {
+        let capsule = engine
+            .add_capsule(node)
+            .map_err(|e| ReplicationError::UpdateFailed {
                 replica: InterfaceId::new(0),
                 error: e.to_string(),
-            }
-        })?;
-        let cluster = engine.add_cluster(node, capsule).map_err(|e| {
-            ReplicationError::UpdateFailed {
-                replica: InterfaceId::new(0),
-                error: e.to_string(),
-            }
-        })?;
+            })?;
+        let cluster =
+            engine
+                .add_cluster(node, capsule)
+                .map_err(|e| ReplicationError::UpdateFailed {
+                    replica: InterfaceId::new(0),
+                    error: e.to_string(),
+                })?;
         let (_, refs) = engine
-            .create_object(node, capsule, cluster, "replica", "counter", CounterBehaviour::initial_state(), 1)
+            .create_object(
+                node,
+                capsule,
+                cluster,
+                "replica",
+                "counter",
+                CounterBehaviour::initial_state(),
+                1,
+            )
             .map_err(|e| ReplicationError::UpdateFailed {
                 replica: InterfaceId::new(0),
                 error: e.to_string(),
@@ -274,7 +312,10 @@ mod tests {
     use super::*;
     use rmodp_engineering::behaviour::CounterBehaviour;
 
-    fn world(policy: ReplicationPolicy, n: usize) -> (Engine, OdpInfra, ReplicatedService, Vec<InterfaceId>) {
+    fn world(
+        policy: ReplicationPolicy,
+        n: usize,
+    ) -> (Engine, OdpInfra, ReplicatedService, Vec<InterfaceId>) {
         let mut engine = Engine::new(41);
         engine
             .behaviours_mut()
@@ -364,10 +405,7 @@ mod tests {
         // failure aborted it, so r0 = 2+3+3 = 8 while r2 = 2+3 = 5. Making
         // retried updates safe requires idempotent operations or an update
         // log — exactly the trade-off the benchmark ablation quantifies.
-        let views: Vec<_> = all
-            .iter()
-            .map(|t| t.results.field("n").cloned())
-            .collect();
+        let views: Vec<_> = all.iter().map(|t| t.results.field("n").cloned()).collect();
         assert_eq!(views, vec![Some(Value::Int(8)), Some(Value::Int(5))]);
     }
 

@@ -97,6 +97,7 @@ pub fn in_transaction<T>(
     max_attempts: u32,
     mut body: impl FnMut(&mut TxContext<'_>) -> Result<T, String>,
 ) -> Result<T, TxError> {
+    use rmodp_observe::{bus, event, EventKind, Layer};
     let mut attempts = 0;
     loop {
         attempts += 1;
@@ -109,6 +110,11 @@ pub fn in_transaction<T>(
         match body(&mut ctx) {
             Ok(out) => {
                 rm.commit(tx).map_err(TxError::Resource)?;
+                event(Layer::Transparency, EventKind::TxCommit)
+                    .in_context()
+                    .detail(format!("tx={tx} attempts={attempts}"))
+                    .emit();
+                bus::counter_add("transparency.tx_commits", 1);
                 return Ok(out);
             }
             Err(app_err) => {
@@ -117,6 +123,11 @@ pub fn in_transaction<T>(
                 // The victim of a deadlock is already aborted; everything
                 // else must be rolled back here.
                 let _ = rm.abort(tx);
+                event(Layer::Transparency, EventKind::TxAbort)
+                    .in_context()
+                    .detail(format!("tx={tx} attempt={attempts}: {app_err}"))
+                    .emit();
+                bus::counter_add("transparency.tx_aborts", 1);
                 if was_deadlock && attempts < max_attempts {
                     continue;
                 }
@@ -202,7 +213,8 @@ mod tests {
         let mut observed = Vec::new();
         in_transaction(&mut rm, 1, |ctx| {
             ctx.read("alice").map_err(|e| e.to_string())?;
-            ctx.write("alice", Value::Int(0)).map_err(|e| e.to_string())?;
+            ctx.write("alice", Value::Int(0))
+                .map_err(|e| e.to_string())?;
             observed = ctx.reported().to_vec();
             Ok(())
         })
@@ -214,7 +226,11 @@ mod tests {
     fn conservation_across_many_transfers() {
         let mut rm = bank();
         for i in 0..20 {
-            let (from, to) = if i % 2 == 0 { ("alice", "bob") } else { ("bob", "alice") };
+            let (from, to) = if i % 2 == 0 {
+                ("alice", "bob")
+            } else {
+                ("bob", "alice")
+            };
             let _ = transfer(&mut rm, from, to, 7 + i % 5);
         }
         let total = rm.read_committed("alice").unwrap().as_int().unwrap()

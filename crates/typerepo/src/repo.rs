@@ -78,7 +78,9 @@ impl TypeRepository {
         let sig = self
             .types
             .remove(name)
-            .ok_or_else(|| TypeRepoError::Unknown { name: name.to_owned() })?;
+            .ok_or_else(|| TypeRepoError::Unknown {
+                name: name.to_owned(),
+            })?;
         self.relationships
             .retain(|r| r.from != name && r.to != name);
         self.recompute();
@@ -109,7 +111,9 @@ impl TypeRepository {
     /// are subtypes of nothing.
     pub fn is_subtype(&self, sub: &str, sup: &str) -> bool {
         sub == sup && self.types.contains_key(sub)
-            || self.subtype_pairs.contains(&(sub.to_owned(), sup.to_owned()))
+            || self
+                .subtype_pairs
+                .contains(&(sub.to_owned(), sup.to_owned()))
     }
 
     /// The proper supertypes of a type.
@@ -322,8 +326,12 @@ mod tests {
     #[test]
     fn named_relationships() {
         let mut repo = figure3_repo();
-        repo.relate("audited_by", "BankManager", "BankTeller").unwrap();
-        assert_eq!(repo.related("audited_by", "BankManager"), vec!["BankTeller"]);
+        repo.relate("audited_by", "BankManager", "BankTeller")
+            .unwrap();
+        assert_eq!(
+            repo.related("audited_by", "BankManager"),
+            vec!["BankTeller"]
+        );
         assert!(repo.related("audited_by", "BankTeller").is_empty());
         assert!(repo.relate("x", "Ghost", "BankTeller").is_err());
         assert_eq!(repo.relationships().count(), 1);

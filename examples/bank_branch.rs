@@ -20,12 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // shows each customer bound to one branch interface.
     let customer1 = sys.engine.add_node(SyntaxId::Text);
     let customer2 = sys.engine.add_node(SyntaxId::Binary);
-    let teller_ch = sys
-        .engine
-        .open_channel(customer1, branch.teller.interface, ChannelConfig::default())?;
-    let manager_ch = sys
-        .engine
-        .open_channel(customer2, branch.manager.interface, ChannelConfig::default())?;
+    let teller_ch =
+        sys.engine
+            .open_channel(customer1, branch.teller.interface, ChannelConfig::default())?;
+    let manager_ch = sys.engine.open_channel(
+        customer2,
+        branch.manager.interface,
+        ChannelConfig::default(),
+    )?;
 
     // Accounts can be created only through the bank manager interface.
     let t = sys.engine.call(
@@ -33,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "CreateAccount",
         &Value::record([("c", Value::Int(1)), ("opening", Value::Int(1_000))]),
     )?;
-    let acct = t.results.field("a").and_then(Value::as_int).expect("OK carries a");
+    let acct = t
+        .results
+        .field("a")
+        .and_then(Value::as_int)
+        .expect("OK carries a");
     println!("manager opened account {acct} with $1000");
 
     let dwa = |c: i64, d: i64| {
@@ -56,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(t.name, "NotToday");
 
     // Midnight: the nucleus runs the reset; the limit reopens.
-    sys.engine.call(manager_ch, "ResetDay", &Value::record::<&str, _>([]))?;
+    sys.engine
+        .call(manager_ch, "ResetDay", &Value::record::<&str, _>([]))?;
     let t = sys.engine.call(teller_ch, "Withdraw", &dwa(1, 200))?;
     println!("next morning withdraw $200 -> {} {}", t.name, t.results);
 

@@ -1,12 +1,22 @@
 //! Relocation, migration and failure transparency in action: a counter
 //! service keeps serving one oblivious client while its cluster is
 //! migrated twice and then crash-recovered from a checkpoint on a backup
-//! node (§9.2, §8.1, §8.2).
+//! node (§9.2, §8.1, §8.2) — followed by a two-phase commit on the same
+//! simulated network (§9.3).
+//!
+//! The whole run is observed on the `rmodp-observe` event bus: the trace
+//! is dumped as deterministic JSONL (same seed ⇒ byte-identical file),
+//! checked against the causal-order oracle, and rendered as a per-node
+//! summary table plus an indented causal timeline.
 //!
 //! Run with: `cargo run --example migration_and_failure`
 
 use rmodp::engineering::behaviour::CounterBehaviour;
+use rmodp::netsim::sim::Addr;
+use rmodp::netsim::time::SimDuration;
+use rmodp::observe::{bus, export, oracle};
 use rmodp::prelude::*;
+use rmodp::transactions::twopc::{Coordinator, Participant, TxRequest};
 use rmodp::transparency::failure::FailureGuard;
 use rmodp::transparency::proxy::migrate_transparently;
 use rmodp::OdpSystem;
@@ -88,5 +98,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         guard.recoveries()
     );
     assert_eq!(t.results.field("n"), Some(&Value::Int(15)));
+
+    // A distributed commit on the *same* simulated network: coordinator
+    // and two participants attached directly to the engine's simulator,
+    // so their PREPARE/VOTE/COMMIT/ACK traffic lands on the same event
+    // stream as everything above.
+    let sim = sys.engine.sim_mut();
+    let coord = Addr::new(sim.add_node(), 0);
+    let ledger_a = Addr::new(sim.add_node(), 0);
+    let ledger_b = Addr::new(sim.add_node(), 0);
+    sim.attach(ledger_a, Participant::new("ledger-a"));
+    sim.attach(ledger_b, Participant::new("ledger-b"));
+    sim.attach(
+        coord,
+        Coordinator::new(vec![ledger_a, ledger_b], SimDuration::from_millis(20), 5),
+    );
+    let request = TxRequest {
+        writes: vec![
+            (0, "alice".to_owned(), Value::Int(70)),
+            (1, "bob".to_owned(), Value::Int(80)),
+        ],
+    };
+    let payload = Coordinator::submit_payload(TxId::new(1), &request);
+    sim.send_from(Addr::EXTERNAL, coord, payload);
+    sim.run_until_idle();
+
+    // ── Observability epilogue ──────────────────────────────────────
+    let events = bus::snapshot_events();
+    let violations = oracle::verify_causality(&events);
+    assert!(violations.is_empty(), "causal oracle: {violations:?}");
+
+    let jsonl = export::to_jsonl(&events);
+    std::fs::create_dir_all("target")?;
+    let trace_path = "target/migration_and_failure.jsonl";
+    std::fs::write(trace_path, &jsonl)?;
+
+    let layers: std::collections::BTreeSet<_> = events.iter().map(|e| e.layer.name()).collect();
+    let kinds: std::collections::BTreeSet<_> = events.iter().map(|e| e.kind.name()).collect();
+    println!(
+        "\ntrace: {} events from layers {:?} ({} event kinds) -> {trace_path}",
+        events.len(),
+        layers,
+        kinds.len()
+    );
+    assert!(layers.len() >= 4, "expected events from >=4 layers");
+    assert!(kinds.len() >= 8, "expected >=8 distinct event kinds");
+
+    println!("\n{}", export::summary_table(&events));
+    println!("{}", export::metrics_table(&bus::snapshot_metrics()));
+    println!("{}", export::timeline(&events));
     Ok(())
 }

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let av = StreamSignature::new("AudioVideo")
         .flow("audio", DataType::Blob, FlowDirection::Produced)
         .flow("video", DataType::Blob, FlowDirection::Produced);
-    println!("stream interface {} with {} flows", av.name(), av.flows().len());
+    println!(
+        "stream interface {} with {} flows",
+        av.name(),
+        av.flows().len()
+    );
 
     // The environment contract: at least 800 delivered frames per virtual
     // second, latency under 20ms.
@@ -54,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_max_latency(Duration::from_millis(20));
 
     let mut sys = OdpSystem::new(8);
-    sys.engine.behaviours_mut().register("sink", MediaSink::default);
+    sys.engine
+        .behaviours_mut()
+        .register("sink", MediaSink::default);
 
     let producer_node = sys.engine.add_node(SyntaxId::Binary);
     let consumer_node = sys.engine.add_node(SyntaxId::Binary);
@@ -91,7 +97,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frames = 1_000u64;
     let start = sys.engine.sim().now();
     for _ in 0..frames {
-        sys.engine.send_flow(ch, "audio", &Value::Blob(vec![0u8; 160]))?;
+        sys.engine
+            .send_flow(ch, "audio", &Value::Blob(vec![0u8; 160]))?;
         sys.engine.sim_mut().run_for(SimDuration::from_millis(1));
     }
     sys.engine.run_until_idle();

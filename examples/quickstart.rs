@@ -17,8 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rmodp::bank::deployment::export_to_trader(&mut sys.trader, &branch)?;
     sys.publish(branch.teller.interface)?;
     sys.publish(branch.manager.interface)?;
-    println!("deployed branch on {} (teller={}, manager={})",
-        branch.node, branch.teller.interface, branch.manager.interface);
+    println!(
+        "deployed branch on {} (teller={}, manager={})",
+        branch.node, branch.teller.interface, branch.manager.interface
+    );
 
     // A client on a *text-native* node: access transparency will marshal.
     let client = sys.engine.add_node(SyntaxId::Text);
@@ -38,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "CreateAccount",
         &Value::record([("c", Value::Int(1)), ("opening", Value::Int(500))]),
     )?;
-    let account = t.results.field("a").and_then(Value::as_int).expect("OK carries a");
+    let account = t
+        .results
+        .field("a")
+        .and_then(Value::as_int)
+        .expect("OK carries a");
     println!("opened account {account}");
 
     for (op, amount) in [("Deposit", 250), ("Withdraw", 100)] {

@@ -6,15 +6,22 @@
 
 use rmodp::bank;
 use rmodp::computational::signature::InterfaceSignature;
+use rmodp::observe::{bus, export};
 use rmodp::prelude::*;
 use rmodp::trader::{Federation, ImportRequest};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The type repository knows the Figure 3 lattice.
     let mut repo = TypeRepository::new();
-    repo.register(InterfaceSignature::Operational(bank::computational::bank_teller()))?;
-    repo.register(InterfaceSignature::Operational(bank::computational::bank_manager()))?;
-    repo.register(InterfaceSignature::Operational(bank::computational::loans_officer()))?;
+    repo.register(InterfaceSignature::Operational(
+        bank::computational::bank_teller(),
+    ))?;
+    repo.register(InterfaceSignature::Operational(
+        bank::computational::bank_manager(),
+    ))?;
+    repo.register(InterfaceSignature::Operational(
+        bank::computational::loans_officer(),
+    ))?;
 
     // Three city traders in a chain, each advertising branch interfaces.
     let mut federation = Federation::new();
@@ -68,10 +75,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .remove(0);
     println!(
         "\nbest federation-wide: {} ({}) at {}ms",
-        best.offer.service_type,
-        best.offer.held_by,
-        best.score
+        best.offer.service_type, best.offer.held_by, best.score
     );
     assert_eq!(best.offer.service_type, "LoansOfficer");
+
+    // ── Observability epilogue: what did the trading layer do? ──────
+    let events = bus::snapshot_events();
+    println!("\n{}", export::summary_table(&events));
+    println!("{}", export::metrics_table(&bus::snapshot_metrics()));
+    println!("{}", export::timeline(&events));
     Ok(())
 }

@@ -53,6 +53,7 @@ pub use rmodp_enterprise as enterprise;
 pub use rmodp_functions as functions;
 pub use rmodp_information as information;
 pub use rmodp_netsim as netsim;
+pub use rmodp_observe as observe;
 pub use rmodp_trader as trader;
 pub use rmodp_transactions as transactions;
 pub use rmodp_transparency as transparency;
@@ -164,7 +165,10 @@ mod tests {
         let constrained = sys.find("BankTeller", Some("daily_limit == 500")).unwrap();
         assert_eq!(constrained, Some(branch.teller.interface));
         // Nothing matches a bogus constraint.
-        assert_eq!(sys.find("BankTeller", Some("daily_limit == 1")).unwrap(), None);
+        assert_eq!(
+            sys.find("BankTeller", Some("daily_limit == 1")).unwrap(),
+            None
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ fn build(seed: u64, branches: usize) -> Churn {
     for i in 0..branches {
         let dep = bank::deploy_branch(
             &mut sys.engine,
-            if i % 2 == 0 { SyntaxId::Binary } else { SyntaxId::Text },
+            if i % 2 == 0 {
+                SyntaxId::Binary
+            } else {
+                SyntaxId::Text
+            },
         )
         .unwrap();
         sys.publish(dep.teller.interface).unwrap();
@@ -147,7 +151,10 @@ fn run(seed: u64) -> (Vec<String>, u64) {
             .and_then(Value::as_int)
             .unwrap();
         assert!(balance >= 0, "branch {b} balance {balance}");
-        assert!((0..=500).contains(&withdrawn), "branch {b} withdrawn {withdrawn}");
+        assert!(
+            (0..=500).contains(&withdrawn),
+            "branch {b} withdrawn {withdrawn}"
+        );
     }
     (outcomes, churn.sys.engine.sim().now().as_micros())
 }
@@ -158,7 +165,9 @@ fn soak_under_churn_is_safe_and_live() {
     assert_eq!(outcomes.len(), 60);
     // Some of everything actually happened.
     assert!(outcomes.iter().any(|o| o.contains("migrate")));
-    assert!(outcomes.iter().any(|o| o.contains("Deposit") || o.contains("Withdraw")));
+    assert!(outcomes
+        .iter()
+        .any(|o| o.contains("Deposit") || o.contains("Withdraw")));
 }
 
 #[test]

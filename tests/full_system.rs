@@ -80,12 +80,11 @@ fn policies_schemas_and_runtime_agree_on_the_daily_limit() {
     let mut withdrawn = 0i64;
     for amount in [100, 250, 150, 100] {
         // Ask the policy engine first (enterprise viewpoint).
-        let request = ActionRequest::new(roster.customers[0], "withdraw").with_context(
-            Value::record([
+        let request =
+            ActionRequest::new(roster.customers[0], "withdraw").with_context(Value::record([
                 ("amount", Value::Int(amount)),
                 ("withdrawn_today", Value::Int(withdrawn)),
-            ]),
-        );
+            ]));
         let decision = policies.decide(&community, &request).unwrap();
         // Then perform it through the engineering runtime.
         let t = sys
@@ -159,14 +158,20 @@ fn two_branches_federated_trading_picks_by_constraint() {
         .export(
             "BankTeller",
             branch_a.teller.interface,
-            Value::record([("branch", Value::text("toowong")), ("queue_len", Value::Int(9))]),
+            Value::record([
+                ("branch", Value::text("toowong")),
+                ("queue_len", Value::Int(9)),
+            ]),
         )
         .unwrap();
     sys.trader
         .export(
             "BankTeller",
             branch_b.teller.interface,
-            Value::record([("branch", Value::text("st-lucia")), ("queue_len", Value::Int(2))]),
+            Value::record([
+                ("branch", Value::text("st-lucia")),
+                ("queue_len", Value::Int(2)),
+            ]),
         )
         .unwrap();
     sys.publish(branch_a.teller.interface).unwrap();
@@ -174,7 +179,9 @@ fn two_branches_federated_trading_picks_by_constraint() {
 
     // Prefer the shortest queue.
     let matches = sys.trader.import(
-        &ImportRequest::new("BankTeller").prefer_min("queue_len").unwrap(),
+        &ImportRequest::new("BankTeller")
+            .prefer_min("queue_len")
+            .unwrap(),
         Some(&sys.types),
     );
     assert_eq!(matches[0].offer.interface, branch_b.teller.interface);
@@ -206,7 +213,12 @@ fn determinism_of_a_full_session() {
         let a = t.results.field("a").unwrap().as_int().unwrap();
         for amount in [30, 80, 400, 20] {
             let t = proxy
-                .call(&mut sys.engine, &mut sys.infra, "Withdraw", &dwa(1, a, amount))
+                .call(
+                    &mut sys.engine,
+                    &mut sys.infra,
+                    "Withdraw",
+                    &dwa(1, a, amount),
+                )
                 .unwrap();
             outcomes.push(format!("{} {}", t.name, t.results));
         }

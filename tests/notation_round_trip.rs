@@ -33,14 +33,20 @@ fn notation_registered_type_drives_trading_and_invocation() {
         .register(InterfaceSignature::Operational(parsed))
         .unwrap();
     sys.types
-        .register(InterfaceSignature::Operational(bank::computational::bank_manager()))
+        .register(InterfaceSignature::Operational(
+            bank::computational::bank_manager(),
+        ))
         .unwrap();
     assert!(sys.types.is_subtype("BankManager", "BankTeller"));
 
     let branch = bank::deploy_branch(&mut sys.engine, SyntaxId::Binary).unwrap();
     sys.publish(branch.manager.interface).unwrap();
     sys.trader
-        .export("BankManager", branch.manager.interface, Value::record::<&str, _>([]))
+        .export(
+            "BankManager",
+            branch.manager.interface,
+            Value::record::<&str, _>([]),
+        )
         .unwrap();
 
     // Importing by the textual type name finds the manager offer.
@@ -68,7 +74,11 @@ fn notation_registered_type_drives_trading_and_invocation() {
         .call(
             ch,
             "Withdraw",
-            &Value::record([("c", Value::Int(1)), ("a", Value::Int(a)), ("d", Value::Int(501))]),
+            &Value::record([
+                ("c", Value::Int(1)),
+                ("a", Value::Int(a)),
+                ("d", Value::Int(501)),
+            ]),
         )
         .unwrap();
     // Either refusal is legitimate per the notation: NotToday (limit) —

@@ -4,6 +4,7 @@
 
 use rmodp::engineering::behaviour::CounterBehaviour;
 use rmodp::engineering::engine::CallError;
+use rmodp::functions::group::ReplicationPolicy;
 use rmodp::netsim::time::SimDuration;
 use rmodp::netsim::topology::LinkConfig;
 use rmodp::prelude::*;
@@ -12,7 +13,6 @@ use rmodp::transparency::failure::FailureGuard;
 use rmodp::transparency::proxy::{migrate_transparently, ProxyError};
 use rmodp::transparency::replication::replicated_counters;
 use rmodp::transparency::transaction::{in_transaction, transfer};
-use rmodp::functions::group::ReplicationPolicy;
 use rmodp::OdpSystem;
 
 struct CounterWorld {
@@ -33,7 +33,15 @@ fn counter_world(seed: u64) -> CounterWorld {
     let cluster = sys.engine.add_cluster(node, capsule).unwrap();
     let (_, refs) = sys
         .engine
-        .create_object(node, capsule, cluster, "c", "counter", CounterBehaviour::initial_state(), 1)
+        .create_object(
+            node,
+            capsule,
+            cluster,
+            "c",
+            "counter",
+            CounterBehaviour::initial_state(),
+            1,
+        )
         .unwrap();
     sys.publish(refs[0].interface).unwrap();
     CounterWorld {
@@ -157,7 +165,10 @@ fn persistence_on_vs_off() {
                 "restored transparently"
             );
         } else {
-            assert!(matches!(outcome.unwrap_err(), ProxyError::Unresolvable { .. }));
+            assert!(matches!(
+                outcome.unwrap_err(),
+                ProxyError::Unresolvable { .. }
+            ));
         }
     }
 }
@@ -214,10 +225,13 @@ fn replication_group_stays_consistent_and_masks_replica_loss_for_reads() {
     )
     .unwrap();
     for k in 1..=5 {
-        svc.update(&mut sys.engine, &mut sys.infra, "Add", &add(k)).unwrap();
+        svc.update(&mut sys.engine, &mut sys.infra, "Add", &add(k))
+            .unwrap();
     }
     // All replicas agree.
-    let all = svc.read_all(&mut sys.engine, &mut sys.infra, "Get", &get()).unwrap();
+    let all = svc
+        .read_all(&mut sys.engine, &mut sys.infra, "Get", &get())
+        .unwrap();
     for t in &all {
         assert_eq!(t.results.field("n"), Some(&Value::Int(15)));
     }
@@ -228,7 +242,9 @@ fn replication_group_stays_consistent_and_masks_replica_loss_for_reads() {
     sys.engine.sim_mut().topology_mut().crash(idx);
     svc.drop_replica(&mut sys.infra, dead).unwrap();
     for _ in 0..4 {
-        let t = svc.read(&mut sys.engine, &mut sys.infra, "Get", &get()).unwrap();
+        let t = svc
+            .read(&mut sys.engine, &mut sys.infra, "Get", &get())
+            .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(15)));
     }
 }
@@ -280,10 +296,25 @@ fn migration_transparency_with_lossy_network() {
             .with(Transparency::Migration)
             .with(Transparency::Failure),
     );
+    // At-least-once under 20% loss: the channel's own retry budget can
+    // still be exhausted by an unlucky run of drops, so the application
+    // replays timed-out requests (exactly the recovery the transparency
+    // combination prescribes).
+    let mut call_until_ok = |sys: &mut rmodp::OdpSystem,
+                             proxy: &mut rmodp::transparency::proxy::TransparentProxy,
+                             op: &str,
+                             args: &Value| {
+        for _ in 0..16 {
+            match proxy.call(&mut sys.engine, &mut sys.infra, op, args) {
+                Ok(t) => return t,
+                Err(ProxyError::Call(CallError::Timeout { .. })) => continue,
+                Err(e) => panic!("unexpected proxy error: {e:?}"),
+            }
+        }
+        panic!("{op} timed out 16 times in a row under 20% loss");
+    };
     for k in 1..=10 {
-        let t = proxy
-            .call(&mut w.sys.engine, &mut w.sys.infra, "Add", &add(k))
-            .unwrap();
+        let t = call_until_ok(&mut w.sys, &mut proxy, "Add", &add(k));
         assert!(t.is_ok());
     }
     let new_node = w.sys.engine.add_node(SyntaxId::Binary);
@@ -296,9 +327,7 @@ fn migration_transparency_with_lossy_network() {
         &[w.interface],
     )
     .unwrap();
-    let t = proxy
-        .call(&mut w.sys.engine, &mut w.sys.infra, "Get", &get())
-        .unwrap();
+    let t = call_until_ok(&mut w.sys, &mut proxy, "Get", &get());
     // At-least-once semantics under loss: the counter is at least the
     // exactly-once total.
     let n = t.results.field("n").unwrap().as_int().unwrap();
