@@ -151,7 +151,10 @@ fn report(group: &str, bench: &str, b: &Bencher) {
     } else {
         (ns, "ns")
     };
-    println!("{group}/{bench}: {value:.3} {unit}/iter ({} iters)", b.iters);
+    println!(
+        "{group}/{bench}: {value:.3} {unit}/iter ({} iters)",
+        b.iters
+    );
 }
 
 /// Entry point mirroring `criterion::Criterion`.

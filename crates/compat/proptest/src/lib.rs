@@ -407,9 +407,7 @@ mod pattern {
         out
     }
 
-    fn parse_quantifier(
-        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
-    ) -> (usize, usize) {
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
         match chars.peek() {
             Some('{') => {
                 chars.next();
@@ -766,10 +764,7 @@ mod tests {
     }
 
     fn arb_tree() -> impl Strategy<Value = Tree> {
-        let leaf = prop_oneof![
-            (-50i64..50).prop_map(Tree::Leaf),
-            Just(Tree::Leaf(0)),
-        ];
+        let leaf = prop_oneof![(-50i64..50).prop_map(Tree::Leaf), Just(Tree::Leaf(0)),];
         leaf.prop_recursive(3, 16, 4, |inner| {
             crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
         })
@@ -826,8 +821,11 @@ mod tests {
             assert!(p.len() <= 64);
             assert!(p.chars().all(|c| (' '..='~').contains(&c)), "{p:?}");
             let h = crate::Strategy::gen_value(&"[a-zA-Z0-9 _\\-./\"\\\\\n]{0,12}", &mut rng);
-            assert!(h.chars().all(|c| c.is_ascii_alphanumeric()
-                || " _-./\"\\\n".contains(c)), "{h:?}");
+            assert!(
+                h.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || " _-./\"\\\n".contains(c)),
+                "{h:?}"
+            );
         }
     }
 

@@ -15,7 +15,9 @@ use rmodp_observe::{bus, event, EventKind, Layer};
 use crate::behaviour::BehaviourRegistry;
 use crate::channel::{ChannelConfig, ChannelError, RetryPolicy, Stack};
 use crate::envelope::{Envelope, ReplyStatus};
-use crate::nucleus::{DriverProcess, NucleusProcess, NucleusStats, DRIVER_PORT, NUCLEUS_PORT};
+use crate::nucleus::{
+    AdmissionConfig, DriverProcess, NucleusProcess, NucleusStats, DRIVER_PORT, NUCLEUS_PORT,
+};
 use crate::structure::{
     BeoRecord, ClusterCheckpoint, InterfaceRef, Location, ObjectCheckpoint, StructurePolicy,
 };
@@ -615,7 +617,7 @@ impl Engine {
     ) -> Option<Envelope> {
         loop {
             if let Some(d) = self.sim.inspect_mut::<DriverProcess>(driver) {
-                if let Some(reply) = d.mailbox.remove(&request_id) {
+                if let Some((reply, _arrived)) = d.mailbox.remove(&request_id) {
                     return Some(reply);
                 }
             }
@@ -999,6 +1001,130 @@ impl Engine {
     /// Unknown node.
     pub fn node_stats(&self, node: NodeId) -> Result<NucleusStats, EngError> {
         Ok(self.nucleus(node)?.stats)
+    }
+
+    /// Sets a node's admission control (bounded invocation queue). The
+    /// default is [`crate::nucleus::AdmissionPolicy::Unbounded`], the
+    /// historical dispatch-on-delivery behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn set_admission(&mut self, node: NodeId, config: AdmissionConfig) -> Result<(), EngError> {
+        self.nucleus_mut(node)?.set_admission(config);
+        event(Layer::Engineering, EventKind::Note)
+            .in_context()
+            .node(node.raw())
+            .detail(format!(
+                "admission policy={} capacity={} service={}us",
+                config.policy,
+                if config.capacity == usize::MAX {
+                    "inf".to_owned()
+                } else {
+                    config.capacity.to_string()
+                },
+                config.service_time.as_micros()
+            ))
+            .emit();
+        Ok(())
+    }
+
+    /// A node's current admission configuration.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn admission(&self, node: NodeId) -> Result<AdmissionConfig, EngError> {
+        Ok(self.nucleus(node)?.admission())
+    }
+
+    /// How many invocations are parked in a node's admission queue.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn queue_depth(&self, node: NodeId) -> Result<usize, EngError> {
+        Ok(self.nucleus(node)?.queue_depth())
+    }
+
+    /// Sends an interrogation through a channel *without* waiting for the
+    /// reply, returning the request id. The message is queued in the
+    /// simulator; run it (e.g. [`Engine::run_until_idle`] or
+    /// `sim_mut().run_until`) to make progress, then collect the outcome
+    /// with [`Engine::take_reply`].
+    ///
+    /// This is the open-loop primitive load generators need: many
+    /// requests can be in flight at once, so a server's admission queue
+    /// actually fills. No retransmission is performed (an unanswered
+    /// request simply never produces a reply).
+    ///
+    /// # Errors
+    ///
+    /// Unknown channel/node or a client-side channel failure.
+    pub fn call_send(
+        &mut self,
+        channel: ChannelId,
+        op: &str,
+        args: &Value,
+    ) -> Result<u64, CallError> {
+        let (client, target, believed_node) = {
+            let cc = self
+                .channels
+                .get(&channel)
+                .ok_or(EngError::UnknownChannel { channel })?;
+            (cc.client, cc.target, cc.believed.location.node)
+        };
+        let client_native = self.handle(client)?.native;
+        let driver = self.driver_addr(client)?;
+        let dst = self.nucleus_addr(believed_node)?;
+        let payload = self.encode_invocation(client_native, op, args);
+        let request_id = self.next_request;
+        self.next_request += 1;
+        let mut env = Envelope::request(channel, request_id, target, client_native, payload);
+        {
+            let cc = self.channels.get_mut(&channel).expect("checked above");
+            cc.stack.outgoing(&mut env)?;
+        }
+        self.sim.send_from(driver, dst, env.to_bytes());
+        bus::counter_add("engineering.calls_async", 1);
+        Ok(request_id)
+    }
+
+    /// Collects the reply to a [`Engine::call_send`] request if it has
+    /// arrived: `None` while still in flight, otherwise the arrival time
+    /// and the interpreted outcome. Does not advance the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Unknown channel.
+    #[allow(clippy::type_complexity)] // (arrival, outcome) is the natural shape
+    pub fn take_reply(
+        &mut self,
+        channel: ChannelId,
+        request_id: u64,
+    ) -> Result<Option<(SimTime, Result<Termination, CallError>)>, EngError> {
+        let (client, target) = {
+            let cc = self
+                .channels
+                .get(&channel)
+                .ok_or(EngError::UnknownChannel { channel })?;
+            (cc.client, cc.target)
+        };
+        let driver = self.driver_addr(client)?;
+        let Some(d) = self.sim.inspect_mut::<DriverProcess>(driver) else {
+            return Err(EngError::UnknownNode { node: client });
+        };
+        let Some((mut reply, arrived)) = d.mailbox.remove(&request_id) else {
+            return Ok(None);
+        };
+        let outcome = {
+            let cc = self.channels.get_mut(&channel).expect("checked above");
+            match cc.stack.incoming(&mut reply) {
+                Err(e) => Err(CallError::Channel(e)),
+                Ok(()) => self.interpret_reply(target, reply),
+            }
+        };
+        Ok(Some((arrived, outcome)))
     }
 
     /// Direct local invocation on a node, bypassing channels (used by

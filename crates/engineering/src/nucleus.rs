@@ -6,13 +6,15 @@
 //! engineering objects, terminates the server halves of channels, and
 //! dispatches incoming invocations to object behaviours.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use rmodp_computational::signature::{Invocation, Termination};
 use rmodp_core::codec::{syntax_for, SyntaxId};
 use rmodp_core::id::{CapsuleId, ChannelId, ClusterId, InterfaceId, NodeId, ObjectId};
 use rmodp_core::value::Value;
 use rmodp_netsim::sim::{Ctx, Message, Process};
+use rmodp_netsim::time::SimDuration;
+use rmodp_netsim::time::SimTime;
 
 use crate::behaviour::ServerBehaviour;
 use crate::channel::{ChannelError, Stack};
@@ -23,6 +25,107 @@ use crate::structure::{BeoRecord, Cluster, ClusterCheckpoint, NodeStructure, Obj
 pub const NUCLEUS_PORT: u32 = 0;
 /// The port a node's driver (client-side reply collector) listens on.
 pub const DRIVER_PORT: u32 = 1;
+
+/// Timer tag the nucleus uses for its invocation-service drain.
+const SERVICE_TIMER_TAG: u64 = 0xAD_715;
+
+/// What the nucleus does with a new invocation when its bounded queue is
+/// full — the backpressure half of an environment contract (§5.3): the
+/// server either honours the contract's latency bound by refusing excess
+/// load, or lets latency grow without bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// No queue, no bound: invocations dispatch the instant they arrive.
+    /// This is the historical behaviour and the default.
+    #[default]
+    Unbounded,
+    /// Reject the *new* invocation with a `Rejected` reply when the queue
+    /// is at capacity.
+    Reject,
+    /// Shed the *oldest* queued invocation (replying `Rejected` to it) to
+    /// make room for the new one.
+    ShedOldest,
+    /// Never reject: the queue grows without bound and excess load shows
+    /// up as latency instead of errors.
+    Delay,
+}
+
+impl std::fmt::Display for AdmissionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionPolicy::Unbounded => write!(f, "unbounded"),
+            AdmissionPolicy::Reject => write!(f, "reject"),
+            AdmissionPolicy::ShedOldest => write!(f, "shed-oldest"),
+            AdmissionPolicy::Delay => write!(f, "delay"),
+        }
+    }
+}
+
+/// Admission control for a nucleus: a bounded invocation intake queue
+/// drained at a fixed service rate.
+///
+/// With the default ([`AdmissionPolicy::Unbounded`]) the nucleus behaves
+/// exactly as it always has: every request is dispatched synchronously on
+/// delivery. Any other policy routes requests through the queue: one
+/// request is served every `service_time` of virtual time, the queue
+/// depth is capped at `capacity`, and the policy decides who pays when it
+/// overflows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// The overflow policy.
+    pub policy: AdmissionPolicy,
+    /// Queue capacity (ignored by `Unbounded` and `Delay`).
+    pub capacity: usize,
+    /// Virtual time to serve one queued invocation.
+    pub service_time: SimDuration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            policy: AdmissionPolicy::Unbounded,
+            capacity: usize::MAX,
+            service_time: SimDuration::ZERO,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// A bounded queue that rejects overflow.
+    pub fn reject(capacity: usize, service_time: SimDuration) -> Self {
+        Self {
+            policy: AdmissionPolicy::Reject,
+            capacity,
+            service_time,
+        }
+    }
+
+    /// A bounded queue that sheds its oldest entry on overflow.
+    pub fn shed_oldest(capacity: usize, service_time: SimDuration) -> Self {
+        Self {
+            policy: AdmissionPolicy::ShedOldest,
+            capacity,
+            service_time,
+        }
+    }
+
+    /// An unbounded queue: overload turns into queueing delay.
+    pub fn delay(service_time: SimDuration) -> Self {
+        Self {
+            policy: AdmissionPolicy::Delay,
+            capacity: usize::MAX,
+            service_time,
+        }
+    }
+}
+
+/// A request parked in the nucleus's admission queue.
+#[derive(Debug)]
+struct QueuedRequest {
+    env: Envelope,
+    reply_to: rmodp_netsim::sim::Addr,
+    enqueued_at: SimTime,
+}
 
 /// The per-node engineering kernel, run as a simulator process.
 pub struct NucleusProcess {
@@ -42,6 +145,12 @@ pub struct NucleusProcess {
     states: BTreeMap<ObjectId, Value>,
     /// Counters for observability.
     pub stats: NucleusStats,
+    /// Admission control for incoming invocations.
+    admission: AdmissionConfig,
+    /// Requests awaiting service (non-`Unbounded` policies only).
+    queue: VecDeque<QueuedRequest>,
+    /// Whether a service timer is outstanding.
+    draining: bool,
 }
 
 /// Counters the nucleus maintains.
@@ -57,6 +166,10 @@ pub struct NucleusStats {
     pub not_here: u64,
     /// Messages rejected by channel components or malformed.
     pub rejected: u64,
+    /// Requests refused or evicted by the admission policy.
+    pub shed: u64,
+    /// Deepest the admission queue has been.
+    pub peak_queue_depth: u64,
 }
 
 impl std::fmt::Debug for NucleusProcess {
@@ -83,7 +196,26 @@ impl NucleusProcess {
             behaviours: BTreeMap::new(),
             states: BTreeMap::new(),
             stats: NucleusStats::default(),
+            admission: AdmissionConfig::default(),
+            queue: VecDeque::new(),
+            draining: false,
         }
+    }
+
+    /// The admission configuration in force.
+    pub fn admission(&self) -> AdmissionConfig {
+        self.admission
+    }
+
+    /// Replaces the admission configuration. Requests already queued stay
+    /// queued and drain under the new service time.
+    pub fn set_admission(&mut self, config: AdmissionConfig) {
+        self.admission = config;
+    }
+
+    /// Requests currently parked in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
     }
 
     /// Adds a capsule.
@@ -290,6 +422,122 @@ impl NucleusProcess {
         ctx.send(reply_to, reply.to_bytes());
     }
 
+    /// Decodes, routes and executes one admitted request, replying to the
+    /// caller.
+    fn dispatch_request(&mut self, ctx: &mut Ctx<'_>, src: rmodp_netsim::sim::Addr, env: Envelope) {
+        let Some(&object) = self.routing.get(&env.target) else {
+            self.stats.not_here += 1;
+            let payload = syntax_for(self.native).encode(&Value::Null);
+            self.send_reply(ctx, &env, ReplyStatus::NotHere, payload, src);
+            return;
+        };
+        let Some(invocation) = self.decode_invocation(env.syntax, &env.payload) else {
+            self.stats.rejected += 1;
+            let payload = self.encode_termination(&Termination::error("bad invocation"));
+            self.send_reply(ctx, &env, ReplyStatus::Rejected, payload, src);
+            return;
+        };
+        self.stats.requests += 1;
+        let termination = {
+            let behaviour = self.behaviours.get_mut(&object);
+            let state = self.states.get_mut(&object);
+            match (behaviour, state) {
+                (Some(b), Some(s)) => b.invoke(s, &invocation),
+                _ => Termination::error("object has no behaviour"),
+            }
+        };
+        let payload = self.encode_termination(&termination);
+        self.send_reply(ctx, &env, ReplyStatus::Ok, payload, src);
+    }
+
+    /// Publishes the current queue depth as a per-node gauge and tracks
+    /// the peak.
+    fn publish_queue_depth(&mut self) {
+        let depth = self.queue.len() as u64;
+        self.stats.peak_queue_depth = self.stats.peak_queue_depth.max(depth);
+        rmodp_observe::bus::gauge_set(
+            &format!("engineering.node{}.queue_depth", self.node.raw()),
+            depth as i64,
+        );
+    }
+
+    /// Replies `Rejected` with a machine-readable reason to a request the
+    /// admission policy refused.
+    fn refuse(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        env: &Envelope,
+        reply_to: rmodp_netsim::sim::Addr,
+        reason: &str,
+    ) {
+        self.stats.shed += 1;
+        rmodp_observe::bus::counter_add("engineering.admission.shed", 1);
+        rmodp_observe::event(
+            rmodp_observe::Layer::Engineering,
+            rmodp_observe::EventKind::Note,
+        )
+        .in_context()
+        .node(self.node.raw())
+        .channel(env.channel.raw())
+        .detail(format!(
+            "admission {reason} (queue at {})",
+            self.queue.len()
+        ))
+        .emit();
+        let payload = self.encode_termination(&Termination::error(reason));
+        self.send_reply(ctx, env, ReplyStatus::Rejected, payload, reply_to);
+    }
+
+    /// Routes a request through the bounded admission queue.
+    fn admit_request(&mut self, ctx: &mut Ctx<'_>, src: rmodp_netsim::sim::Addr, env: Envelope) {
+        let full = self.queue.len() >= self.admission.capacity;
+        if full {
+            match self.admission.policy {
+                AdmissionPolicy::Reject => {
+                    self.refuse(ctx, &env, src, "overload");
+                    return;
+                }
+                AdmissionPolicy::ShedOldest => {
+                    if let Some(oldest) = self.queue.pop_front() {
+                        self.refuse(ctx, &oldest.env, oldest.reply_to, "shed");
+                    }
+                }
+                // Delay and Unbounded never refuse; Unbounded never gets
+                // here.
+                AdmissionPolicy::Delay | AdmissionPolicy::Unbounded => {}
+            }
+        }
+        rmodp_observe::bus::counter_add("engineering.admission.enqueued", 1);
+        self.queue.push_back(QueuedRequest {
+            env,
+            reply_to: src,
+            enqueued_at: ctx.now(),
+        });
+        self.publish_queue_depth();
+        if !self.draining {
+            self.draining = true;
+            ctx.set_timer(self.admission.service_time, SERVICE_TIMER_TAG);
+        }
+    }
+
+    /// Serves the request at the head of the queue and re-arms the drain
+    /// timer while work remains.
+    fn serve_next(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(queued) = self.queue.pop_front() {
+            self.publish_queue_depth();
+            rmodp_observe::bus::observe(
+                "engineering.admission.queue_wait_us",
+                ctx.now().since(queued.enqueued_at).as_micros(),
+            );
+            self.dispatch_request(ctx, queued.reply_to, queued.env);
+        }
+        if self.queue.is_empty() {
+            self.draining = false;
+        } else {
+            ctx.set_timer(self.admission.service_time, SERVICE_TIMER_TAG);
+        }
+    }
+
     fn handle_envelope(
         &mut self,
         ctx: &mut Ctx<'_>,
@@ -320,29 +568,11 @@ impl NucleusProcess {
         }
         match env.kind {
             EnvelopeKind::Request => {
-                let Some(&object) = self.routing.get(&env.target) else {
-                    self.stats.not_here += 1;
-                    let payload = syntax_for(self.native).encode(&Value::Null);
-                    self.send_reply(ctx, &env, ReplyStatus::NotHere, payload, src);
-                    return;
-                };
-                let Some(invocation) = self.decode_invocation(env.syntax, &env.payload) else {
-                    self.stats.rejected += 1;
-                    let payload = self.encode_termination(&Termination::error("bad invocation"));
-                    self.send_reply(ctx, &env, ReplyStatus::Rejected, payload, src);
-                    return;
-                };
-                self.stats.requests += 1;
-                let termination = {
-                    let behaviour = self.behaviours.get_mut(&object);
-                    let state = self.states.get_mut(&object);
-                    match (behaviour, state) {
-                        (Some(b), Some(s)) => b.invoke(s, &invocation),
-                        _ => Termination::error("object has no behaviour"),
-                    }
-                };
-                let payload = self.encode_termination(&termination);
-                self.send_reply(ctx, &env, ReplyStatus::Ok, payload, src);
+                if self.admission.policy == AdmissionPolicy::Unbounded {
+                    self.dispatch_request(ctx, src, env);
+                } else {
+                    self.admit_request(ctx, src, env);
+                }
             }
             EnvelopeKind::Announce => {
                 if let Some(&object) = self.routing.get(&env.target) {
@@ -388,23 +618,31 @@ impl Process for NucleusProcess {
             }
         }
     }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, tag: u64) {
+        if tag == SERVICE_TIMER_TAG {
+            self.serve_next(ctx);
+        }
+    }
 }
 
 /// The client-side reply collector: the engine's `call` sends requests
 /// from this address and polls its mailbox for correlated replies.
 #[derive(Debug, Default)]
 pub struct DriverProcess {
-    /// Replies keyed by request id.
-    pub mailbox: BTreeMap<u64, Envelope>,
+    /// Replies keyed by request id, with their arrival time (so load
+    /// generators can measure latency at the instant of delivery rather
+    /// than at the instant of polling).
+    pub mailbox: BTreeMap<u64, (Envelope, SimTime)>,
 }
 
 impl Process for DriverProcess {
-    fn on_message(&mut self, _ctx: &mut Ctx<'_>, msg: Message) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
         if let Ok(env) = Envelope::from_bytes(&msg.payload) {
             if env.kind == EnvelopeKind::Reply {
                 // First reply wins; duplicates from retransmission are
                 // dropped here.
-                self.mailbox.entry(env.request).or_insert(env);
+                self.mailbox.entry(env.request).or_insert((env, ctx.now()));
             }
         }
     }

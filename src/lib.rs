@@ -58,6 +58,7 @@ pub use rmodp_trader as trader;
 pub use rmodp_transactions as transactions;
 pub use rmodp_transparency as transparency;
 pub use rmodp_typerepo as typerepo;
+pub use rmodp_workload as workload;
 
 /// The commonly needed names from across the workspace.
 pub mod prelude {
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use rmodp_trader::{ImportRequest, Trader};
     pub use rmodp_transparency::{OdpInfra, Transparency, TransparencySet, TransparentProxy};
     pub use rmodp_typerepo::TypeRepository;
+    pub use rmodp_workload::prelude::*;
 }
 
 use rmodp_core::id::InterfaceId;

@@ -2,8 +2,13 @@
 //! under continuous churn — migrations, crashes, recoveries — driven by a
 //! seeded schedule. Asserts liveness (the system keeps answering), safety
 //! (balances never violate the information invariants) and determinism.
+//! A second segment soaks a branch under a bursty open-loop workload with
+//! a bounded admission queue and asserts the causal oracle stays clean
+//! while the SLO report replays byte-identically.
 
 use rmodp::bank;
+use rmodp::netsim::time::SimDuration;
+use rmodp::observe::{bus, oracle};
 use rmodp::prelude::*;
 use rmodp::transparency::proxy::migrate_transparently;
 use rmodp::OdpSystem;
@@ -173,4 +178,81 @@ fn soak_under_churn_is_safe_and_live() {
 #[test]
 fn soak_is_deterministic() {
     assert_eq!(run(7_771), run(7_771));
+}
+
+/// Drives a branch with a bounded shed-oldest admission queue through a
+/// bursty open-loop workload; returns the SLO report JSON, the causal
+/// oracle's violation count and the server-side shed count.
+fn bursty_run(seed: u64) -> (String, usize, u64) {
+    let mut sys = OdpSystem::new(seed);
+    let dep = bank::deploy_branch(&mut sys.engine, SyntaxId::Binary).unwrap();
+    sys.engine
+        .set_admission(
+            dep.node,
+            AdmissionConfig::shed_oldest(8, SimDuration::from_micros(900)),
+        )
+        .unwrap();
+
+    let manager = sys.engine.add_node(SyntaxId::Binary);
+    let manager_ch = sys
+        .engine
+        .open_channel(manager, dep.manager.interface, ChannelConfig::default())
+        .unwrap();
+    let t = sys
+        .engine
+        .call(
+            manager_ch,
+            "CreateAccount",
+            &Value::record([("c", Value::Int(7)), ("opening", Value::Int(100_000))]),
+        )
+        .unwrap();
+    let acct = t.results.field("a").and_then(Value::as_int).unwrap();
+
+    let client = sys.engine.add_node(SyntaxId::Text);
+    let teller_ch = sys
+        .engine
+        .open_channel(client, dep.teller.interface, ChannelConfig::default())
+        .unwrap();
+
+    let scenario = Scenario::new(
+        "churn_bursty",
+        seed,
+        LoadModel::Open {
+            arrivals: ArrivalProcess::BurstyOnOff {
+                on_rate_per_sec: 3_000.0,
+                off_rate_per_sec: 100.0,
+                mean_on: SimDuration::from_millis(40),
+                mean_off: SimDuration::from_millis(120),
+            },
+        },
+    )
+    .lasting(SimDuration::from_millis(800))
+    .with_mix(OperationMix::new().with(
+        "Deposit",
+        Value::record([
+            ("c", Value::Int(7)),
+            ("a", Value::Int(acct)),
+            ("d", Value::Int(3)),
+        ]),
+        1,
+    ))
+    .with_contract(
+        rmodp::core::contract::QosRequirement::none()
+            .with_min_availability(0.25)
+            .reliable(),
+    );
+
+    let (stats, report) = run_scenario(&mut sys.engine, teller_ch, &scenario);
+    let violations = oracle::verify_causality(&bus::snapshot_events()).len();
+    (report.to_json(), violations, stats.admission_shed)
+}
+
+#[test]
+fn bursty_segment_is_causal_and_replays_identically() {
+    let (a, violations_a, shed) = bursty_run(4_242);
+    assert_eq!(violations_a, 0, "causal oracle must stay clean");
+    assert!(shed > 0, "the bursts must actually trip admission control");
+    let (b, violations_b, _) = bursty_run(4_242);
+    assert_eq!(violations_b, 0);
+    assert_eq!(a, b, "same seed must yield a byte-identical SLO report");
 }
