@@ -1,0 +1,62 @@
+//! Running workloads under fault plans.
+//!
+//! [`run_scenario_under_faults`] is the top-level chaos harness: it
+//! compiles a [`FaultPlan`] onto the engine's current virtual time, runs
+//! a `rmodp-workload` scenario with the injector pacing every clock
+//! advance, and judges the result with the [`RecoveryOracle`]. Same
+//! engine seed, scenario, and plan → byte-identical traces and reports.
+
+use rmodp_core::id::{ChannelId, NodeId};
+use rmodp_engineering::engine::{EngError, Engine};
+use rmodp_workload::driver::{execute_paced, RunStats};
+use rmodp_workload::scenario::Scenario;
+use rmodp_workload::slo::{self, SloReport};
+
+use crate::inject::{AppliedFault, FaultInjector};
+use crate::oracle::{RecoveryOracle, RecoveryReport};
+use crate::plan::FaultPlan;
+
+/// Everything a chaos run produces.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Raw workload statistics.
+    pub stats: RunStats,
+    /// SLO verdict against the scenario's contract.
+    pub report: SloReport,
+    /// The faults as they actually played out.
+    pub faults: Vec<AppliedFault>,
+    /// Recovery verdicts and hardened-path counters.
+    pub recovery: RecoveryReport,
+}
+
+/// Runs a scenario over `channel` while injecting `plan`, then evaluates
+/// both the SLO contract and the recovery oracles.
+///
+/// `client` is the engineering node the channel was opened from; the
+/// oracle needs its sim-node index to locate the client's sends and
+/// deliveries in the event stream.
+///
+/// # Errors
+///
+/// Unknown `client` node.
+pub fn run_scenario_under_faults(
+    engine: &mut Engine,
+    client: NodeId,
+    channel: ChannelId,
+    scenario: &Scenario,
+    plan: FaultPlan,
+) -> Result<ChaosOutcome, EngError> {
+    let client_idx = engine.sim_node(client)?;
+    let mut injector = FaultInjector::new(plan, engine.sim().now());
+    let stats = execute_paced(engine, channel, scenario, &mut injector);
+    let report = slo::evaluate(scenario, &stats);
+    let faults = injector.into_applied();
+    let oracle = RecoveryOracle::new(client_idx.0 as u64);
+    let recovery = RecoveryReport::gather(&oracle, &faults);
+    Ok(ChaosOutcome {
+        stats,
+        report,
+        faults,
+        recovery,
+    })
+}

@@ -1,0 +1,49 @@
+//! # rmodp-chaos — deterministic fault injection and recovery SLOs
+//!
+//! RM-ODP's failure transparency (§9) promises that "failure and
+//! possible recovery of objects" is masked from applications — a
+//! promise that can only be *tested* by making objects fail. This crate
+//! supplies the failure half of that contract check: typed, seeded
+//! fault schedules applied to the engineering model on virtual time,
+//! plus oracles that judge whether the transparency machinery (retries,
+//! circuit breakers, dedup, relocation, 2PC) actually delivered
+//! recovery.
+//!
+//! The pieces, bottom-up:
+//!
+//! - [`plan`] — [`FaultPlan`]: a schedule of typed faults (node
+//!   crash/restart, link partition/heal, loss bursts, latency spikes,
+//!   capsule kill) written by hand or drawn from a seeded RNG;
+//! - [`inject`] — [`FaultInjector`]: compiles a plan onto virtual time
+//!   and applies it, interleaved with simulation progress; implements
+//!   the workload driver's `Pacer` hook so faults land at exact virtual
+//!   instants under load;
+//! - [`oracle`] — [`RecoveryOracle`] / [`RecoveryReport`]: computes
+//!   per-fault MTTR and in-window availability from the observe event
+//!   stream, and snapshots the at-most-once counters
+//!   (`duplicate_dispatches` must stay zero);
+//! - [`driver`] — [`run_scenario_under_faults`]: the one-call harness
+//!   tying a workload scenario, a fault plan, and the oracles together.
+//!
+//! Everything runs on `rmodp-netsim` virtual time with dedicated seeded
+//! RNGs: the same seed produces the same fault trace, the same observe
+//! stream, and byte-identical reports.
+//!
+//! [`FaultPlan`]: plan::FaultPlan
+//! [`FaultInjector`]: inject::FaultInjector
+//! [`RecoveryOracle`]: oracle::RecoveryOracle
+//! [`RecoveryReport`]: oracle::RecoveryReport
+//! [`run_scenario_under_faults`]: driver::run_scenario_under_faults
+
+pub mod driver;
+pub mod inject;
+pub mod oracle;
+pub mod plan;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::driver::{run_scenario_under_faults, ChaosOutcome};
+    pub use crate::inject::{AppliedFault, FaultInjector};
+    pub use crate::oracle::{FaultRecovery, RecoveryOracle, RecoveryReport};
+    pub use crate::plan::{ChaosProfile, FaultEvent, FaultKind, FaultPlan};
+}

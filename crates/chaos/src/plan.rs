@@ -1,0 +1,380 @@
+//! Fault plans: seeded, typed schedules of infrastructure failures.
+//!
+//! A [`FaultPlan`] is data, not behaviour: a list of `(offset, fault)`
+//! pairs expressed on virtual time relative to an epoch chosen at
+//! injection time. Plans can be written by hand with [`FaultPlan::with`]
+//! or drawn from a seeded RNG with [`FaultPlan::generate`]; either way
+//! the plan is a plain value that renders deterministically, so two runs
+//! from the same seed produce byte-identical fault traces.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rmodp_core::id::{CapsuleId, ClusterId, NodeId};
+use rmodp_netsim::sim::NodeIdx;
+use rmodp_netsim::time::SimDuration;
+
+/// A typed fault. Node-level faults act on the netsim topology; capsule
+/// kill acts on the engineering structure (deactivate + reactivate), so
+/// recovery exercises checkpointing rather than mere reachability.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Crash a node, dropping everything in flight to or from it, then
+    /// restart it after `down_for`.
+    CrashRestart {
+        /// The node to crash.
+        node: NodeIdx,
+        /// How long the node stays down.
+        down_for: SimDuration,
+    },
+    /// Partition two nodes (both directions), healing after `heal_after`.
+    Partition {
+        /// One side of the cut.
+        a: NodeIdx,
+        /// The other side of the cut.
+        b: NodeIdx,
+        /// How long the partition lasts.
+        heal_after: SimDuration,
+    },
+    /// Raise the loss probability on the `a`↔`b` links to `loss` for a
+    /// window, then restore the previous link characteristics.
+    LossBurst {
+        /// One endpoint.
+        a: NodeIdx,
+        /// The other endpoint.
+        b: NodeIdx,
+        /// Loss probability in `[0, 1]` during the burst.
+        loss: f64,
+        /// Burst duration.
+        window: SimDuration,
+    },
+    /// Raise the loss probability on the directed `from`→`to` link only
+    /// for a window. With `from` the server and `to` the client this
+    /// drops replies while requests keep arriving — every retransmission
+    /// then reaches the server as a genuine duplicate, which is the
+    /// sharpest probe of the request-dedup cache.
+    OneWayLoss {
+        /// Source of the lossy direction.
+        from: NodeIdx,
+        /// Destination of the lossy direction.
+        to: NodeIdx,
+        /// Loss probability in `[0, 1]` during the burst.
+        loss: f64,
+        /// Burst duration.
+        window: SimDuration,
+    },
+    /// Add `extra` one-way latency on the `a`↔`b` links for a window.
+    LatencySpike {
+        /// One endpoint.
+        a: NodeIdx,
+        /// The other endpoint.
+        b: NodeIdx,
+        /// Additional latency during the spike.
+        extra: SimDuration,
+        /// Spike duration.
+        window: SimDuration,
+    },
+    /// Kill a capsule's cluster (deactivate, discarding the running
+    /// instance but keeping the checkpoint), reactivating after
+    /// `down_for`.
+    CapsuleKill {
+        /// Engineering node hosting the capsule.
+        node: NodeId,
+        /// The capsule whose cluster dies.
+        capsule: CapsuleId,
+        /// The cluster to deactivate.
+        cluster: ClusterId,
+        /// How long until reactivation.
+        down_for: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// Short machine-friendly label for the fault type.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::CrashRestart { .. } => "crash_restart",
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::LossBurst { .. } => "loss_burst",
+            FaultKind::OneWayLoss { .. } => "one_way_loss",
+            FaultKind::LatencySpike { .. } => "latency_spike",
+            FaultKind::CapsuleKill { .. } => "capsule_kill",
+        }
+    }
+
+    /// Deterministic one-line description of the fault parameters.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultKind::CrashRestart { node, down_for } => {
+                format!("crash {node} for {}us", down_for.as_micros())
+            }
+            FaultKind::Partition { a, b, heal_after } => {
+                format!("partition {a}<->{b} for {}us", heal_after.as_micros())
+            }
+            FaultKind::LossBurst { a, b, loss, window } => format!(
+                "loss burst {a}<->{b} p={loss:.2} for {}us",
+                window.as_micros()
+            ),
+            FaultKind::OneWayLoss {
+                from,
+                to,
+                loss,
+                window,
+            } => format!(
+                "one-way loss {from}->{to} p={loss:.2} for {}us",
+                window.as_micros()
+            ),
+            FaultKind::LatencySpike {
+                a,
+                b,
+                extra,
+                window,
+            } => format!(
+                "latency spike {a}<->{b} +{}us for {}us",
+                extra.as_micros(),
+                window.as_micros()
+            ),
+            FaultKind::CapsuleKill {
+                node,
+                capsule,
+                cluster,
+                down_for,
+            } => format!(
+                "kill capsule {capsule} cluster {cluster} at {node} for {}us",
+                down_for.as_micros()
+            ),
+        }
+    }
+
+    /// The duration of the fault window (time until the clearing action).
+    pub fn window(&self) -> SimDuration {
+        match self {
+            FaultKind::CrashRestart { down_for, .. } => *down_for,
+            FaultKind::Partition { heal_after, .. } => *heal_after,
+            FaultKind::LossBurst { window, .. } => *window,
+            FaultKind::OneWayLoss { window, .. } => *window,
+            FaultKind::LatencySpike { window, .. } => *window,
+            FaultKind::CapsuleKill { down_for, .. } => *down_for,
+        }
+    }
+}
+
+/// A fault scheduled at an offset from the plan's epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Offset from the plan epoch at which the fault is injected.
+    pub at: SimDuration,
+    /// The fault to inject.
+    pub fault: FaultKind,
+}
+
+/// An ordered schedule of faults. Events are kept in insertion order;
+/// the injector stable-sorts by time when compiling, so ties resolve in
+/// insertion order and the plan stays deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The scheduled faults.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Parameters for drawing a random [`FaultPlan`] from a seed.
+#[derive(Debug, Clone)]
+pub struct ChaosProfile {
+    /// Server-side nodes eligible for crashes and partitions.
+    pub servers: Vec<NodeIdx>,
+    /// The client node (the other endpoint of partitions and link
+    /// faults — faults that cannot be observed are not interesting).
+    pub client: NodeIdx,
+    /// Length of the experiment; fault injection times are drawn from
+    /// the middle of this interval so every window can close before the
+    /// run ends.
+    pub duration: SimDuration,
+    /// Number of crash+restart faults to draw.
+    pub crashes: usize,
+    /// Number of partition+heal faults to draw.
+    pub partitions: usize,
+    /// Number of loss bursts to draw.
+    pub loss_bursts: usize,
+    /// Number of latency spikes to draw.
+    pub latency_spikes: usize,
+    /// Mean fault window; actual windows are drawn uniformly from
+    /// `[mean/2, 3*mean/2]`.
+    pub mean_downtime: SimDuration,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder: schedules a fault at an offset from the plan epoch.
+    pub fn with(mut self, at: SimDuration, fault: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// Draws a plan from a seed. The RNG is dedicated to the plan (it is
+    /// not the simulator's RNG), and draws happen in a fixed order —
+    /// crashes, then partitions, then loss bursts, then latency spikes —
+    /// so the same seed and profile always yield the same plan.
+    pub fn generate(seed: u64, profile: &ChaosProfile) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_57ed_c4a0_5eed);
+        let mut plan = FaultPlan::new();
+        let span = profile.duration.as_micros();
+        // Inject within [10%, 85%] of the run so windows can open and
+        // close while load is still being offered.
+        let lo = span / 10;
+        let hi = span * 85 / 100;
+        let draw_at = |rng: &mut StdRng| SimDuration::from_micros(rng.gen_range(lo..=hi.max(lo)));
+        let draw_window = |rng: &mut StdRng| {
+            let mean = profile.mean_downtime.as_micros().max(2);
+            SimDuration::from_micros(rng.gen_range(mean / 2..=mean * 3 / 2))
+        };
+        let pick_server = |rng: &mut StdRng| {
+            profile.servers[rng.gen_range(0..profile.servers.len() as u64) as usize]
+        };
+        for _ in 0..profile.crashes {
+            let at = draw_at(&mut rng);
+            let node = pick_server(&mut rng);
+            let down_for = draw_window(&mut rng);
+            plan.events.push(FaultEvent {
+                at,
+                fault: FaultKind::CrashRestart { node, down_for },
+            });
+        }
+        for _ in 0..profile.partitions {
+            let at = draw_at(&mut rng);
+            let b = pick_server(&mut rng);
+            let heal_after = draw_window(&mut rng);
+            plan.events.push(FaultEvent {
+                at,
+                fault: FaultKind::Partition {
+                    a: profile.client,
+                    b,
+                    heal_after,
+                },
+            });
+        }
+        for _ in 0..profile.loss_bursts {
+            let at = draw_at(&mut rng);
+            let b = pick_server(&mut rng);
+            let loss = 0.3 + 0.6 * rng.gen::<f64>();
+            let window = draw_window(&mut rng);
+            plan.events.push(FaultEvent {
+                at,
+                fault: FaultKind::LossBurst {
+                    a: profile.client,
+                    b,
+                    loss,
+                    window,
+                },
+            });
+        }
+        for _ in 0..profile.latency_spikes {
+            let at = draw_at(&mut rng);
+            let b = pick_server(&mut rng);
+            let extra = SimDuration::from_micros(rng.gen_range(1_000u64..=20_000));
+            let window = draw_window(&mut rng);
+            plan.events.push(FaultEvent {
+                at,
+                fault: FaultKind::LatencySpike {
+                    a: profile.client,
+                    b,
+                    extra,
+                    window,
+                },
+            });
+        }
+        plan
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Deterministic multi-line description of the plan, one fault per
+    /// line in schedule order.
+    pub fn describe(&self) -> String {
+        let mut sorted: Vec<&FaultEvent> = self.events.iter().collect();
+        sorted.sort_by_key(|e| e.at.as_micros());
+        let mut out = String::new();
+        for e in sorted {
+            out.push_str(&format!("+{}us {}\n", e.at.as_micros(), e.fault.describe()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ChaosProfile {
+        ChaosProfile {
+            servers: vec![NodeIdx(0), NodeIdx(1)],
+            client: NodeIdx(2),
+            duration: SimDuration::from_secs(2),
+            crashes: 2,
+            partitions: 1,
+            loss_bursts: 1,
+            latency_spikes: 1,
+            mean_downtime: SimDuration::from_millis(80),
+        }
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let a = FaultPlan::generate(42, &profile());
+        let b = FaultPlan::generate(42, &profile());
+        assert_eq!(a, b);
+        assert_eq!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(1, &profile());
+        let b = FaultPlan::generate(2, &profile());
+        assert_ne!(a.describe(), b.describe());
+    }
+
+    #[test]
+    fn generate_draws_requested_counts() {
+        let p = FaultPlan::generate(7, &profile());
+        assert_eq!(p.len(), 5);
+        let crashes = p
+            .events
+            .iter()
+            .filter(|e| matches!(e.fault, FaultKind::CrashRestart { .. }))
+            .count();
+        assert_eq!(crashes, 2);
+    }
+
+    #[test]
+    fn builder_preserves_order_and_describes() {
+        let plan = FaultPlan::new()
+            .with(
+                SimDuration::from_millis(5),
+                FaultKind::Partition {
+                    a: NodeIdx(0),
+                    b: NodeIdx(1),
+                    heal_after: SimDuration::from_millis(10),
+                },
+            )
+            .with(
+                SimDuration::from_millis(1),
+                FaultKind::CrashRestart {
+                    node: NodeIdx(1),
+                    down_for: SimDuration::from_millis(3),
+                },
+            );
+        let d = plan.describe();
+        assert!(d.starts_with("+1000us crash n1"), "{d}");
+        assert!(d.contains("partition n0<->n1"), "{d}");
+    }
+}

@@ -333,19 +333,158 @@ impl Stack {
 }
 
 /// How many times and how patiently a caller retransmits a request.
+///
+/// Retransmission pacing is exponential: before retransmission `k`
+/// (1-based) the caller pauses `min(backoff_base · 2^(k-1), backoff_cap)`
+/// plus a deterministic jitter drawn from the engine's seeded stream in
+/// `[0, jitter]`. The whole call — every attempt and every pause — is
+/// bounded by `deadline`; once it passes, no further retransmission is
+/// made and the call fails with `CallError::Timeout`.
+///
+/// `RetryPolicy::one_shot()` (a single attempt, no retransmission) gives
+/// **at-most-once** delivery. Any policy with `retries > 0` gives
+/// at-least-once *transmission*; combined with the nucleus's request-id
+/// dedup cache the server still *executes* at most once, so the observed
+/// semantics are effectively exactly-once while the server stays
+/// reachable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
-    /// How long to wait for a reply before retransmitting.
+    /// How long to wait for a reply before giving up on an attempt.
     pub timeout: SimDuration,
     /// How many retransmissions (0 = single attempt).
     pub retries: u32,
+    /// Pause before the first retransmission; doubles each time.
+    pub backoff_base: SimDuration,
+    /// Ceiling on the exponential pause.
+    pub backoff_cap: SimDuration,
+    /// Maximum deterministic jitter added to each pause.
+    pub jitter: SimDuration,
+    /// Total budget for the call across all attempts and pauses.
+    pub deadline: SimDuration,
 }
 
-impl Default for RetryPolicy {
-    fn default() -> Self {
+impl RetryPolicy {
+    /// A single attempt with no retransmission: at-most-once delivery.
+    /// This is what a channel configured with `retry: None` uses.
+    pub fn one_shot() -> Self {
         Self {
             timeout: SimDuration::from_millis(50),
             retries: 0,
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            deadline: SimDuration::from_millis(50),
+        }
+    }
+
+    /// A hardened policy for lossy links: 8 retransmissions with
+    /// exponential backoff (2 ms doubling, capped at 40 ms), 1 ms jitter,
+    /// all within a 600 ms budget.
+    pub fn reliable() -> Self {
+        Self {
+            timeout: SimDuration::from_millis(25),
+            retries: 8,
+            backoff_base: SimDuration::from_millis(2),
+            backoff_cap: SimDuration::from_millis(40),
+            jitter: SimDuration::from_millis(1),
+            deadline: SimDuration::from_millis(600),
+        }
+    }
+
+    /// Sets the per-attempt reply timeout.
+    pub fn with_timeout(mut self, timeout: SimDuration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Sets the retransmission count.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the exponential backoff base and cap.
+    pub fn with_backoff(mut self, base: SimDuration, cap: SimDuration) -> Self {
+        self.backoff_base = base;
+        self.backoff_cap = cap;
+        self
+    }
+
+    /// Sets the maximum jitter added to each backoff pause.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the total call budget.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The pause before retransmission `k` (1-based), without jitter.
+    pub fn backoff_delay(&self, k: u32) -> SimDuration {
+        let micros = self
+            .backoff_base
+            .as_micros()
+            .saturating_mul(1u64.checked_shl(k.saturating_sub(1)).unwrap_or(u64::MAX));
+        SimDuration::from_micros(micros.min(self.backoff_cap.as_micros()))
+    }
+}
+
+impl Default for RetryPolicy {
+    /// The default is the hardened [`RetryPolicy::reliable`] policy. For
+    /// the old single-attempt behaviour use [`RetryPolicy::one_shot`] or
+    /// leave `ChannelConfig::retry` as `None`.
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+/// Per-channel circuit breaker configuration. The breaker counts
+/// *consecutive timeouts* (replies of any status count as liveness); once
+/// `failure_threshold` is reached the breaker opens and calls fail fast
+/// with `CallError::CircuitOpen` until `cooldown` has elapsed, after
+/// which one probe call is let through (half-open). A probe reply closes
+/// the breaker; a probe timeout re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive timeouts before the breaker opens.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing a probe.
+    pub cooldown: SimDuration,
+    /// Consecutive probe successes required to close again.
+    pub success_to_close: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_millis(200),
+            success_to_close: 1,
+        }
+    }
+}
+
+/// The observable state of a channel's circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Calls flow normally; consecutive timeouts are counted.
+    Closed,
+    /// Calls fail fast until the cooldown elapses.
+    Open,
+    /// The cooldown elapsed; probe calls are allowed through.
+    HalfOpen,
+}
+
+impl BreakerPhase {
+    /// Stable lower-case name for traces and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerPhase::Closed => "closed",
+            BreakerPhase::Open => "open",
+            BreakerPhase::HalfOpen => "half-open",
         }
     }
 }
@@ -360,8 +499,11 @@ pub struct ChannelConfig {
     pub sequence: bool,
     /// Add audit stubs (operation log).
     pub audit: bool,
-    /// Retransmission policy for requests (reliable delivery).
+    /// Retransmission policy for requests. `None` means a single attempt
+    /// per call ([`RetryPolicy::one_shot`]): at-most-once delivery.
     pub retry: Option<RetryPolicy>,
+    /// Circuit breaker guarding the invocation path. `None` disables it.
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ChannelConfig {
@@ -371,6 +513,7 @@ impl Default for ChannelConfig {
             sequence: false,
             audit: false,
             retry: None,
+            breaker: None,
         }
     }
 }
@@ -491,6 +634,7 @@ mod tests {
             sequence: true,
             audit: true,
             retry: None,
+            breaker: None,
         };
         let mut client = cfg.build_stack(SyntaxId::Text);
         let mut server = cfg.build_stack(SyntaxId::Binary);
@@ -521,6 +665,19 @@ mod tests {
         stack.outgoing(&mut env).unwrap();
         stack.incoming(&mut env).unwrap();
         assert_eq!(env, before);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RetryPolicy::reliable();
+        assert_eq!(p.backoff_delay(1), SimDuration::from_millis(2));
+        assert_eq!(p.backoff_delay(2), SimDuration::from_millis(4));
+        assert_eq!(p.backoff_delay(5), SimDuration::from_millis(32));
+        assert_eq!(p.backoff_delay(6), SimDuration::from_millis(40));
+        assert_eq!(p.backoff_delay(60), SimDuration::from_millis(40));
+        let one = RetryPolicy::one_shot();
+        assert_eq!(one.retries, 0);
+        assert_eq!(one.backoff_delay(1), SimDuration::ZERO);
     }
 
     #[test]

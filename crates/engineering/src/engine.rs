@@ -4,16 +4,20 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rmodp_computational::signature::{Invocation, Termination};
 use rmodp_core::codec::{syntax_for, SyntaxId};
 use rmodp_core::id::{CapsuleId, ChannelId, ClusterId, IdGen, InterfaceId, NodeId, ObjectId};
 use rmodp_core::value::Value;
 use rmodp_netsim::sim::{Addr, NodeIdx, Sim};
-use rmodp_netsim::time::SimTime;
+use rmodp_netsim::time::{SimDuration, SimTime};
 use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::behaviour::BehaviourRegistry;
-use crate::channel::{ChannelConfig, ChannelError, RetryPolicy, Stack};
+use crate::channel::{
+    BreakerConfig, BreakerPhase, ChannelConfig, ChannelError, RetryPolicy, Stack,
+};
 use crate::envelope::{Envelope, ReplyStatus};
 use crate::nucleus::{
     AdmissionConfig, DriverProcess, NucleusProcess, NucleusStats, DRIVER_PORT, NUCLEUS_PORT,
@@ -82,6 +86,13 @@ pub enum CallError {
         /// The interface that was not found.
         interface: InterfaceId,
     },
+    /// The channel's circuit breaker is open: the call failed fast
+    /// without touching the network (graceful degradation under a
+    /// persistent fault).
+    CircuitOpen {
+        /// When the breaker will next allow a probe.
+        until: SimTime,
+    },
     /// The server's channel rejected the message (e.g. replay).
     Rejected {
         /// Detail from the server, if any.
@@ -104,6 +115,13 @@ impl fmt::Display for CallError {
             }
             CallError::NotHere { interface } => {
                 write!(f, "interface {interface} is not at the believed location")
+            }
+            CallError::CircuitOpen { until } => {
+                write!(
+                    f,
+                    "circuit breaker open (next probe at {}us)",
+                    until.as_micros()
+                )
             }
             CallError::Rejected { detail } => write!(f, "request rejected: {detail}"),
             CallError::BadReply { detail } => write!(f, "bad reply: {detail}"),
@@ -131,6 +149,29 @@ struct NodeHandle {
     native: SyntaxId,
 }
 
+/// Per-channel circuit-breaker state (see [`BreakerConfig`] for the
+/// state machine's rules).
+#[derive(Debug, Clone, Copy)]
+struct BreakerState {
+    config: BreakerConfig,
+    phase: BreakerPhase,
+    consecutive_failures: u32,
+    probe_successes: u32,
+    opened_at: SimTime,
+}
+
+impl BreakerState {
+    fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            phase: BreakerPhase::Closed,
+            consecutive_failures: 0,
+            probe_successes: 0,
+            opened_at: SimTime::ZERO,
+        }
+    }
+}
+
 struct ClientChannel {
     client: NodeId,
     target: InterfaceId,
@@ -138,6 +179,7 @@ struct ClientChannel {
     config: ChannelConfig,
     retry: RetryPolicy,
     believed: InterfaceRef,
+    breaker: Option<BreakerState>,
 }
 
 /// The engineering runtime: owns the simulator, the nodes (each with a
@@ -160,6 +202,10 @@ pub struct Engine {
     interface_gen: IdGen<InterfaceId>,
     channel_gen: IdGen<ChannelId>,
     next_request: u64,
+    /// Deterministic jitter for retransmission backoff; a separate
+    /// stream from the simulator's RNG so retry pacing never perturbs
+    /// loss/latency draws.
+    jitter_rng: StdRng,
 }
 
 impl fmt::Debug for Engine {
@@ -195,6 +241,7 @@ impl Engine {
             interface_gen: IdGen::new(),
             channel_gen: IdGen::new(),
             next_request: 1,
+            jitter_rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
         }
     }
 
@@ -445,7 +492,11 @@ impl Engine {
         self.nucleus_mut(believed.location.node)?
             .server_channels
             .insert(channel, server_stack);
-        let retry = config.retry.unwrap_or_default();
+        // `retry: None` means a single attempt (at-most-once), NOT the
+        // hardened `RetryPolicy::default()` — retransmission is opt-in
+        // per channel.
+        let retry = config.retry.unwrap_or_else(RetryPolicy::one_shot);
+        let breaker = config.breaker.map(BreakerState::new);
         self.channels.insert(
             channel,
             ClientChannel {
@@ -455,9 +506,18 @@ impl Engine {
                 config,
                 retry,
                 believed,
+                breaker,
             },
         );
         Ok(channel)
+    }
+
+    /// The current phase of a channel's circuit breaker, if it has one.
+    pub fn breaker_phase(&self, channel: ChannelId) -> Option<BreakerPhase> {
+        self.channels
+            .get(&channel)
+            .and_then(|c| c.breaker.as_ref())
+            .map(|b| b.phase)
     }
 
     /// What the channel currently believes about its target's location.
@@ -515,8 +575,25 @@ impl Engine {
     /// Invokes an interrogation through a channel and runs the simulator
     /// until the reply arrives (or the retry policy is exhausted).
     ///
-    /// Retransmissions re-enter the channel stack (fresh sequence
-    /// numbers), giving at-least-once semantics when replies are lost.
+    /// # Delivery semantics
+    ///
+    /// With `retry: None` (or [`RetryPolicy::one_shot`]) the request is
+    /// transmitted once: **at-most-once** delivery — a timeout leaves it
+    /// unknown whether the server executed the operation. With
+    /// `retries > 0` the same request id is retransmitted with
+    /// exponential backoff and deterministic jitter until a reply
+    /// arrives or the policy's total `deadline` passes: at-least-once
+    /// *transmission*. The server nucleus keeps a request-id dedup
+    /// cache, so a retransmitted request is **executed at most once**
+    /// and duplicate arrivals are answered from the cache — effectively
+    /// exactly-once while the server's cache holds the entry.
+    /// Retransmissions re-enter the channel stack, so sequence binders
+    /// stamp them as fresh messages rather than replays.
+    ///
+    /// If the channel has a [`BreakerConfig`], consecutive timeouts open
+    /// the breaker and further calls fail fast with
+    /// [`CallError::CircuitOpen`] (no queueing, no network traffic)
+    /// until a cooldown elapses and a probe call closes it again.
     ///
     /// # Errors
     ///
@@ -536,7 +613,14 @@ impl Engine {
             .emit();
         let started_us = self.sim.now().as_micros();
         bus::push_context(span);
-        let result = self.call_attempts(channel, op, args, span);
+        let result = match self.breaker_admit(channel) {
+            Err(e) => Err(e),
+            Ok(()) => {
+                let r = self.call_attempts(channel, op, args, span);
+                self.breaker_note(channel, matches!(&r, Err(CallError::Timeout { .. })));
+                r
+            }
+        };
         bus::pop_context();
         bus::counter_add("engineering.calls", 1);
         bus::observe(
@@ -558,6 +642,100 @@ impl Engine {
         result
     }
 
+    /// Gate a call on the channel's circuit breaker: fail fast while
+    /// open, move to half-open once the cooldown has elapsed.
+    fn breaker_admit(&mut self, channel: ChannelId) -> Result<(), CallError> {
+        let now = self.sim.now();
+        let Some(cc) = self.channels.get_mut(&channel) else {
+            return Ok(()); // unknown channel surfaces in call_attempts
+        };
+        let Some(b) = cc.breaker.as_mut() else {
+            return Ok(());
+        };
+        if b.phase == BreakerPhase::Open {
+            let until = b.opened_at + b.config.cooldown;
+            if now < until {
+                bus::counter_add("engineering.breaker.fast_fails", 1);
+                return Err(CallError::CircuitOpen { until });
+            }
+            b.phase = BreakerPhase::HalfOpen;
+            b.probe_successes = 0;
+            Self::emit_breaker_transition(
+                channel,
+                BreakerPhase::Open,
+                BreakerPhase::HalfOpen,
+                "cooldown elapsed; probing",
+            );
+        }
+        Ok(())
+    }
+
+    /// Feed a call outcome into the breaker's state machine. Only
+    /// timeouts count as failures: a reply of any status proves the
+    /// server is alive.
+    fn breaker_note(&mut self, channel: ChannelId, timed_out: bool) {
+        let now = self.sim.now();
+        let Some(b) = self
+            .channels
+            .get_mut(&channel)
+            .and_then(|cc| cc.breaker.as_mut())
+        else {
+            return;
+        };
+        if timed_out {
+            b.consecutive_failures += 1;
+            b.probe_successes = 0;
+            let trip = match b.phase {
+                BreakerPhase::HalfOpen => true,
+                BreakerPhase::Closed => b.consecutive_failures >= b.config.failure_threshold,
+                BreakerPhase::Open => false,
+            };
+            if trip {
+                let from = b.phase;
+                b.phase = BreakerPhase::Open;
+                b.opened_at = now;
+                let failures = b.consecutive_failures;
+                Self::emit_breaker_transition(
+                    channel,
+                    from,
+                    BreakerPhase::Open,
+                    &format!("{failures} consecutive timeout(s)"),
+                );
+            }
+        } else {
+            match b.phase {
+                BreakerPhase::HalfOpen => {
+                    b.probe_successes += 1;
+                    if b.probe_successes >= b.config.success_to_close {
+                        b.phase = BreakerPhase::Closed;
+                        b.consecutive_failures = 0;
+                        Self::emit_breaker_transition(
+                            channel,
+                            BreakerPhase::HalfOpen,
+                            BreakerPhase::Closed,
+                            "probe reply received",
+                        );
+                    }
+                }
+                _ => b.consecutive_failures = 0,
+            }
+        }
+    }
+
+    fn emit_breaker_transition(
+        channel: ChannelId,
+        from: BreakerPhase,
+        to: BreakerPhase,
+        why: &str,
+    ) {
+        event(Layer::Engineering, EventKind::BreakerTransition)
+            .in_context()
+            .channel(channel.raw())
+            .detail(format!("{} -> {}: {why}", from.name(), to.name()))
+            .emit();
+        bus::counter_add("engineering.breaker.transitions", 1);
+    }
+
     fn call_attempts(
         &mut self,
         channel: ChannelId,
@@ -577,9 +755,30 @@ impl Engine {
         let dst = self.nucleus_addr(believed_node)?;
         let payload = self.encode_invocation(client_native, op, args);
         let attempts = retry.retries + 1;
+        let overall = self.sim.now() + retry.deadline;
+        // One request id for the whole call: retransmissions carry the
+        // same id so the server's dedup cache can suppress duplicates.
+        let request_id = self.next_request;
+        self.next_request += 1;
+        let mut made = 0u32;
 
         for attempt in 0..attempts {
             if attempt > 0 {
+                // Exponential backoff with deterministic jitter. A late
+                // reply landing during the pause is consumed instead of
+                // retransmitting.
+                let mut pause = retry.backoff_delay(attempt);
+                if retry.jitter > SimDuration::ZERO {
+                    let extra = self.jitter_rng.gen_range(0..=retry.jitter.as_micros());
+                    pause = pause + SimDuration::from_micros(extra);
+                }
+                let resume = (self.sim.now() + pause).min(overall);
+                if let Some(reply) = self.await_reply(driver, request_id, resume) {
+                    return self.accept_reply(channel, target, reply);
+                }
+                if self.sim.now() >= overall {
+                    break;
+                }
                 event(Layer::Engineering, EventKind::Retry)
                     .span(span)
                     .channel(channel.raw())
@@ -587,8 +786,7 @@ impl Engine {
                     .emit();
                 bus::counter_add("engineering.retries", 1);
             }
-            let request_id = self.next_request;
-            self.next_request += 1;
+            made += 1;
             let mut env =
                 Envelope::request(channel, request_id, target, client_native, payload.clone());
             {
@@ -596,17 +794,28 @@ impl Engine {
                 cc.stack.outgoing(&mut env)?;
             }
             self.sim.send_from(driver, dst, env.to_bytes());
-            let deadline = self.sim.now() + retry.timeout;
+            let deadline = (self.sim.now() + retry.timeout).min(overall);
             if let Some(reply) = self.await_reply(driver, request_id, deadline) {
-                let mut reply = reply;
-                {
-                    let cc = self.channels.get_mut(&channel).expect("checked above");
-                    cc.stack.incoming(&mut reply)?;
-                }
-                return self.interpret_reply(target, reply);
+                return self.accept_reply(channel, target, reply);
+            }
+            if self.sim.now() >= overall {
+                break;
             }
         }
-        Err(CallError::Timeout { attempts })
+        Err(CallError::Timeout { attempts: made })
+    }
+
+    fn accept_reply(
+        &mut self,
+        channel: ChannelId,
+        target: InterfaceId,
+        mut reply: Envelope,
+    ) -> Result<Termination, CallError> {
+        {
+            let cc = self.channels.get_mut(&channel).expect("checked above");
+            cc.stack.incoming(&mut reply)?;
+        }
+        self.interpret_reply(target, reply)
     }
 
     fn await_reply(
@@ -625,6 +834,10 @@ impl Engine {
                 return None;
             }
             if !self.sim.step() {
+                // Nothing left to process: idle the clock forward so the
+                // timeout consumes virtual time (breaker cooldowns and
+                // recovery metrics depend on timeouts not being free).
+                self.sim.run_until(deadline);
                 return None;
             }
         }

@@ -57,7 +57,7 @@ pub mod prelude {
     pub use crate::behaviour::{
         BehaviourRegistry, CounterBehaviour, EchoBehaviour, ServerBehaviour,
     };
-    pub use crate::channel::{ChannelConfig, RetryPolicy};
+    pub use crate::channel::{BreakerConfig, BreakerPhase, ChannelConfig, RetryPolicy};
     pub use crate::engine::{CallError, EngError, Engine};
     pub use crate::nucleus::{AdmissionConfig, AdmissionPolicy};
     pub use crate::structure::{ClusterCheckpoint, InterfaceRef, Location, StructurePolicy};

@@ -29,6 +29,25 @@ pub const DRIVER_PORT: u32 = 1;
 /// Timer tag the nucleus uses for its invocation-service drain.
 const SERVICE_TIMER_TAG: u64 = 0xAD_715;
 
+/// How many request outcomes the dedup cache remembers before evicting
+/// the oldest (FIFO). Far above any in-flight population the simulator
+/// reaches, so retransmissions practically always hit the cache.
+const DEDUP_CAPACITY: usize = 65_536;
+
+/// Remembered outcome of a request, keyed by (channel, request id), so
+/// retransmissions are served **at most once** even without a
+/// [`crate::channel::SequenceBinder`].
+#[derive(Debug, Clone)]
+enum DedupEntry {
+    /// Admitted but not yet answered (possibly parked in the admission
+    /// queue): duplicate arrivals are silently suppressed.
+    InFlight,
+    /// Answered: the reply status and payload, re-sent verbatim (through
+    /// the server stack, so it is stamped as a fresh message) when a
+    /// retransmission arrives.
+    Done(ReplyStatus, Vec<u8>),
+}
+
 /// What the nucleus does with a new invocation when its bounded queue is
 /// full — the backpressure half of an environment contract (§5.3): the
 /// server either honours the contract's latency bound by refusing excess
@@ -151,6 +170,10 @@ pub struct NucleusProcess {
     queue: VecDeque<QueuedRequest>,
     /// Whether a service timer is outstanding.
     draining: bool,
+    /// At-most-once execution: remembered request outcomes.
+    dedup: BTreeMap<(u64, u64), DedupEntry>,
+    /// FIFO eviction order for `dedup`.
+    dedup_order: VecDeque<(u64, u64)>,
 }
 
 /// Counters the nucleus maintains.
@@ -170,6 +193,12 @@ pub struct NucleusStats {
     pub shed: u64,
     /// Deepest the admission queue has been.
     pub peak_queue_depth: u64,
+    /// Retransmitted requests suppressed or answered from the dedup
+    /// cache instead of being executed again.
+    pub dedup_hits: u64,
+    /// Requests that *executed* despite an already-recorded outcome — a
+    /// duplicate side-effect. The recovery oracle asserts this stays 0.
+    pub duplicate_dispatches: u64,
 }
 
 impl std::fmt::Debug for NucleusProcess {
@@ -199,6 +228,33 @@ impl NucleusProcess {
             admission: AdmissionConfig::default(),
             queue: VecDeque::new(),
             draining: false,
+            dedup: BTreeMap::new(),
+            dedup_order: VecDeque::new(),
+        }
+    }
+
+    /// The dedup key for an envelope, when it can be correlated: the
+    /// driver's raw channel-0 sends and requests without ids are exempt.
+    fn dedup_key(env: &Envelope) -> Option<(u64, u64)> {
+        (env.channel.raw() != 0 && env.request != 0).then(|| (env.channel.raw(), env.request))
+    }
+
+    /// Inserts a dedup entry, evicting the oldest beyond capacity.
+    fn dedup_insert(&mut self, key: (u64, u64), entry: DedupEntry) {
+        if self.dedup.insert(key, entry).is_none() {
+            self.dedup_order.push_back(key);
+            while self.dedup_order.len() > DEDUP_CAPACITY {
+                if let Some(old) = self.dedup_order.pop_front() {
+                    self.dedup.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Records a request's final answer so retransmissions can replay it.
+    fn dedup_done(&mut self, env: &Envelope, status: ReplyStatus, payload: &[u8]) {
+        if let Some(key) = Self::dedup_key(env) {
+            self.dedup_insert(key, DedupEntry::Done(status, payload.to_vec()));
         }
     }
 
@@ -425,15 +481,26 @@ impl NucleusProcess {
     /// Decodes, routes and executes one admitted request, replying to the
     /// caller.
     fn dispatch_request(&mut self, ctx: &mut Ctx<'_>, src: rmodp_netsim::sim::Addr, env: Envelope) {
+        if let Some(key) = Self::dedup_key(&env) {
+            if matches!(self.dedup.get(&key), Some(DedupEntry::Done(..))) {
+                // Executing a request whose outcome is already recorded
+                // would be a duplicate side-effect; `handle_envelope`
+                // suppresses these, so this counter must stay 0.
+                self.stats.duplicate_dispatches += 1;
+                rmodp_observe::bus::counter_add("engineering.dedup.duplicate_dispatches", 1);
+            }
+        }
         let Some(&object) = self.routing.get(&env.target) else {
             self.stats.not_here += 1;
             let payload = syntax_for(self.native).encode(&Value::Null);
+            self.dedup_done(&env, ReplyStatus::NotHere, &payload);
             self.send_reply(ctx, &env, ReplyStatus::NotHere, payload, src);
             return;
         };
         let Some(invocation) = self.decode_invocation(env.syntax, &env.payload) else {
             self.stats.rejected += 1;
             let payload = self.encode_termination(&Termination::error("bad invocation"));
+            self.dedup_done(&env, ReplyStatus::Rejected, &payload);
             self.send_reply(ctx, &env, ReplyStatus::Rejected, payload, src);
             return;
         };
@@ -447,6 +514,7 @@ impl NucleusProcess {
             }
         };
         let payload = self.encode_termination(&termination);
+        self.dedup_done(&env, ReplyStatus::Ok, &payload);
         self.send_reply(ctx, &env, ReplyStatus::Ok, payload, src);
     }
 
@@ -485,6 +553,7 @@ impl NucleusProcess {
         ))
         .emit();
         let payload = self.encode_termination(&Termination::error(reason));
+        self.dedup_done(env, ReplyStatus::Rejected, &payload);
         self.send_reply(ctx, env, ReplyStatus::Rejected, payload, reply_to);
     }
 
@@ -568,6 +637,35 @@ impl NucleusProcess {
         }
         match env.kind {
             EnvelopeKind::Request => {
+                // At-most-once: a request id we have already seen is
+                // either still executing (suppress the duplicate) or
+                // answered (replay the recorded reply); only a fresh id
+                // reaches the admission path.
+                if let Some(key) = Self::dedup_key(&env) {
+                    match self.dedup.get(&key) {
+                        Some(DedupEntry::Done(status, payload)) => {
+                            let (status, payload) = (*status, payload.clone());
+                            self.stats.dedup_hits += 1;
+                            rmodp_observe::bus::counter_add("engineering.dedup.hits", 1);
+                            ctx.note(format!(
+                                "dedup: replayed {status:?} reply for request {}",
+                                env.request
+                            ));
+                            self.send_reply(ctx, &env, status, payload, src);
+                            return;
+                        }
+                        Some(DedupEntry::InFlight) => {
+                            self.stats.dedup_hits += 1;
+                            rmodp_observe::bus::counter_add("engineering.dedup.hits", 1);
+                            ctx.note(format!(
+                                "dedup: suppressed in-flight duplicate of request {}",
+                                env.request
+                            ));
+                            return;
+                        }
+                        None => self.dedup_insert(key, DedupEntry::InFlight),
+                    }
+                }
                 if self.admission.policy == AdmissionPolicy::Unbounded {
                     self.dispatch_request(ctx, src, env);
                 } else {

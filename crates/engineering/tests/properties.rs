@@ -63,7 +63,13 @@ proptest! {
     ) {
         let wire = if wire_text { SyntaxId::Text } else { SyntaxId::Binary };
         let native = if native_text { SyntaxId::Text } else { SyntaxId::Binary };
-        let config = ChannelConfig { wire_syntax: wire, sequence, audit: false, retry: None };
+        let config = ChannelConfig {
+            wire_syntax: wire,
+            sequence,
+            audit: false,
+            retry: None,
+            breaker: None,
+        };
         let mut out_stack: Stack = config.build_stack(native);
         let mut in_stack: Stack = config.build_stack(native);
 

@@ -396,6 +396,7 @@ impl Sim {
         }
         if self.now < deadline {
             self.now = deadline;
+            bus::set_time_us(self.now.as_micros());
         }
         steps
     }

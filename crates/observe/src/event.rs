@@ -88,6 +88,8 @@ pub enum EventKind {
     MigrateEnd,
     /// A client was redirected to a relocated interface.
     Relocate,
+    /// A channel's circuit breaker changed state (closed/open/half-open).
+    BreakerTransition,
     // ---- transparency ----
     /// A write was applied to replicas.
     ReplicaUpdate,
@@ -117,6 +119,11 @@ pub enum EventKind {
     TxCommit,
     /// A transaction aborted.
     TxAbort,
+    // ---- chaos / fault injection ----
+    /// A scheduled fault was injected (crash, partition, loss burst…).
+    FaultInject,
+    /// A scheduled fault was cleared (restart, heal, window end).
+    FaultClear,
 }
 
 impl EventKind {
@@ -139,6 +146,7 @@ impl EventKind {
             EventKind::MigrateStart => "migrate_start",
             EventKind::MigrateEnd => "migrate_end",
             EventKind::Relocate => "relocate",
+            EventKind::BreakerTransition => "breaker_transition",
             EventKind::ReplicaUpdate => "replica_update",
             EventKind::ReplicaRead => "replica_read",
             EventKind::ReplicaVote => "replica_vote",
@@ -152,6 +160,8 @@ impl EventKind {
             EventKind::TxVote => "tx_vote",
             EventKind::TxCommit => "tx_commit",
             EventKind::TxAbort => "tx_abort",
+            EventKind::FaultInject => "fault_inject",
+            EventKind::FaultClear => "fault_clear",
         }
     }
 }

@@ -236,10 +236,11 @@ impl TransparentProxy {
                     self.stats.calls += 1;
                     return Ok(t);
                 }
-                // A crashed old home yields Timeout rather than NotHere;
+                // A crashed old home yields Timeout rather than NotHere
+                // (or CircuitOpen once the channel's breaker has tripped);
                 // when the relocator knows a fresher location the proxy
                 // fails over exactly as for an explicit stale report.
-                Err(CallError::Timeout { .. })
+                Err(CallError::Timeout { .. } | CallError::CircuitOpen { .. })
                     if (self.selection.has(Transparency::Relocation)
                         || self.selection.has(Transparency::Migration)
                         || self.selection.has(Transparency::Failure))

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use rmodp_core::codec::SyntaxId;
-use rmodp_engineering::channel::{ChannelConfig, RetryPolicy};
+use rmodp_engineering::channel::{BreakerConfig, ChannelConfig, RetryPolicy};
 use rmodp_netsim::time::SimDuration;
 
 /// The distribution transparencies defined in RM-ODP (§9). "Not intended
@@ -120,20 +120,18 @@ impl TransparencySet {
     /// Derives a channel configuration realising the selection: access
     /// transparency installs marshalling (always structurally present;
     /// the wire syntax choice is what exercises it), failure transparency
-    /// turns on retransmission.
+    /// turns on hardened retransmission (exponential backoff, total
+    /// deadline) plus a circuit breaker so a persistently dead peer
+    /// degrades to fast failure instead of queued timeouts.
     pub fn channel_config(&self, wire_syntax: SyntaxId) -> ChannelConfig {
+        let failure = self.has(Transparency::Failure);
         ChannelConfig {
             wire_syntax,
             sequence: false,
             audit: false,
-            retry: if self.has(Transparency::Failure) {
-                Some(RetryPolicy {
-                    timeout: SimDuration::from_millis(30),
-                    retries: 3,
-                })
-            } else {
-                None
-            },
+            retry: failure
+                .then(|| RetryPolicy::reliable().with_timeout(SimDuration::from_millis(30))),
+            breaker: failure.then(BreakerConfig::default),
         }
     }
 }

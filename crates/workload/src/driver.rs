@@ -67,10 +67,49 @@ struct InFlight {
     client: Option<usize>,
 }
 
+/// Paces the driver's advancement of virtual time, so an external
+/// schedule — most importantly `rmodp-chaos`'s fault injector — can
+/// interleave its own actions with load generation in one reproducible
+/// virtual-time script. The default pacer, [`RunToTime`], simply runs
+/// the simulator.
+pub trait Pacer {
+    /// Advances the simulation to `at`, applying any external actions
+    /// due on the way.
+    fn advance_to(&mut self, engine: &mut Engine, at: SimTime);
+
+    /// Drains the simulation at the end of a run. The default runs the
+    /// simulator until idle.
+    fn finish(&mut self, engine: &mut Engine) {
+        engine.run_until_idle();
+    }
+}
+
+/// The default pacer: plain [`rmodp_netsim::sim::Sim::run_until`].
+#[derive(Debug, Default)]
+pub struct RunToTime;
+
+impl Pacer for RunToTime {
+    fn advance_to(&mut self, engine: &mut Engine, at: SimTime) {
+        engine.sim_mut().run_until(at);
+    }
+}
+
 /// Executes a scenario over an already-open channel and returns the raw
 /// statistics. The channel's client node is the population's home; the
 /// target interface is whatever the channel was opened to.
 pub fn execute(engine: &mut Engine, channel: ChannelId, scenario: &Scenario) -> RunStats {
+    execute_paced(engine, channel, scenario, &mut RunToTime)
+}
+
+/// Executes a scenario like [`execute`], but advances virtual time
+/// through the given [`Pacer`] so external schedules (fault plans)
+/// interleave deterministically with the load.
+pub fn execute_paced(
+    engine: &mut Engine,
+    channel: ChannelId,
+    scenario: &Scenario,
+    pacer: &mut dyn Pacer,
+) -> RunStats {
     assert!(
         !scenario.mix.is_empty(),
         "scenario {:?} has an empty operation mix",
@@ -82,12 +121,14 @@ pub fn execute(engine: &mut Engine, channel: ChannelId, scenario: &Scenario) -> 
         ..RunStats::default()
     };
     match scenario.load.clone() {
-        LoadModel::Open { arrivals } => open_loop(engine, channel, scenario, arrivals, &mut stats),
+        LoadModel::Open { arrivals } => {
+            open_loop(engine, channel, scenario, arrivals, &mut stats, pacer)
+        }
         LoadModel::Closed {
             population,
             think_time,
         } => closed_loop(
-            engine, channel, scenario, population, think_time, &mut stats,
+            engine, channel, scenario, population, think_time, &mut stats, pacer,
         ),
     }
     stats.finished = engine.sim().now();
@@ -189,6 +230,7 @@ fn open_loop(
     scenario: &Scenario,
     arrivals: crate::arrival::ArrivalProcess,
     stats: &mut RunStats,
+    pacer: &mut dyn Pacer,
 ) {
     let t0 = engine.sim().now();
     let mut driver = Driver::new(scenario, channel, t0, stats);
@@ -198,15 +240,16 @@ fn open_loop(
         .collect();
     for off in offsets {
         let at = t0 + off;
-        engine.sim_mut().run_until(at);
+        pacer.advance_to(engine, at);
         driver.drain(engine);
         driver.send_one(engine, at, None);
     }
-    engine.run_until_idle();
+    pacer.finish(engine);
     driver.drain(engine);
     driver.stats.lost = driver.inflight.len() as u64;
 }
 
+#[allow(clippy::too_many_arguments)] // internal; mirrors open_loop's shape
 fn closed_loop(
     engine: &mut Engine,
     channel: ChannelId,
@@ -214,6 +257,7 @@ fn closed_loop(
     population: usize,
     think_time: rmodp_netsim::time::SimDuration,
     stats: &mut RunStats,
+    pacer: &mut dyn Pacer,
 ) {
     assert!(population > 0, "closed loop needs at least one client");
     let t0 = engine.sim().now();
@@ -246,7 +290,7 @@ fn closed_loop(
         let next_due = due.iter().flatten().copied().filter(|&d| d < end).min();
         match next_due {
             Some(t) if t > now => {
-                engine.sim_mut().run_until(t);
+                pacer.advance_to(engine, t);
             }
             Some(_) => unreachable!("due clients are sent above"),
             None => {

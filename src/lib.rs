@@ -46,6 +46,7 @@
 //! ```
 
 pub use rmodp_bank as bank;
+pub use rmodp_chaos as chaos;
 pub use rmodp_computational as computational;
 pub use rmodp_core as core;
 pub use rmodp_engineering as engineering;
@@ -62,6 +63,7 @@ pub use rmodp_workload as workload;
 
 /// The commonly needed names from across the workspace.
 pub mod prelude {
+    pub use rmodp_chaos::prelude::*;
     pub use rmodp_computational::signature::{Invocation, Termination};
     pub use rmodp_core::codec::SyntaxId;
     pub use rmodp_core::id::*;

@@ -1,0 +1,312 @@
+//! Chaos determinism and safety: the same seed must produce the same
+//! fault plan and the same observe trace, and the hardened invocation
+//! path must keep its safety invariants while faults are in flight.
+
+use rmodp::chaos::prelude::*;
+use rmodp::core::codec::SyntaxId;
+use rmodp::core::id::TxId;
+use rmodp::core::value::Value;
+use rmodp::engineering::behaviour::CounterBehaviour;
+use rmodp::engineering::channel::{ChannelConfig, RetryPolicy};
+use rmodp::engineering::engine::Engine;
+use rmodp::netsim::sim::{Addr, NodeIdx, Sim};
+use rmodp::netsim::time::{SimDuration, SimTime};
+use rmodp::netsim::topology::{LinkConfig, Topology};
+use rmodp::observe::{bus, export};
+use rmodp::transactions::twopc::{Coordinator, Participant, TxOutcome, TxRequest};
+use rmodp::workload::prelude::*;
+
+fn profile() -> ChaosProfile {
+    ChaosProfile {
+        servers: vec![NodeIdx(0)],
+        client: NodeIdx(1),
+        duration: SimDuration::from_secs(1),
+        crashes: 1,
+        partitions: 1,
+        loss_bursts: 1,
+        latency_spikes: 1,
+        mean_downtime: SimDuration::from_millis(50),
+    }
+}
+
+#[test]
+fn same_seed_same_fault_plan() {
+    // Property over a seed sweep: plan generation is a pure function of
+    // (seed, profile), and nearby seeds do not collide.
+    let mut descriptions = Vec::new();
+    for seed in 0..32u64 {
+        let a = FaultPlan::generate(seed, &profile());
+        let b = FaultPlan::generate(seed, &profile());
+        assert_eq!(a, b, "seed {seed} produced two different plans");
+        assert_eq!(a.describe(), b.describe());
+        descriptions.push(a.describe());
+    }
+    descriptions.dedup();
+    assert!(
+        descriptions.len() > 16,
+        "seed sweep collapsed to {} distinct plans",
+        descriptions.len()
+    );
+}
+
+/// One full chaos run: counter rig, open-loop load, generated plan.
+/// Returns the complete observe trace as JSONL plus the recovery JSON.
+fn chaos_run(seed: u64) -> (String, String) {
+    let mut engine = Engine::new(seed);
+    engine
+        .behaviours_mut()
+        .register("counter", CounterBehaviour::default);
+    let server = engine.add_node(SyntaxId::Binary);
+    let client = engine.add_node(SyntaxId::Text);
+    let capsule = engine.add_capsule(server).unwrap();
+    let cluster = engine.add_cluster(server, capsule).unwrap();
+    let (_obj, refs) = engine
+        .create_object(
+            server,
+            capsule,
+            cluster,
+            "counter",
+            "counter",
+            CounterBehaviour::initial_state(),
+            1,
+        )
+        .unwrap();
+    let channel = engine
+        .open_channel(client, refs[0].interface, ChannelConfig::default())
+        .unwrap();
+
+    let scenario = Scenario::new(
+        "chaos_trace",
+        seed,
+        LoadModel::Open {
+            arrivals: ArrivalProcess::Poisson {
+                rate_per_sec: 200.0,
+            },
+        },
+    )
+    .lasting(SimDuration::from_secs(1))
+    .with_mix(OperationMix::new().with("Add", Value::record([("k", Value::Int(1))]), 1));
+
+    let plan = FaultPlan::generate(
+        seed,
+        &ChaosProfile {
+            servers: vec![engine.sim_node(server).unwrap()],
+            client: engine.sim_node(client).unwrap(),
+            ..profile()
+        },
+    );
+    let outcome = run_scenario_under_faults(&mut engine, client, channel, &scenario, plan).unwrap();
+    let trace = export::to_jsonl(&bus::snapshot_events());
+    (trace, outcome.recovery.to_json())
+}
+
+#[test]
+fn same_seed_same_observe_trace() {
+    let (trace_a, recovery_a) = chaos_run(21);
+    let (trace_b, recovery_b) = chaos_run(21);
+    assert_eq!(recovery_a, recovery_b);
+    assert!(
+        trace_a == trace_b,
+        "same seed produced diverging observe traces ({} vs {} bytes)",
+        trace_a.len(),
+        trace_b.len()
+    );
+    // And the trace actually contains the chaos lifecycle events.
+    assert!(trace_a.contains("\"fault_inject\""));
+    assert!(trace_a.contains("\"fault_clear\""));
+}
+
+#[test]
+fn faults_recover_and_execution_stays_at_most_once() {
+    let (_trace, recovery) = chaos_run(5);
+    assert!(
+        recovery.contains("\"duplicate_dispatches\":0"),
+        "{recovery}"
+    );
+}
+
+#[test]
+fn retransmission_under_loss_executes_each_call_once() {
+    let mut engine = Engine::new(77);
+    engine
+        .behaviours_mut()
+        .register("counter", CounterBehaviour::default);
+    let server = engine.add_node(SyntaxId::Binary);
+    let client = engine.add_node(SyntaxId::Binary);
+    let capsule = engine.add_capsule(server).unwrap();
+    let cluster = engine.add_cluster(server, capsule).unwrap();
+    let (_obj, refs) = engine
+        .create_object(
+            server,
+            capsule,
+            cluster,
+            "counter",
+            "counter",
+            CounterBehaviour::initial_state(),
+            1,
+        )
+        .unwrap();
+    let channel = engine
+        .open_channel(
+            client,
+            refs[0].interface,
+            ChannelConfig {
+                retry: Some(RetryPolicy::reliable()),
+                ..ChannelConfig::default()
+            },
+        )
+        .unwrap();
+
+    // Latency above the retransmit timeout guarantees genuine duplicate
+    // arrivals at the server; loss makes some of them necessary.
+    let (c, s) = (
+        engine.sim_node(client).unwrap(),
+        engine.sim_node(server).unwrap(),
+    );
+    let lossy = LinkConfig::with_latency(SimDuration::from_millis(30)).loss(0.3);
+    engine.sim_mut().topology_mut().set_link(c, s, lossy);
+    engine.sim_mut().topology_mut().set_link(s, c, lossy);
+
+    let mut ok = 0;
+    for _ in 0..20 {
+        if engine
+            .call(channel, "Add", &Value::record([("k", Value::Int(1))]))
+            .is_ok()
+        {
+            ok += 1;
+        }
+    }
+    engine
+        .sim_mut()
+        .topology_mut()
+        .set_link(c, s, LinkConfig::ideal());
+    engine
+        .sim_mut()
+        .topology_mut()
+        .set_link(s, c, LinkConfig::ideal());
+    let got = engine
+        .call(channel, "Get", &Value::record::<&str, _>([]))
+        .unwrap();
+    let n = got.results.field("n").and_then(Value::as_int).unwrap();
+
+    assert!(ok > 0, "some calls must get through 30% loss");
+    assert!(
+        n >= ok,
+        "acknowledged calls must all be applied: n={n} ok={ok}"
+    );
+    assert!(n <= 20, "no call may execute twice: n={n}");
+    assert_eq!(
+        bus::counter("engineering.dedup.duplicate_dispatches"),
+        0,
+        "the dedup cache must suppress every duplicate dispatch"
+    );
+    assert!(
+        bus::counter("engineering.dedup.hits") > 0,
+        "30ms latency over a 25ms timeout must produce duplicate arrivals"
+    );
+}
+
+#[test]
+fn partition_during_prepare_never_reports_commit() {
+    // Regression: a coordinator partitioned from a participant during
+    // the prepare phase must end in Aborted (presumed abort), never
+    // Committed, and the reachable participant must not expose the
+    // transaction's writes.
+    let link = LinkConfig::with_latency(SimDuration::from_millis(1));
+    let mut sim = Sim::with_topology(9, Topology::full_mesh(link));
+    let coord_node = sim.add_node();
+    let coord = Addr::new(coord_node, 0);
+    let mut parts = Vec::new();
+    for i in 0..2 {
+        let node = sim.add_node();
+        let addr = Addr::new(node, 0);
+        sim.attach(addr, Participant::new(format!("rm{i}")));
+        parts.push(addr);
+    }
+    sim.attach(
+        coord,
+        Coordinator::new(parts.clone(), SimDuration::from_millis(20), 5),
+    );
+
+    // The partition is already up when the transaction is submitted, so
+    // participant 1 never receives a prepare.
+    sim.topology_mut().partition(coord.node, parts[1].node);
+    let request = TxRequest {
+        writes: vec![
+            (0, "x".to_owned(), Value::Int(1)),
+            (1, "y".to_owned(), Value::Int(2)),
+        ],
+    };
+    sim.send_from(
+        Addr::EXTERNAL,
+        coord,
+        Coordinator::submit_payload(TxId::new(1), &request),
+    );
+    sim.run_until_idle();
+
+    let outcome = sim
+        .inspect::<Coordinator>(coord)
+        .unwrap()
+        .outcome(TxId::new(1))
+        .unwrap();
+    assert_eq!(
+        outcome,
+        TxOutcome::Aborted,
+        "prepare cannot complete across a partition"
+    );
+    let exposed = sim
+        .inspect::<Participant>(parts[0])
+        .unwrap()
+        .rm
+        .read_committed("x");
+    assert_eq!(exposed, None, "no write from an unprepared transaction");
+
+    // After healing, the system is still usable.
+    sim.topology_mut().heal(coord.node, parts[1].node);
+    sim.send_from(
+        Addr::EXTERNAL,
+        coord,
+        Coordinator::submit_payload(TxId::new(2), &request),
+    );
+    sim.run_until_idle();
+    assert_eq!(
+        sim.inspect::<Coordinator>(coord)
+            .unwrap()
+            .outcome(TxId::new(2)),
+        Some(TxOutcome::Committed)
+    );
+}
+
+#[test]
+fn injector_lands_faults_at_exact_virtual_instants() {
+    let mut engine = Engine::new(31);
+    let a = engine.add_node(SyntaxId::Binary);
+    let _b = engine.add_node(SyntaxId::Binary);
+    let na = engine.sim_node(a).unwrap();
+    let plan = FaultPlan::new()
+        .with(
+            SimDuration::from_millis(10),
+            FaultKind::CrashRestart {
+                node: na,
+                down_for: SimDuration::from_millis(20),
+            },
+        )
+        .with(
+            SimDuration::from_millis(15),
+            FaultKind::Partition {
+                a: na,
+                b: engine.sim_node(_b).unwrap(),
+                heal_after: SimDuration::from_millis(5),
+            },
+        );
+    let mut injector = FaultInjector::new(plan, engine.sim().now());
+    injector.finish(&mut engine);
+    let applied = injector.into_applied();
+    assert_eq!(applied.len(), 2);
+    assert_eq!(applied[0].injected_at, SimTime::from_micros(10_000));
+    assert_eq!(applied[0].cleared_at, Some(SimTime::from_micros(30_000)));
+    assert_eq!(applied[1].injected_at, SimTime::from_micros(15_000));
+    assert_eq!(applied[1].cleared_at, Some(SimTime::from_micros(20_000)));
+    assert_eq!(bus::counter("chaos.faults_injected"), 2);
+    assert_eq!(bus::counter("chaos.faults_cleared"), 2);
+}
