@@ -7,6 +7,10 @@
 //! the workspace root for the index). This crate holds the workload
 //! builders the `benches/` targets share, so they are also unit-testable.
 
+pub mod chaos_suite;
+pub mod mechanisms;
+pub mod workload_suite;
+
 use rmodp_computational::signature::{OperationalSignature, TerminationSignature};
 use rmodp_core::codec::SyntaxId;
 use rmodp_core::dtype::DataType;

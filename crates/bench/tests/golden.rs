@@ -1,0 +1,41 @@
+//! Golden artifact tests: the benchmark suites must reproduce the
+//! committed fixtures byte-for-byte.
+//!
+//! The fixtures under `tests/fixtures/` at the workspace root were
+//! generated before the kernel refactor (PR 5) landed, so these tests
+//! pin the refactored scheduling, RNG streams, and payload sharing to
+//! the exact pre-refactor behaviour: same seed → same events in the
+//! same order → the same JSON document, byte for byte.
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn workload_suite_reproduces_committed_artifact() {
+    let golden = fixture("BENCH_workload.json");
+    let produced = rmodp_bench::workload_suite::run_suite();
+    assert_eq!(
+        produced, golden,
+        "BENCH_workload.json drifted from the committed fixture"
+    );
+}
+
+#[test]
+fn chaos_suite_reproduces_committed_artifact() {
+    let golden = fixture("BENCH_chaos.json");
+    let produced = rmodp_bench::chaos_suite::run_suite(4_242);
+    assert_eq!(
+        produced, golden,
+        "BENCH_chaos.json drifted from the committed fixture"
+    );
+}
+
+#[test]
+fn mechanisms_suite_is_deterministic() {
+    let first = rmodp_bench::mechanisms::run_suite();
+    let second = rmodp_bench::mechanisms::run_suite();
+    assert_eq!(first, second, "mechanisms suite must be byte-identical");
+    assert!(first.starts_with("{\"schema\":\"rmodp-bench-mechanisms/1\""));
+}

@@ -2,13 +2,14 @@
 //!
 //! [`run_scenario_under_faults`] is the top-level chaos harness: it
 //! compiles a [`FaultPlan`] onto the engine's current virtual time, runs
-//! a `rmodp-workload` scenario with the injector pacing every clock
-//! advance, and judges the result with the [`RecoveryOracle`]. Same
-//! engine seed, scenario, and plan → byte-identical traces and reports.
+//! a `rmodp-workload` scenario with the injector registered as an actor
+//! ahead of the load generator on the same kernel, and judges the result
+//! with the [`RecoveryOracle`]. Same engine seed, scenario, and plan →
+//! byte-identical traces and reports.
 
 use rmodp_core::id::{ChannelId, NodeId};
 use rmodp_engineering::engine::{EngError, Engine};
-use rmodp_workload::driver::{execute_paced, RunStats};
+use rmodp_workload::driver::{execute_with, RunStats};
 use rmodp_workload::scenario::Scenario;
 use rmodp_workload::slo::{self, SloReport};
 
@@ -48,7 +49,7 @@ pub fn run_scenario_under_faults(
 ) -> Result<ChaosOutcome, EngError> {
     let client_idx = engine.sim_node(client)?;
     let mut injector = FaultInjector::new(plan, engine.sim().now());
-    let stats = execute_paced(engine, channel, scenario, &mut injector);
+    let stats = execute_with(engine, channel, scenario, &mut [&mut injector]);
     let report = slo::evaluate(scenario, &stats);
     let faults = injector.into_applied();
     let oracle = RecoveryOracle::new(client_idx.0 as u64);

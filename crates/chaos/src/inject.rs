@@ -1,25 +1,24 @@
 //! Compiling a [`FaultPlan`] onto virtual time and applying it.
 //!
 //! The [`FaultInjector`] turns a plan into a sorted list of apply/clear
-//! actions anchored at an epoch, then interleaves them with simulation
-//! progress: [`FaultInjector::apply_until`] advances the simulator only
-//! as far as the next due action, performs it, and repeats. Implementing
-//! [`Pacer`] lets the workload driver hand the injector control of every
-//! clock advance, so faults land at exact virtual instants regardless of
-//! the load pattern.
+//! actions anchored at an epoch. It is a kernel [`Actor`]: registered on
+//! the same [`Kernel`] as a load generator (ahead of it, so equal-time
+//! ties resolve fault-first), its actions land at exact virtual instants
+//! regardless of the load pattern. [`FaultInjector::apply_until`] and
+//! [`FaultInjector::finish`] drive a private single-actor kernel for
+//! callers that schedule faults without a workload.
 //!
 //! [`FaultPlan`]: crate::plan::FaultPlan
-//! [`Pacer`]: rmodp_workload::driver::Pacer
 
 use std::collections::BTreeMap;
 
 use rmodp_engineering::engine::Engine;
 use rmodp_engineering::structure::ClusterCheckpoint;
+use rmodp_kernel::{Actor, Kernel};
 use rmodp_netsim::sim::NodeIdx;
 use rmodp_netsim::time::SimTime;
 use rmodp_netsim::topology::LinkConfig;
 use rmodp_observe::{bus, event, EventKind, Layer};
-use rmodp_workload::driver::Pacer;
 
 use crate::plan::{FaultKind, FaultPlan};
 
@@ -119,23 +118,17 @@ impl FaultInjector {
     /// action that falls due on the way. The simulator never runs past a
     /// pending action, so faults take effect at exact virtual instants.
     pub fn apply_until(&mut self, engine: &mut Engine, target: SimTime) {
-        while self.next < self.actions.len() && self.actions[self.next].at <= target {
-            let action = self.actions[self.next];
-            engine.sim_mut().run_until(action.at);
-            self.perform(engine, action);
-            self.next += 1;
-        }
-        engine.sim_mut().run_until(target);
+        let mut kernel = Kernel::new();
+        kernel.register(self);
+        kernel.advance_to(engine, target);
     }
 
     /// Performs all remaining actions, advancing the clock between them,
     /// then drains the simulator to quiescence.
     pub fn finish(&mut self, engine: &mut Engine) {
-        while self.next < self.actions.len() {
-            let at = self.actions[self.next].at;
-            self.apply_until(engine, at);
-        }
-        engine.run_until_idle();
+        let mut kernel = Kernel::new();
+        kernel.register(self);
+        kernel.finish(engine);
     }
 
     fn perform(&mut self, engine: &mut Engine, action: Action) {
@@ -271,13 +264,17 @@ impl FaultInjector {
     }
 }
 
-impl Pacer for FaultInjector {
-    fn advance_to(&mut self, engine: &mut Engine, at: SimTime) {
-        self.apply_until(engine, at);
+/// One kernel tick performs one compiled action; equal-time actions fire
+/// as consecutive ticks at the same instant, preserving plan order.
+impl Actor<Engine> for FaultInjector {
+    fn next_due(&self, _world: &Engine) -> Option<SimTime> {
+        self.actions.get(self.next).map(|a| a.at)
     }
 
-    fn finish(&mut self, engine: &mut Engine) {
-        FaultInjector::finish(self, engine);
+    fn tick(&mut self, world: &mut Engine, _at: SimTime) {
+        let action = self.actions[self.next];
+        self.next += 1;
+        self.perform(world, action);
     }
 }
 

@@ -15,9 +15,9 @@
 //!   crash/restart, link partition/heal, loss bursts, latency spikes,
 //!   capsule kill) written by hand or drawn from a seeded RNG;
 //! - [`inject`] — [`FaultInjector`]: compiles a plan onto virtual time
-//!   and applies it, interleaved with simulation progress; implements
-//!   the workload driver's `Pacer` hook so faults land at exact virtual
-//!   instants under load;
+//!   and applies it, interleaved with simulation progress; it is a
+//!   kernel `Actor`, registered ahead of the load generator so faults
+//!   land at exact virtual instants under load;
 //! - [`oracle`] — [`RecoveryOracle`] / [`RecoveryReport`]: computes
 //!   per-fault MTTR and in-window availability from the observe event
 //!   stream, and snapshots the at-most-once counters

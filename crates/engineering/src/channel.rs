@@ -73,6 +73,16 @@ pub trait ChannelComponent: 'static {
     ///
     /// Returns a [`ChannelError`] to reject the message.
     fn on_incoming(&mut self, env: &mut Envelope) -> Result<(), ChannelError>;
+
+    /// Adjusts an already-marshalled envelope before a retransmission.
+    /// Most components are idempotent across attempts and keep the
+    /// default no-op; a [`SequenceBinder`] must stamp a fresh sequence
+    /// number so the peer's replay check does not reject the retry.
+    /// Returns `true` if the envelope changed (forcing a re-serialise).
+    fn on_retransmit(&mut self, env: &mut Envelope) -> bool {
+        let _ = env;
+        false
+    }
 }
 
 /// The stub providing **access transparency** (§9.1): marshals payloads
@@ -99,7 +109,7 @@ impl ChannelComponent for MarshallingStub {
         if env.syntax != self.wire {
             let from = env.syntax;
             let value = syntax_for(env.syntax).decode(&env.payload)?;
-            env.payload = syntax_for(self.wire).encode(&value);
+            env.payload = syntax_for(self.wire).encode(&value).into();
             env.syntax = self.wire;
             emit_marshal(env, from, self.wire);
         }
@@ -110,7 +120,7 @@ impl ChannelComponent for MarshallingStub {
         if env.syntax != self.native {
             let from = env.syntax;
             let value = syntax_for(env.syntax).decode(&env.payload)?;
-            env.payload = syntax_for(self.native).encode(&value);
+            env.payload = syntax_for(self.native).encode(&value).into();
             env.syntax = self.native;
             emit_marshal(env, from, self.native);
         }
@@ -231,6 +241,12 @@ impl ChannelComponent for SequenceBinder {
         Ok(())
     }
 
+    fn on_retransmit(&mut self, env: &mut Envelope) -> bool {
+        env.seq = self.next_out;
+        self.next_out += 1;
+        true
+    }
+
     fn on_incoming(&mut self, env: &mut Envelope) -> Result<(), ChannelError> {
         if env.seq == 0 {
             // Peer has no sequence binder; nothing to check.
@@ -321,6 +337,19 @@ impl Stack {
             c.on_incoming(env)?;
         }
         Ok(())
+    }
+
+    /// Prepares an already-marshalled envelope for retransmission,
+    /// letting each component restamp what it must (sequence numbers).
+    /// Unlike [`Stack::outgoing`] this emits no hop events and performs
+    /// no marshalling: the envelope's wire form is reused as-is unless a
+    /// component reports a change, in which case the caller re-serialises.
+    pub fn restamp(&mut self, env: &mut Envelope) -> bool {
+        let mut changed = false;
+        for c in self.components.iter_mut() {
+            changed |= c.on_retransmit(env);
+        }
+        changed
     }
 
     /// Access to a component of a concrete type (e.g. to read an
@@ -681,13 +710,39 @@ mod tests {
     }
 
     #[test]
+    fn restamp_gives_retransmissions_fresh_sequence_numbers() {
+        let cfg = ChannelConfig {
+            wire_syntax: SyntaxId::Binary,
+            sequence: true,
+            audit: false,
+            retry: None,
+            breaker: None,
+        };
+        let mut client = cfg.build_stack(SyntaxId::Binary);
+        let mut server = cfg.build_stack(SyntaxId::Binary);
+        let mut env = request(SyntaxId::Binary);
+        client.outgoing(&mut env).unwrap();
+        assert_eq!(env.seq, 1);
+        server.incoming(&mut env).unwrap();
+        // A retransmission restamps instead of replaying seq 1.
+        assert!(client.restamp(&mut env));
+        assert_eq!(env.seq, 2);
+        server.incoming(&mut env).unwrap();
+        // A stack without binders leaves the wire form untouched.
+        let mut plain = ChannelConfig::default().build_stack(SyntaxId::Binary);
+        let mut env2 = request(SyntaxId::Binary);
+        plain.outgoing(&mut env2).unwrap();
+        assert!(!plain.restamp(&mut env2));
+    }
+
+    #[test]
     fn corrupt_payload_surfaces_codec_error() {
         let mut stub = MarshallingStub {
             native: SyntaxId::Text,
             wire: SyntaxId::Binary,
         };
         let mut env = request(SyntaxId::Text);
-        env.payload = vec![0xff, 0xff];
+        env.payload = vec![0xff, 0xff].into();
         let err = stub.on_outgoing(&mut env).unwrap_err();
         assert!(matches!(err, ChannelError::Codec(_)));
     }

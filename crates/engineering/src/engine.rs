@@ -10,6 +10,8 @@ use rmodp_computational::signature::{Invocation, Termination};
 use rmodp_core::codec::{syntax_for, SyntaxId};
 use rmodp_core::id::{CapsuleId, ChannelId, ClusterId, IdGen, InterfaceId, NodeId, ObjectId};
 use rmodp_core::value::Value;
+use rmodp_kernel::payload::Payload;
+use rmodp_kernel::World;
 use rmodp_netsim::sim::{Addr, NodeIdx, Sim};
 use rmodp_netsim::time::{SimDuration, SimTime};
 use rmodp_observe::{bus, event, EventKind, Layer};
@@ -604,6 +606,51 @@ impl Engine {
         op: &str,
         args: &Value,
     ) -> Result<Termination, CallError> {
+        self.call_inner(channel, op, args, None)
+    }
+
+    /// Encodes an invocation once in a client node's native syntax. Pair
+    /// with [`Engine::call_prepared`] to fan one invocation out across
+    /// many channels (e.g. a replica group) without re-encoding per call.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn prepare_invocation(
+        &self,
+        client: NodeId,
+        op: &str,
+        args: &Value,
+    ) -> Result<Payload, EngError> {
+        let native = self.handle(client)?.native;
+        Ok(Payload::new(self.encode_invocation(native, op, args)))
+    }
+
+    /// Like [`Engine::call`], but with a payload already encoded by
+    /// [`Engine::prepare_invocation`]: the shared bytes are reused
+    /// verbatim, so an N-way fan-out marshals once, not N times. The
+    /// caller must have prepared the payload on this channel's client
+    /// node (the encodings would otherwise disagree).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CallError`], as for [`Engine::call`].
+    pub fn call_prepared(
+        &mut self,
+        channel: ChannelId,
+        op: &str,
+        prepared: &Payload,
+    ) -> Result<Termination, CallError> {
+        self.call_inner(channel, op, &Value::Null, Some(prepared))
+    }
+
+    fn call_inner(
+        &mut self,
+        channel: ChannelId,
+        op: &str,
+        args: &Value,
+        prepared: Option<&Payload>,
+    ) -> Result<Termination, CallError> {
         let span = bus::new_span();
         event(Layer::Engineering, EventKind::CallStart)
             .span(span)
@@ -616,7 +663,7 @@ impl Engine {
         let result = match self.breaker_admit(channel) {
             Err(e) => Err(e),
             Ok(()) => {
-                let r = self.call_attempts(channel, op, args, span);
+                let r = self.call_attempts(channel, op, args, prepared, span);
                 self.breaker_note(channel, matches!(&r, Err(CallError::Timeout { .. })));
                 r
             }
@@ -741,6 +788,7 @@ impl Engine {
         channel: ChannelId,
         op: &str,
         args: &Value,
+        prepared: Option<&Payload>,
         span: u64,
     ) -> Result<Termination, CallError> {
         let (client, target, believed_node, retry) = {
@@ -753,7 +801,10 @@ impl Engine {
         let client_native = self.handle(client)?.native;
         let driver = self.driver_addr(client)?;
         let dst = self.nucleus_addr(believed_node)?;
-        let payload = self.encode_invocation(client_native, op, args);
+        let payload = match prepared {
+            Some(p) => p.clone(),
+            None => Payload::new(self.encode_invocation(client_native, op, args)),
+        };
         let attempts = retry.retries + 1;
         let overall = self.sim.now() + retry.deadline;
         // One request id for the whole call: retransmissions carry the
@@ -761,6 +812,18 @@ impl Engine {
         let request_id = self.next_request;
         self.next_request += 1;
         let mut made = 0u32;
+
+        // Marshal once per call, not once per attempt: the envelope runs
+        // the outgoing stack here and the serialised frame is reused for
+        // every retransmission. Only components that must restamp (a
+        // sequence binder issuing a fresh number) touch it again, via the
+        // event-free `Stack::restamp`.
+        let mut env = Envelope::request(channel, request_id, target, client_native, payload);
+        {
+            let cc = self.channels.get_mut(&channel).expect("checked above");
+            cc.stack.outgoing(&mut env)?;
+        }
+        let mut frame = Payload::new(env.to_bytes());
 
         for attempt in 0..attempts {
             if attempt > 0 {
@@ -785,15 +848,13 @@ impl Engine {
                     .detail(format!("op={op} attempt={}", attempt + 1))
                     .emit();
                 bus::counter_add("engineering.retries", 1);
+                let cc = self.channels.get_mut(&channel).expect("checked above");
+                if cc.stack.restamp(&mut env) {
+                    frame = Payload::new(env.to_bytes());
+                }
             }
             made += 1;
-            let mut env =
-                Envelope::request(channel, request_id, target, client_native, payload.clone());
-            {
-                let cc = self.channels.get_mut(&channel).expect("checked above");
-                cc.stack.outgoing(&mut env)?;
-            }
-            self.sim.send_from(driver, dst, env.to_bytes());
+            self.sim.send_from(driver, dst, frame.clone());
             let deadline = (self.sim.now() + retry.timeout).min(overall);
             if let Some(reply) = self.await_reply(driver, request_id, deadline) {
                 return self.accept_reply(channel, target, reply);
@@ -948,6 +1009,11 @@ impl Engine {
     /// Runs the simulator until no events remain.
     pub fn run_until_idle(&mut self) -> u64 {
         self.sim.run_until_idle()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
     }
 
     /// Checkpoints a cluster without disturbing it (§8.1).
@@ -1357,5 +1423,26 @@ impl Engine {
         self.nucleus_mut(node)?
             .invoke_local(interface, &invocation)
             .ok_or(EngError::UnknownInterface { interface })
+    }
+}
+
+/// The engine is a kernel [`World`]: load generators and fault injectors
+/// run as actors on one scheduler instead of pacing the simulator
+/// themselves.
+impl World for Engine {
+    fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    fn advance_to(&mut self, at: SimTime) {
+        self.sim.run_until(at);
+    }
+
+    fn run_until_idle(&mut self) {
+        self.sim.run_until_idle();
+    }
+
+    fn step(&mut self) -> bool {
+        self.sim.step()
     }
 }

@@ -4,6 +4,7 @@
 use bytes::{Buf, BufMut};
 use rmodp_core::codec::SyntaxId;
 use rmodp_core::id::{ChannelId, InterfaceId};
+use rmodp_kernel::payload::Payload;
 use std::fmt;
 
 /// What an envelope carries.
@@ -52,8 +53,9 @@ pub struct Envelope {
     /// The transfer syntax the payload is currently encoded in.
     pub syntax: SyntaxId,
     /// The encoded payload (an invocation or termination record, or a
-    /// flow item).
-    pub payload: Vec<u8>,
+    /// flow item). Shared bytes: cloning an envelope, caching a reply,
+    /// or retransmitting shares one buffer.
+    pub payload: Payload,
     /// The flow name (flows only; empty otherwise).
     pub flow: String,
 }
@@ -65,7 +67,7 @@ impl Envelope {
         request: u64,
         target: InterfaceId,
         syntax: SyntaxId,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
     ) -> Self {
         Self {
             kind: EnvelopeKind::Request,
@@ -75,7 +77,7 @@ impl Envelope {
             target,
             status: ReplyStatus::Ok,
             syntax,
-            payload,
+            payload: payload.into(),
             flow: String::new(),
         }
     }
@@ -85,7 +87,7 @@ impl Envelope {
         req: &Envelope,
         status: ReplyStatus,
         syntax: SyntaxId,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
     ) -> Self {
         Self {
             kind: EnvelopeKind::Reply,
@@ -95,7 +97,7 @@ impl Envelope {
             target: req.target,
             status,
             syntax,
-            payload,
+            payload: payload.into(),
             flow: String::new(),
         }
     }
@@ -105,7 +107,7 @@ impl Envelope {
         channel: ChannelId,
         target: InterfaceId,
         syntax: SyntaxId,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
     ) -> Self {
         Self {
             kind: EnvelopeKind::Announce,
@@ -115,7 +117,7 @@ impl Envelope {
             target,
             status: ReplyStatus::Ok,
             syntax,
-            payload,
+            payload: payload.into(),
             flow: String::new(),
         }
     }
@@ -126,7 +128,7 @@ impl Envelope {
         target: InterfaceId,
         flow: impl Into<String>,
         syntax: SyntaxId,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
     ) -> Self {
         Self {
             kind: EnvelopeKind::Flow,
@@ -136,7 +138,7 @@ impl Envelope {
             target,
             status: ReplyStatus::Ok,
             syntax,
-            payload,
+            payload: payload.into(),
             flow: flow.into(),
         }
     }
@@ -170,12 +172,35 @@ impl Envelope {
         out
     }
 
-    /// Deserialises an envelope.
+    /// Deserialises an envelope from borrowed bytes, deep-copying the
+    /// payload. Hot paths that hold the frame as a [`Payload`] should
+    /// use [`Envelope::from_payload`], which slices instead of copying.
     ///
     /// # Errors
     ///
     /// Returns an [`EnvelopeError`] on truncation or bad discriminants.
-    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, EnvelopeError> {
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, EnvelopeError> {
+        let (mut env, off, len) = Self::parse_frame(bytes)?;
+        env.payload = Payload::copy_of(&bytes[off..off + len]);
+        Ok(env)
+    }
+
+    /// Deserialises an envelope from a shared frame: the returned
+    /// envelope's payload is a zero-copy slice of `frame`'s buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnvelopeError`] on truncation or bad discriminants.
+    pub fn from_payload(frame: &Payload) -> Result<Self, EnvelopeError> {
+        let (mut env, off, len) = Self::parse_frame(frame)?;
+        env.payload = frame.slice(off, off + len);
+        Ok(env)
+    }
+
+    /// Parses everything but the payload bytes, returning the envelope
+    /// (payload empty) plus the payload's offset and length in `full`.
+    fn parse_frame(full: &[u8]) -> Result<(Self, usize, usize), EnvelopeError> {
+        let mut bytes = full;
         let need = |b: &&[u8], n: usize| -> Result<(), EnvelopeError> {
             if b.remaining() < n {
                 Err(EnvelopeError {
@@ -231,24 +256,28 @@ impl Envelope {
         need(&bytes, 4)?;
         let payload_len = bytes.get_u32_le() as usize;
         need(&bytes, payload_len)?;
-        let payload = bytes[..payload_len].to_vec();
+        let payload_off = full.len() - bytes.remaining();
         bytes.advance(payload_len);
         if bytes.has_remaining() {
             return Err(EnvelopeError {
                 message: "trailing bytes after envelope".into(),
             });
         }
-        Ok(Self {
-            kind,
-            channel,
-            request,
-            seq,
-            target,
-            status,
-            syntax,
-            payload,
-            flow,
-        })
+        Ok((
+            Self {
+                kind,
+                channel,
+                request,
+                seq,
+                target,
+                status,
+                syntax,
+                payload: Payload::empty(),
+                flow,
+            },
+            payload_off,
+            payload_len,
+        ))
     }
 }
 
@@ -343,6 +372,16 @@ mod tests {
             .unwrap_err()
             .message
             .contains("syntax"));
+    }
+
+    #[test]
+    fn from_payload_slices_without_copying() {
+        rmodp_observe::bus::reset();
+        let frame = Payload::new(sample().to_bytes());
+        let env = Envelope::from_payload(&frame).unwrap();
+        assert_eq!(env, sample());
+        assert!(env.payload.shares_buffer_with(&frame));
+        assert_eq!(rmodp_observe::bus::counter("kernel.payload.copies"), 0);
     }
 
     #[test]

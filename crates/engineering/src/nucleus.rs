@@ -12,6 +12,7 @@ use rmodp_computational::signature::{Invocation, Termination};
 use rmodp_core::codec::{syntax_for, SyntaxId};
 use rmodp_core::id::{CapsuleId, ChannelId, ClusterId, InterfaceId, NodeId, ObjectId};
 use rmodp_core::value::Value;
+use rmodp_kernel::payload::Payload;
 use rmodp_netsim::sim::{Ctx, Message, Process};
 use rmodp_netsim::time::SimDuration;
 use rmodp_netsim::time::SimTime;
@@ -44,8 +45,9 @@ enum DedupEntry {
     InFlight,
     /// Answered: the reply status and payload, re-sent verbatim (through
     /// the server stack, so it is stamped as a fresh message) when a
-    /// retransmission arrives.
-    Done(ReplyStatus, Vec<u8>),
+    /// retransmission arrives. The payload is shared bytes: caching and
+    /// replaying never deep-copy.
+    Done(ReplyStatus, Payload),
 }
 
 /// What the nucleus does with a new invocation when its bounded queue is
@@ -252,9 +254,10 @@ impl NucleusProcess {
     }
 
     /// Records a request's final answer so retransmissions can replay it.
-    fn dedup_done(&mut self, env: &Envelope, status: ReplyStatus, payload: &[u8]) {
+    /// Shares the payload's buffer with the reply being sent.
+    fn dedup_done(&mut self, env: &Envelope, status: ReplyStatus, payload: &Payload) {
         if let Some(key) = Self::dedup_key(env) {
-            self.dedup_insert(key, DedupEntry::Done(status, payload.to_vec()));
+            self.dedup_insert(key, DedupEntry::Done(status, payload.clone()));
         }
     }
 
@@ -460,7 +463,7 @@ impl NucleusProcess {
         ctx: &mut Ctx<'_>,
         req: &Envelope,
         status: ReplyStatus,
-        payload: Vec<u8>,
+        payload: Payload,
         reply_to: rmodp_netsim::sim::Addr,
     ) {
         let mut reply = Envelope::reply_to(req, status, self.native, payload);
@@ -492,14 +495,15 @@ impl NucleusProcess {
         }
         let Some(&object) = self.routing.get(&env.target) else {
             self.stats.not_here += 1;
-            let payload = syntax_for(self.native).encode(&Value::Null);
+            let payload = Payload::new(syntax_for(self.native).encode(&Value::Null));
             self.dedup_done(&env, ReplyStatus::NotHere, &payload);
             self.send_reply(ctx, &env, ReplyStatus::NotHere, payload, src);
             return;
         };
         let Some(invocation) = self.decode_invocation(env.syntax, &env.payload) else {
             self.stats.rejected += 1;
-            let payload = self.encode_termination(&Termination::error("bad invocation"));
+            let payload =
+                Payload::new(self.encode_termination(&Termination::error("bad invocation")));
             self.dedup_done(&env, ReplyStatus::Rejected, &payload);
             self.send_reply(ctx, &env, ReplyStatus::Rejected, payload, src);
             return;
@@ -513,7 +517,7 @@ impl NucleusProcess {
                 _ => Termination::error("object has no behaviour"),
             }
         };
-        let payload = self.encode_termination(&termination);
+        let payload = Payload::new(self.encode_termination(&termination));
         self.dedup_done(&env, ReplyStatus::Ok, &payload);
         self.send_reply(ctx, &env, ReplyStatus::Ok, payload, src);
     }
@@ -552,7 +556,7 @@ impl NucleusProcess {
             self.queue.len()
         ))
         .emit();
-        let payload = self.encode_termination(&Termination::error(reason));
+        let payload = Payload::new(self.encode_termination(&Termination::error(reason)));
         self.dedup_done(env, ReplyStatus::Rejected, &payload);
         self.send_reply(ctx, env, ReplyStatus::Rejected, payload, reply_to);
     }
@@ -622,7 +626,9 @@ impl NucleusProcess {
                         self.stats.rejected += 1;
                         ctx.note(format!("replay foiled (seq {seq})"));
                         if env.kind == EnvelopeKind::Request {
-                            let payload = self.encode_termination(&Termination::error("replay"));
+                            let payload = Payload::new(
+                                self.encode_termination(&Termination::error("replay")),
+                            );
                             self.send_reply(ctx, &env, ReplyStatus::Rejected, payload, src);
                         }
                         return;
@@ -708,7 +714,7 @@ impl NucleusProcess {
 
 impl Process for NucleusProcess {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        match Envelope::from_bytes(&msg.payload) {
+        match Envelope::from_payload(&msg.payload) {
             Ok(env) => self.handle_envelope(ctx, msg.src, env),
             Err(e) => {
                 self.stats.rejected += 1;
@@ -736,7 +742,7 @@ pub struct DriverProcess {
 
 impl Process for DriverProcess {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
-        if let Ok(env) = Envelope::from_bytes(&msg.payload) {
+        if let Ok(env) = Envelope::from_payload(&msg.payload) {
             if env.kind == EnvelopeKind::Reply {
                 // First reply wins; duplicates from retransmission are
                 // dropped here.

@@ -1,0 +1,32 @@
+//! `rmodp-kernel` — the deterministic scheduling kernel.
+//!
+//! RM-ODP's engineering language places a single *nucleus* under every
+//! node: the component that owns scheduling, timing, and communication
+//! for everything above it. This crate is that nucleus for the whole
+//! workspace:
+//!
+//! * [`time`] — exact microsecond virtual time ([`SimTime`],
+//!   [`SimDuration`]);
+//! * [`queue`] — the one totally ordered event queue, keyed by
+//!   `(SimTime, seq)` with a stable FIFO tie-break, whose clock feeds
+//!   the observe bus;
+//! * [`rng`] — seeded randomness handles ([`KernelRng`]);
+//! * [`actor`] — the [`World`]/[`Actor`]/[`Kernel`] traits that let the
+//!   network simulator, workload loops, and fault injectors share one
+//!   schedule instead of each advancing time on their own;
+//! * [`payload`] — shared immutable byte buffers ([`Payload`]) that make
+//!   the invocation hot path allocation-light (clone = share, slice =
+//!   view, and deep copies are metered so benchmarks can assert there
+//!   are none).
+
+pub mod actor;
+pub mod payload;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use actor::{Actor, Kernel, World};
+pub use payload::{Payload, PAYLOAD_ALLOCS, PAYLOAD_COPIES};
+pub use queue::EventQueue;
+pub use rng::KernelRng;
+pub use time::{SimDuration, SimTime};

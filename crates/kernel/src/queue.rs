@@ -1,0 +1,162 @@
+//! The kernel's event queue: one totally ordered virtual-time schedule.
+//!
+//! Every virtual-time advance in the workspace funnels through this
+//! queue. Entries are keyed by `(SimTime, seq)` where `seq` is a dense
+//! submission counter, so ordering is total and equal-timestamp entries
+//! fire in submission order — the stable FIFO tie-break that makes whole
+//! simulations replay byte-identically from a seed.
+//!
+//! Popping an entry advances the queue's clock and publishes it to the
+//! observe bus ([`bus::set_time_us`]), so traces from every layer are
+//! stamped from this single clock by construction.
+
+use std::collections::BinaryHeap;
+
+use rmodp_observe::bus;
+
+use crate::time::SimTime;
+
+/// One queued entry: `item` fires at `at`; `seq` breaks ties FIFO.
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    item: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so the BinaryHeap pops the earliest entry; ties broken
+        // by submission order for determinism.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic event queue over virtual time.
+///
+/// The queue owns the clock: [`EventQueue::pop`] advances it to the
+/// popped entry's timestamp and [`EventQueue::advance_to`] idles it
+/// forward when nothing is due. Both publish the new time to the observe
+/// bus, so everything recorded anywhere in the process is stamped with
+/// this clock.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Entry<E>>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at the epoch.
+    pub fn new() -> Self {
+        Self {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `item` to fire at absolute time `at`; returns the dense
+    /// submission sequence number used for the FIFO tie-break.
+    pub fn schedule(&mut self, at: SimTime, item: E) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, item });
+        seq
+    }
+
+    /// The timestamp of the next entry, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest entry, advancing the clock to its timestamp and
+    /// publishing the new time to the observe bus.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "time went backwards");
+        self.now = entry.at;
+        bus::set_time_us(self.now.as_micros());
+        Some((entry.at, entry.item))
+    }
+
+    /// Idles the clock forward to `at` (never backward) without firing
+    /// anything, publishing the new time to the observe bus. Callers are
+    /// expected to have drained every entry due at or before `at` first.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if self.now < at {
+            self.now = at;
+            bus::set_time_us(self.now.as_micros());
+        }
+    }
+
+    /// Number of queued entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order_with_fifo_ties() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(5), "b");
+        q.schedule(SimTime::from_micros(1), "a");
+        q.schedule(SimTime::from_micros(5), "c");
+        assert_eq!(q.pop(), Some((SimTime::from_micros(1), "a")));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_advances_the_shared_clock() {
+        bus::reset();
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(42), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(42));
+        assert_eq!(bus::now_us(), 42);
+    }
+
+    #[test]
+    fn advance_to_never_moves_backward() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_micros(10));
+        q.advance_to(SimTime::from_micros(3));
+        assert_eq!(q.now(), SimTime::from_micros(10));
+    }
+}

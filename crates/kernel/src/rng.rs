@@ -1,0 +1,67 @@
+//! Seeded randomness handles.
+//!
+//! Every stochastic decision in the workspace draws from a [`KernelRng`]
+//! seeded from the run's seed (possibly salted so independent concerns
+//! get independent streams without consuming each other's draws). The
+//! wrapper derefs to the underlying [`StdRng`], so existing `Rng` call
+//! sites keep their exact draw order — and therefore their bit-identical
+//! streams — across the kernel refactor.
+
+use std::ops::{Deref, DerefMut};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic RNG handle owned by the kernel.
+#[derive(Debug, Clone)]
+pub struct KernelRng(StdRng);
+
+impl KernelRng {
+    /// A stream seeded directly from `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        KernelRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// An independent stream derived from `seed` by XOR-ing a salt, so
+    /// two concerns sharing one run seed never consume each other's
+    /// draws.
+    pub fn salted(seed: u64, salt: u64) -> Self {
+        KernelRng(StdRng::seed_from_u64(seed ^ salt))
+    }
+}
+
+impl Deref for KernelRng {
+    type Target = StdRng;
+
+    fn deref(&self) -> &StdRng {
+        &self.0
+    }
+}
+
+impl DerefMut for KernelRng {
+    fn deref_mut(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_matches_raw_stdrng() {
+        let mut a = KernelRng::seeded(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn salted_matches_xored_seed() {
+        let mut a = KernelRng::salted(7, 0xdead_beef);
+        let mut b = StdRng::seed_from_u64(7 ^ 0xdead_beef);
+        assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+    }
+}

@@ -9,7 +9,8 @@
 //!
 //! The model is a classic actor-style DES:
 //!
-//! - a [`sim::Sim`] owns a virtual clock and an event queue;
+//! - a [`sim::Sim`] drives the kernel's event queue and virtual clock
+//!   (see `rmodp-kernel`); payloads are shared [`Payload`] bytes;
 //! - [`sim::Process`]es are attached at [`sim::Addr`]esses
 //!   (node + port);
 //! - processes react to messages and timers via a [`sim::Ctx`] that
@@ -49,6 +50,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use rmodp_kernel::payload::Payload;
 pub use sim::{Addr, Ctx, Message, NodeIdx, Process, Sim};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkConfig, Topology};

@@ -1,12 +1,15 @@
 //! The discrete-event simulation engine.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use rmodp_kernel::payload::Payload;
+use rmodp_kernel::queue::EventQueue;
+use rmodp_kernel::rng::KernelRng;
+use rmodp_kernel::World;
 use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::time::{SimDuration, SimTime};
@@ -54,14 +57,18 @@ impl fmt::Display for Addr {
 }
 
 /// A message in flight.
+///
+/// The payload is a shared [`Payload`]: forwarding, echoing, or fanning
+/// a message out shares one immutable buffer instead of deep-cloning
+/// bytes per hop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
     /// Sender address.
     pub src: Addr,
     /// Destination address.
     pub dst: Addr,
-    /// Opaque payload.
-    pub payload: Vec<u8>,
+    /// Opaque payload (shared bytes).
+    pub payload: Payload,
     /// When the sender handed it to the network.
     pub sent_at: SimTime,
 }
@@ -126,8 +133,11 @@ impl<'a> Ctx<'a> {
     }
 
     /// Sends a message from this process.
-    pub fn send(&mut self, dst: Addr, payload: Vec<u8>) {
-        self.out.push(Command::Send { dst, payload });
+    pub fn send(&mut self, dst: Addr, payload: impl Into<Payload>) {
+        self.out.push(Command::Send {
+            dst,
+            payload: payload.into(),
+        });
     }
 
     /// Schedules a timer to fire after `delay` with the given tag.
@@ -171,7 +181,7 @@ impl<'a> Ctx<'a> {
 
 #[derive(Debug)]
 enum Command {
-    Send { dst: Addr, payload: Vec<u8> },
+    Send { dst: Addr, payload: Payload },
     SetTimer { at: SimTime, tag: u64, id: TimerId },
     CancelTimer(TimerId),
     Note(String),
@@ -183,43 +193,17 @@ enum Pending {
     Timer { addr: Addr, tag: u64, id: TimerId },
 }
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    pending: Pending,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed so the BinaryHeap pops the earliest event; ties broken by
-        // scheduling order for determinism.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
 /// The simulation engine. See the [crate docs](crate) for an example.
+///
+/// Scheduling is delegated to the kernel's [`EventQueue`]: one totally
+/// ordered `(time, seq)` schedule whose clock feeds the observe bus, so
+/// this crate no longer carries its own heap or clock.
 pub struct Sim {
-    now: SimTime,
-    seq: u64,
+    queue: EventQueue<Pending>,
     next_timer: u64,
-    queue: BinaryHeap<Scheduled>,
     procs: BTreeMap<Addr, Box<dyn AnyProcess>>,
     topology: Topology,
-    rng: StdRng,
+    rng: KernelRng,
     nodes: u32,
     cancelled: BTreeSet<TimerId>,
     metrics: Metrics,
@@ -230,7 +214,7 @@ pub struct Sim {
 impl fmt::Debug for Sim {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Sim")
-            .field("now", &self.now)
+            .field("now", &self.queue.now())
             .field("nodes", &self.nodes)
             .field("procs", &self.procs.len())
             .field("queued", &self.queue.len())
@@ -253,13 +237,11 @@ impl Sim {
     pub fn with_topology(seed: u64, topology: Topology) -> Self {
         bus::reset();
         Self {
-            now: SimTime::ZERO,
-            seq: 0,
             next_timer: 0,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             procs: BTreeMap::new(),
             topology,
-            rng: StdRng::seed_from_u64(seed),
+            rng: KernelRng::seeded(seed),
             nodes: 0,
             cancelled: BTreeSet::new(),
             metrics: Metrics::default(),
@@ -308,7 +290,7 @@ impl Sim {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.queue.now()
     }
 
     /// The topology (for configuring links, partitions and crashes).
@@ -339,29 +321,27 @@ impl Sim {
     /// Injects a message into the network as if sent by `src` now.
     ///
     /// Drivers typically use [`Addr::EXTERNAL`] as the source.
-    pub fn send_from(&mut self, src: Addr, dst: Addr, payload: Vec<u8>) {
-        self.do_send(src, dst, payload);
+    pub fn send_from(&mut self, src: Addr, dst: Addr, payload: impl Into<Payload>) {
+        self.do_send(src, dst, payload.into());
     }
 
     /// Schedules a timer for an address from outside the simulation.
     pub fn schedule_timer(&mut self, addr: Addr, delay: SimDuration, tag: u64) -> TimerId {
         let id = TimerId(self.next_timer);
         self.next_timer += 1;
-        let at = self.now + delay;
-        self.push(at, Pending::Timer { addr, tag, id });
+        let at = self.now() + delay;
+        self.queue.schedule(at, Pending::Timer { addr, tag, id });
         id
     }
 
     /// Executes the next event, if any. Returns `false` when the queue is
-    /// empty.
+    /// empty. Popping advances the kernel clock (and the observe bus's
+    /// time) to the event's timestamp.
     pub fn step(&mut self) -> bool {
-        let Some(scheduled) = self.queue.pop() else {
+        let Some((_, pending)) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(scheduled.at >= self.now, "time went backwards");
-        self.now = scheduled.at;
-        bus::set_time_us(self.now.as_micros());
-        match scheduled.pending {
+        match pending {
             Pending::Deliver { msg, span } => self.deliver(msg, span),
             Pending::Timer { addr, tag, id } => self.fire_timer(addr, tag, id),
         }
@@ -387,35 +367,26 @@ impl Sim {
     /// queued); the clock is advanced to the deadline.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut steps = 0u64;
-        while let Some(next) = self.queue.peek() {
-            if next.at > deadline {
+        while let Some(next) = self.queue.peek_time() {
+            if next > deadline {
                 break;
             }
             self.step();
             steps += 1;
         }
-        if self.now < deadline {
-            self.now = deadline;
-            bus::set_time_us(self.now.as_micros());
-        }
+        self.queue.advance_to(deadline);
         steps
     }
 
     /// Runs for a span of virtual time.
     pub fn run_for(&mut self, d: SimDuration) -> u64 {
-        self.run_until(self.now + d)
-    }
-
-    fn push(&mut self, at: SimTime, pending: Pending) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { at, seq, pending });
+        self.run_until(self.now() + d)
     }
 
     fn record(&mut self, kind: TraceKind, addr: Addr, detail: impl Into<String>) {
         if self.tracing {
             self.trace.push(TraceEntry {
-                at: self.now,
+                at: self.queue.now(),
                 kind,
                 addr,
                 detail: detail.into(),
@@ -443,8 +414,8 @@ impl Sim {
         bus::counter_add("netsim.dropped", 1);
     }
 
-    fn do_send(&mut self, src: Addr, dst: Addr, payload: Vec<u8>) {
-        bus::set_time_us(self.now.as_micros());
+    fn do_send(&mut self, src: Addr, dst: Addr, payload: Payload) {
+        bus::set_time_us(self.now().as_micros());
         self.metrics.sent += 1;
         // One causal span per message: allocated at the send, carried to
         // the delivery (or drop), parented on whatever activity —
@@ -489,13 +460,15 @@ impl Sim {
             };
             link.latency + extra
         };
+        let now = self.now();
         let msg = Message {
             src,
             dst,
             payload,
-            sent_at: self.now,
+            sent_at: now,
         };
-        self.push(self.now + latency, Pending::Deliver { msg, span });
+        self.queue
+            .schedule(now + latency, Pending::Deliver { msg, span });
     }
 
     fn deliver(&mut self, msg: Message, span: u64) {
@@ -534,10 +507,12 @@ impl Sim {
         bus::counter_add("netsim.delivered", 1);
         bus::observe(
             "netsim.delivery_us",
-            self.now.as_micros().saturating_sub(msg.sent_at.as_micros()),
+            self.now()
+                .as_micros()
+                .saturating_sub(msg.sent_at.as_micros()),
         );
         let mut ctx = Ctx {
-            now: self.now,
+            now: self.now(),
             self_addr: dst,
             rng: &mut self.rng,
             next_timer: &mut self.next_timer,
@@ -576,7 +551,7 @@ impl Sim {
             .emit();
         bus::counter_add("netsim.timers_fired", 1);
         let mut ctx = Ctx {
-            now: self.now,
+            now: self.now(),
             self_addr: addr,
             rng: &mut self.rng,
             next_timer: &mut self.next_timer,
@@ -592,14 +567,16 @@ impl Sim {
         for cmd in commands {
             match cmd {
                 Command::Send { dst, payload } => self.do_send(from, dst, payload),
-                Command::SetTimer { at, tag, id } => self.push(
-                    at,
-                    Pending::Timer {
-                        addr: from,
-                        tag,
-                        id,
-                    },
-                ),
+                Command::SetTimer { at, tag, id } => {
+                    self.queue.schedule(
+                        at,
+                        Pending::Timer {
+                            addr: from,
+                            tag,
+                            id,
+                        },
+                    );
+                }
                 Command::CancelTimer(id) => {
                     self.cancelled.insert(id);
                 }
@@ -614,6 +591,26 @@ impl Sim {
     }
 }
 
+/// The simulator is a kernel [`World`]: its queue is the one schedule
+/// actors (workload loops, fault injectors) interleave with.
+impl World for Sim {
+    fn now(&self) -> SimTime {
+        Sim::now(self)
+    }
+
+    fn advance_to(&mut self, at: SimTime) {
+        self.run_until(at);
+    }
+
+    fn run_until_idle(&mut self) {
+        Sim::run_until_idle(self);
+    }
+
+    fn step(&mut self) -> bool {
+        Sim::step(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -622,7 +619,7 @@ mod tests {
     /// Records everything it receives; replies when `echo` is set.
     struct Recorder {
         echo: bool,
-        received: Vec<Vec<u8>>,
+        received: Vec<Payload>,
         timer_tags: Vec<u64>,
     }
 

@@ -17,6 +17,7 @@ use rmodp_core::value::Value;
 use rmodp_engineering::channel::ChannelConfig;
 use rmodp_engineering::engine::{CallError, Engine};
 use rmodp_functions::group::{GroupError, ReplicationPolicy};
+use rmodp_kernel::payload::Payload;
 use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::proxy::OdpInfra;
@@ -94,6 +95,21 @@ impl ReplicatedService {
         self.group
     }
 
+    fn channel_for(
+        &mut self,
+        engine: &mut Engine,
+        replica: InterfaceId,
+    ) -> Result<ChannelId, CallError> {
+        match self.channels.get(&replica) {
+            Some(ch) => Ok(*ch),
+            None => {
+                let ch = engine.open_channel(self.client, replica, ChannelConfig::default())?;
+                self.channels.insert(replica, ch);
+                Ok(ch)
+            }
+        }
+    }
+
     fn call_replica(
         &mut self,
         engine: &mut Engine,
@@ -101,15 +117,23 @@ impl ReplicatedService {
         op: &str,
         args: &Value,
     ) -> Result<Termination, CallError> {
-        let ch = match self.channels.get(&replica) {
-            Some(ch) => *ch,
-            None => {
-                let ch = engine.open_channel(self.client, replica, ChannelConfig::default())?;
-                self.channels.insert(replica, ch);
-                ch
-            }
-        };
+        let ch = self.channel_for(engine, replica)?;
         engine.call(ch, op, args)
+    }
+
+    /// Dispatches an already-marshalled invocation to one replica. The
+    /// prepared [`Payload`] is shared (`Arc` clone) across the fan-out,
+    /// so the arguments are encoded once per update, not once per
+    /// replica.
+    fn call_replica_prepared(
+        &mut self,
+        engine: &mut Engine,
+        replica: InterfaceId,
+        op: &str,
+        prepared: &Payload,
+    ) -> Result<Termination, CallError> {
+        let ch = self.channel_for(engine, replica)?;
+        engine.call_prepared(ch, op, prepared)
     }
 
     /// Applies an update to the group per its policy. Under
@@ -155,10 +179,19 @@ impl ReplicatedService {
             ))
             .emit();
         bus::counter_add("transparency.replica_updates", 1);
+        // Marshal the invocation once; every replica shares the same
+        // encoded arguments (all channels originate at `self.client`, so
+        // the per-replica encodings would be byte-identical anyway).
+        let prepared = engine
+            .prepare_invocation(self.client, op, args)
+            .map_err(|e| ReplicationError::UpdateFailed {
+                replica: order[0],
+                error: e.to_string(),
+            })?;
         bus::push_context(span);
         let mut first: Option<Termination> = None;
         for replica in order {
-            match self.call_replica(engine, replica, op, args) {
+            match self.call_replica_prepared(engine, replica, op, &prepared) {
                 Ok(t) => {
                     event(Layer::Transparency, EventKind::ReplicaVote)
                         .span(span)

@@ -22,7 +22,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rmodp_core::id::ChannelId;
 use rmodp_engineering::engine::{CallError, Engine};
-use rmodp_netsim::time::SimTime;
+use rmodp_kernel::{Actor, Kernel};
+use rmodp_netsim::time::{SimDuration, SimTime};
 use rmodp_observe::bus;
 use rmodp_observe::metrics::Histogram;
 
@@ -67,48 +68,23 @@ struct InFlight {
     client: Option<usize>,
 }
 
-/// Paces the driver's advancement of virtual time, so an external
-/// schedule — most importantly `rmodp-chaos`'s fault injector — can
-/// interleave its own actions with load generation in one reproducible
-/// virtual-time script. The default pacer, [`RunToTime`], simply runs
-/// the simulator.
-pub trait Pacer {
-    /// Advances the simulation to `at`, applying any external actions
-    /// due on the way.
-    fn advance_to(&mut self, engine: &mut Engine, at: SimTime);
-
-    /// Drains the simulation at the end of a run. The default runs the
-    /// simulator until idle.
-    fn finish(&mut self, engine: &mut Engine) {
-        engine.run_until_idle();
-    }
-}
-
-/// The default pacer: plain [`rmodp_netsim::sim::Sim::run_until`].
-#[derive(Debug, Default)]
-pub struct RunToTime;
-
-impl Pacer for RunToTime {
-    fn advance_to(&mut self, engine: &mut Engine, at: SimTime) {
-        engine.sim_mut().run_until(at);
-    }
-}
-
 /// Executes a scenario over an already-open channel and returns the raw
 /// statistics. The channel's client node is the population's home; the
 /// target interface is whatever the channel was opened to.
 pub fn execute(engine: &mut Engine, channel: ChannelId, scenario: &Scenario) -> RunStats {
-    execute_paced(engine, channel, scenario, &mut RunToTime)
+    execute_with(engine, channel, scenario, &mut [])
 }
 
-/// Executes a scenario like [`execute`], but advances virtual time
-/// through the given [`Pacer`] so external schedules (fault plans)
-/// interleave deterministically with the load.
-pub fn execute_paced(
+/// Executes a scenario like [`execute`], with extra [`Actor`]s — most
+/// importantly `rmodp-chaos`'s fault injector — registered *ahead of*
+/// the load generator on the same kernel, so their due instants
+/// interleave with load generation in one totally ordered virtual-time
+/// schedule (equal instants fire the extras first).
+pub fn execute_with(
     engine: &mut Engine,
     channel: ChannelId,
     scenario: &Scenario,
-    pacer: &mut dyn Pacer,
+    extras: &mut [&mut dyn Actor<Engine>],
 ) -> RunStats {
     assert!(
         !scenario.mix.is_empty(),
@@ -122,13 +98,13 @@ pub fn execute_paced(
     };
     match scenario.load.clone() {
         LoadModel::Open { arrivals } => {
-            open_loop(engine, channel, scenario, arrivals, &mut stats, pacer)
+            open_loop(engine, channel, scenario, arrivals, &mut stats, extras)
         }
         LoadModel::Closed {
             population,
             think_time,
         } => closed_loop(
-            engine, channel, scenario, population, think_time, &mut stats, pacer,
+            engine, channel, scenario, population, think_time, &mut stats, extras,
         ),
     }
     stats.finished = engine.sim().now();
@@ -224,86 +200,143 @@ impl<'a> Driver<'a> {
     }
 }
 
+/// The open-loop load generator as a kernel actor: one due instant per
+/// scheduled arrival; each tick harvests replies and sends one request.
+struct OpenLoopActor<'a> {
+    driver: Driver<'a>,
+    arrivals: Vec<SimTime>,
+    next: usize,
+}
+
+impl Actor<Engine> for OpenLoopActor<'_> {
+    fn next_due(&self, _world: &Engine) -> Option<SimTime> {
+        self.arrivals.get(self.next).copied()
+    }
+
+    fn tick(&mut self, world: &mut Engine, at: SimTime) {
+        self.next += 1;
+        self.driver.drain(world);
+        self.driver.send_one(world, at, None);
+    }
+}
+
 fn open_loop(
     engine: &mut Engine,
     channel: ChannelId,
     scenario: &Scenario,
     arrivals: crate::arrival::ArrivalProcess,
     stats: &mut RunStats,
-    pacer: &mut dyn Pacer,
+    extras: &mut [&mut dyn Actor<Engine>],
 ) {
     let t0 = engine.sim().now();
-    let mut driver = Driver::new(scenario, channel, t0, stats);
-    let offsets: Vec<_> = arrivals
+    let arrivals: Vec<SimTime> = arrivals
         .stream(scenario.seed)
         .take_while(|&o| o < scenario.duration)
+        .map(|o| t0 + o)
         .collect();
-    for off in offsets {
-        let at = t0 + off;
-        pacer.advance_to(engine, at);
-        driver.drain(engine);
-        driver.send_one(engine, at, None);
+    let mut actor = OpenLoopActor {
+        driver: Driver::new(scenario, channel, t0, stats),
+        arrivals,
+        next: 0,
+    };
+    {
+        let mut kernel = Kernel::new();
+        for extra in extras.iter_mut() {
+            kernel.register(&mut **extra);
+        }
+        kernel.register(&mut actor);
+        kernel.run(engine);
     }
-    pacer.finish(engine);
-    driver.drain(engine);
-    driver.stats.lost = driver.inflight.len() as u64;
+    engine.run_until_idle();
+    actor.driver.drain(engine);
+    actor.driver.stats.lost = actor.driver.inflight.len() as u64;
 }
 
-#[allow(clippy::too_many_arguments)] // internal; mirrors open_loop's shape
+/// The closed-loop population as a kernel actor: a client becomes due
+/// `think_time` after its previous reply; each tick harvests replies and
+/// sends for every due client. While all clients are blocked on
+/// in-flight requests the actor reports [`Actor::pending`], letting the
+/// kernel single-step the simulation and poll for completions.
+struct ClosedLoopActor<'a> {
+    driver: Driver<'a>,
+    /// Each client's next send target; `None` while a request is
+    /// outstanding.
+    due: Vec<Option<SimTime>>,
+    end: SimTime,
+    think_time: SimDuration,
+}
+
+impl ClosedLoopActor<'_> {
+    /// Harvests arrived replies and schedules the freed clients' next
+    /// sends.
+    fn harvest(&mut self, world: &mut Engine) {
+        for (c, arrived) in self.driver.drain(world) {
+            self.due[c] = Some(arrived + self.think_time);
+        }
+    }
+}
+
+impl Actor<Engine> for ClosedLoopActor<'_> {
+    fn next_due(&self, _world: &Engine) -> Option<SimTime> {
+        self.due
+            .iter()
+            .flatten()
+            .copied()
+            .filter(|&d| d < self.end)
+            .min()
+    }
+
+    fn tick(&mut self, world: &mut Engine, _at: SimTime) {
+        self.harvest(world);
+        let now = world.now();
+        for c in 0..self.due.len() {
+            if let Some(d) = self.due[c] {
+                if d <= now && d < self.end {
+                    self.due[c] = None;
+                    self.driver.send_one(world, now, Some(c));
+                }
+            }
+        }
+    }
+
+    fn pending(&self, _world: &Engine) -> bool {
+        !self.driver.inflight.is_empty()
+    }
+
+    fn poll(&mut self, world: &mut Engine) {
+        self.harvest(world);
+    }
+}
+
 fn closed_loop(
     engine: &mut Engine,
     channel: ChannelId,
     scenario: &Scenario,
     population: usize,
-    think_time: rmodp_netsim::time::SimDuration,
+    think_time: SimDuration,
     stats: &mut RunStats,
-    pacer: &mut dyn Pacer,
+    extras: &mut [&mut dyn Actor<Engine>],
 ) {
     assert!(population > 0, "closed loop needs at least one client");
     let t0 = engine.sim().now();
-    let end = t0 + scenario.duration;
-    let mut driver = Driver::new(scenario, channel, t0, stats);
-    // Each client's next send target; None while a request is
-    // outstanding.
-    let mut due: Vec<Option<SimTime>> = vec![Some(t0); population];
-    loop {
-        for (c, arrived) in driver.drain(engine) {
-            due[c] = Some(arrived + think_time);
+    let mut actor = ClosedLoopActor {
+        driver: Driver::new(scenario, channel, t0, stats),
+        due: vec![Some(t0); population],
+        end: t0 + scenario.duration,
+        think_time,
+    };
+    {
+        let mut kernel = Kernel::new();
+        for extra in extras.iter_mut() {
+            kernel.register(&mut **extra);
         }
-        let now = engine.sim().now();
-        let mut sent_any = false;
-        for (c, slot) in due.iter_mut().enumerate() {
-            if let Some(d) = *slot {
-                if d <= now && d < end {
-                    *slot = None;
-                    driver.send_one(engine, now, Some(c));
-                    sent_any = true;
-                }
-            }
-        }
-        if sent_any {
-            continue;
-        }
-        // Nothing to send right now: advance virtual time to the next
-        // client's due instant, or event-by-event while replies are
-        // pending.
-        let next_due = due.iter().flatten().copied().filter(|&d| d < end).min();
-        match next_due {
-            Some(t) if t > now => {
-                pacer.advance_to(engine, t);
-            }
-            Some(_) => unreachable!("due clients are sent above"),
-            None => {
-                if driver.inflight.is_empty() {
-                    break;
-                }
-                if !engine.sim_mut().step() {
-                    break;
-                }
-            }
-        }
+        kernel.register(&mut actor);
+        // No trailing `run_until_idle`: a closed run ends when every
+        // client is past `end` and the in-flight tail has drained, and
+        // `finished` must record that instant, not a later idle point.
+        kernel.run(engine);
     }
-    driver.stats.lost = driver.inflight.len() as u64;
+    actor.driver.stats.lost = actor.driver.inflight.len() as u64;
 }
 
 #[cfg(test)]
