@@ -1,0 +1,46 @@
+//! Trading-at-scale benchmark: indexed matching vs the naive scan over
+//! a million-offer repository, emitting `BENCH_trader.json` (schema
+//! `rmodp-bench-trader/1`, documented in `EXPERIMENTS.md` §E11). The
+//! suite itself lives in [`rmodp_bench::trader_suite`] so the
+//! determinism test can run it in-process.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rmodp-bench --bin trader_bench -- \
+//!     [output-path] [--offers N] [--imports N] [--seed N]
+//! ```
+//!
+//! The default output path is `target/BENCH_trader.json`, the default
+//! corpus 1,000,000 offers. Every figure in the file derives from
+//! virtual time and the trader's own counters — wall-clock rates go to
+//! stdout only — so the file is byte-identical across runs: CI runs the
+//! binary twice at a reduced offer count and compares.
+
+use rmodp_bench::trader_suite::{run_suite, TraderBenchConfig};
+
+fn main() {
+    let mut out_path = "target/BENCH_trader.json".to_owned();
+    let mut cfg = TraderBenchConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut numeric = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
+        };
+        match arg.as_str() {
+            "--offers" => cfg.offers = numeric("--offers") as usize,
+            "--imports" => cfg.imports = numeric("--imports") as usize,
+            "--seed" => cfg.seed = numeric("--seed"),
+            path => out_path = path.to_owned(),
+        }
+    }
+
+    let json = run_suite(cfg);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("wrote {out_path}");
+}

@@ -9,6 +9,7 @@
 
 pub mod chaos_suite;
 pub mod mechanisms;
+pub mod trader_suite;
 pub mod workload_suite;
 
 use rmodp_computational::signature::{OperationalSignature, TerminationSignature};

@@ -1,0 +1,237 @@
+//! Static analysis of expressions for query planning.
+//!
+//! The trader (§8.3.2) compiles importer constraints into index-backed
+//! query plans. The planner needs two syntactic facts about a
+//! constraint, both provided here:
+//!
+//! - its **conjuncts**: the operands of the top-level `and` tree
+//!   ([`Expr::conjuncts`]). An offer matches the whole constraint only
+//!   if every conjunct evaluates to `true` on it (a conjunct that
+//!   evaluates to `false` or to an error makes the whole constraint
+//!   false-or-error — either way, no match), so any single conjunct is
+//!   a sound pre-filter;
+//! - which conjuncts are **sargable atoms**: comparisons of one
+//!   property path against one scalar literal
+//!   ([`Expr::index_atoms`]), the shapes a secondary index can serve.
+//!
+//! The analysis is purely syntactic and err on the side of returning
+//! *fewer* atoms: anything it cannot classify simply stays in the
+//! residual predicate and is evaluated per candidate, so planning can
+//! never change a query's meaning.
+
+use super::{BinOp, Expr};
+use crate::value::Value;
+
+/// One index-servable comparison: `path op rhs`, normalised so the
+/// variable path is always on the left (`10 <= ppm` becomes
+/// `ppm >= 10`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// The (dotted) property path being constrained.
+    pub path: Vec<String>,
+    /// The comparison operator, variable on the left.
+    pub op: BinOp,
+    /// The scalar literal on the right.
+    pub rhs: Value,
+}
+
+/// A sargable atom extracted from one conjunct.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    /// `path op literal` for `==`, `<`, `<=`, `>`, `>=`.
+    Cmp(Comparison),
+    /// `path in [lit, lit, …]`: a disjunction of point lookups.
+    InSet {
+        /// The constrained property path.
+        path: Vec<String>,
+        /// The literal members, in source order.
+        values: Vec<Value>,
+    },
+}
+
+impl Atom {
+    /// The property path the atom constrains.
+    pub fn path(&self) -> &[String] {
+        match self {
+            Atom::Cmp(c) => &c.path,
+            Atom::InSet { path, .. } => path,
+        }
+    }
+}
+
+/// Whether a literal is an indexable scalar (bool, int, float, text).
+fn scalar(v: &Value) -> bool {
+    matches!(
+        v,
+        Value::Bool(_) | Value::Int(_) | Value::Float(_) | Value::Text(_)
+    )
+}
+
+/// Mirrors an operator across `==` / inequalities when the literal was
+/// written on the left: `lit < path` means `path > lit`.
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+fn as_atom(e: &Expr) -> Option<Atom> {
+    let Expr::Binary(op, lhs, rhs) = e else {
+        return None;
+    };
+    match op {
+        BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let (path, op, lit) = match (lhs.as_ref(), rhs.as_ref()) {
+                (Expr::Var(path), Expr::Lit(lit)) => (path, *op, lit),
+                (Expr::Lit(lit), Expr::Var(path)) => (path, flip(*op), lit),
+                _ => return None,
+            };
+            if !scalar(lit) {
+                return None;
+            }
+            Some(Atom::Cmp(Comparison {
+                path: path.clone(),
+                op,
+                rhs: lit.clone(),
+            }))
+        }
+        BinOp::In => {
+            let (Expr::Var(path), Expr::SeqLit(items)) = (lhs.as_ref(), rhs.as_ref()) else {
+                return None;
+            };
+            let mut values = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Expr::Lit(v) if scalar(v) => values.push(v.clone()),
+                    _ => return None,
+                }
+            }
+            Some(Atom::InSet {
+                path: path.clone(),
+                values,
+            })
+        }
+        _ => None,
+    }
+}
+
+impl Expr {
+    /// The operands of the top-level `and` tree, left to right. An
+    /// expression that is not a conjunction is its own single conjunct.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::Binary(BinOp::And, a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// The sargable atoms among this expression's conjuncts: conjuncts
+    /// of the shape `path op scalar-literal` (either side) or
+    /// `path in [literals]`. Everything else is planner-opaque and
+    /// must be handled by residual evaluation.
+    pub fn index_atoms(&self) -> Vec<Atom> {
+        self.conjuncts().into_iter().filter_map(as_atom).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Expr {
+        Expr::parse(src).unwrap()
+    }
+
+    #[test]
+    fn conjuncts_flatten_the_and_tree() {
+        let e = parse("a > 1 and (b == 2 and c < 3) and d");
+        let texts: Vec<String> = e.conjuncts().iter().map(|c| c.to_string()).collect();
+        assert_eq!(texts, vec!["(a > 1)", "(b == 2)", "(c < 3)", "d"]);
+        // A disjunction is one opaque conjunct.
+        assert_eq!(parse("a > 1 or b > 2").conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn atoms_extract_simple_comparisons() {
+        let e = parse("ppm >= 40 and region == \"bne\" and colour == true");
+        let atoms = e.index_atoms();
+        assert_eq!(atoms.len(), 3);
+        assert_eq!(
+            atoms[0],
+            Atom::Cmp(Comparison {
+                path: vec!["ppm".into()],
+                op: BinOp::Ge,
+                rhs: Value::Int(40),
+            })
+        );
+        assert_eq!(atoms[1].path(), ["region".to_owned()]);
+    }
+
+    #[test]
+    fn flipped_literals_normalise() {
+        let atoms = parse("10 <= ppm").index_atoms();
+        assert_eq!(
+            atoms,
+            vec![Atom::Cmp(Comparison {
+                path: vec!["ppm".into()],
+                op: BinOp::Ge,
+                rhs: Value::Int(10),
+            })]
+        );
+        // Symmetric equality keeps ==.
+        let atoms = parse("\"x\" == region").index_atoms();
+        assert!(matches!(&atoms[0], Atom::Cmp(c) if c.op == BinOp::Eq));
+    }
+
+    #[test]
+    fn in_sets_of_literals_are_atoms() {
+        let atoms = parse("floor in [1, 2, 3]").index_atoms();
+        assert_eq!(
+            atoms,
+            vec![Atom::InSet {
+                path: vec!["floor".into()],
+                values: vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+            }]
+        );
+        // Non-literal members disqualify the atom.
+        assert!(parse("floor in [1, x]").index_atoms().is_empty());
+    }
+
+    #[test]
+    fn opaque_shapes_yield_no_atoms() {
+        for src in [
+            "ppm + 1 >= 40",  // computed lhs
+            "ppm >= limit",   // variable rhs
+            "ppm != 40",      // != cannot drive an index
+            "a > 1 or b > 2", // disjunction
+            "exists(ppm)",    // builtin
+            "not (ppm < 40)", // negation is opaque
+            "tags == [1, 2]", // non-scalar literal (SeqLit rhs)
+            "starts_with(n, \"a\")",
+        ] {
+            assert!(parse(src).index_atoms().is_empty(), "{src}");
+        }
+        // Mixed: the sargable half still surfaces.
+        let atoms = parse("(a > 1 or b > 2) and ppm >= 40").index_atoms();
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(atoms[0].path(), ["ppm".to_owned()]);
+    }
+
+    #[test]
+    fn dotted_paths_survive_extraction() {
+        let atoms = parse("qos.latency_ms <= 20").index_atoms();
+        assert_eq!(atoms[0].path(), ["qos".to_owned(), "latency_ms".to_owned()]);
+    }
+}

@@ -27,6 +27,7 @@
 //! path    := ident ("." ident)*
 //! ```
 
+mod analyze;
 mod eval;
 mod infer;
 mod parser;
@@ -37,6 +38,7 @@ use std::fmt;
 
 use crate::value::Value;
 
+pub use analyze::{Atom, Comparison};
 pub use eval::{Env, EvalError};
 pub use infer::InferError;
 pub use parser::ParseError;

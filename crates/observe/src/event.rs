@@ -108,6 +108,9 @@ pub enum EventKind {
     TraderExport,
     /// An importer queried a trader.
     TraderLookup,
+    /// The trader compiled a constraint into an index-backed query plan
+    /// (detail carries the plan summary).
+    TraderPlan,
     /// A query was forwarded across a federation link.
     FederationHop,
     // ---- transactions ----
@@ -155,6 +158,7 @@ impl EventKind {
             EventKind::Persist => "persist",
             EventKind::TraderExport => "trader_export",
             EventKind::TraderLookup => "trader_lookup",
+            EventKind::TraderPlan => "trader_plan",
             EventKind::FederationHop => "federation_hop",
             EventKind::TxPrepare => "tx_prepare",
             EventKind::TxVote => "tx_vote",

@@ -1,0 +1,453 @@
+//! The constraint query planner.
+//!
+//! [`plan_import`] compiles an [`ImportRequest`] against an
+//! [`OfferStore`] into a [`QueryPlan`] — which access paths to use, in
+//! what order — and executes its candidate-producing half:
+//!
+//! 1. **Access paths.** The service-type index always provides one
+//!    path (the union of matching type buckets). Every sargable atom
+//!    of the constraint (see `rmodp_core::expr::Atom`) whose property
+//!    has a declared secondary index that can serve it provides
+//!    another.
+//! 2. **Selectivity-based choice.** Every path's candidate count is
+//!    known exactly (posting sizes are maintained by the store), so
+//!    the cheapest path drives; other paths join the intersection only
+//!    if they are within [`INTERSECT_FACTOR`]× of the driver — beyond
+//!    that, re-checking them per candidate (which the residual does
+//!    anyway) is cheaper than materialising them.
+//! 3. **Intersection.** Used paths are materialised as ascending
+//!    `OfferId` runs and merge-intersected, yielding candidates in
+//!    ascending id order — the same order the naive scan visits
+//!    offers, which is what keeps planned matching byte-identical.
+//! 4. **Residual filter** (performed by the caller, `Trader::import`):
+//!    the *full* original constraint is re-evaluated on every
+//!    candidate. Index lookups are deliberately over-approximate
+//!    (inclusive bounds at float boundaries, lossy `i64→f64` key
+//!    unification), so the residual is what makes the planner exactly
+//!    — not just approximately — equivalent to the scan.
+//!
+//! When no atom is servable (no constraint, no declared indexes, or
+//! only opaque conjuncts), the plan is a transparent **fallback**: the
+//! type-bucket union alone, which degenerates to the original full
+//! scan restricted to type-conformant offers.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::Bound;
+
+use rmodp_core::expr::{Atom, BinOp};
+use rmodp_core::id::OfferId;
+use rmodp_core::value::Value;
+use rmodp_typerepo::TypeRepository;
+
+use crate::store::{IndexKind, OfferStore, PropKey};
+use crate::trader::ImportRequest;
+
+/// A path whose candidate count exceeds the driver's by more than this
+/// factor is left to the residual filter instead of being intersected.
+const INTERSECT_FACTOR: usize = 8;
+
+/// One secondary-index access path considered by the planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexStep {
+    /// The indexed property.
+    pub property: String,
+    /// The physical index shape.
+    pub kind: IndexKind,
+    /// The atom served, rendered (`ppm >= 40`).
+    pub atom: String,
+    /// Exact candidate count of this path.
+    pub postings: usize,
+    /// Whether the path joined the intersection (`false`: served by
+    /// the residual filter instead).
+    pub used: bool,
+}
+
+/// The compiled plan for one import. Everything needed to explain the
+/// query: matched type buckets, considered index paths, whether the
+/// planner fell back to a type-bucket scan, and the candidate count
+/// the residual filter received.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// The requested service type.
+    pub service_type: String,
+    /// Matching type buckets `(type, offers)`, in name order.
+    pub types: Vec<(String, usize)>,
+    /// Total offers across matching buckets.
+    pub type_total: usize,
+    /// Index paths considered, in selectivity order.
+    pub steps: Vec<IndexStep>,
+    /// The residual predicate (the full constraint), rendered.
+    pub residual: Option<String>,
+    /// `true` when no secondary index pruned the search and the plan
+    /// degenerated to the type-bucket scan.
+    pub fallback: bool,
+    /// Candidates handed to the residual filter.
+    pub candidates: usize,
+    /// Live offers in the store when the plan ran.
+    pub store_len: usize,
+}
+
+impl QueryPlan {
+    /// A one-line summary for event details.
+    pub fn summary(&self) -> String {
+        let mode = if self.fallback {
+            "fallback-scan"
+        } else {
+            "indexed"
+        };
+        let used = self.steps.iter().filter(|s| s.used).count();
+        format!(
+            "{mode} type={} buckets={} index_paths={used}/{} candidates={}/{}",
+            self.service_type,
+            self.types.len(),
+            self.steps.len(),
+            self.candidates,
+            self.store_len,
+        )
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    /// The multi-line plan-explain rendering.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "plan: import {} ({} offers live)",
+            self.service_type, self.store_len
+        )?;
+        let buckets: Vec<String> = self
+            .types
+            .iter()
+            .map(|(t, n)| format!("{t}({n})"))
+            .collect();
+        writeln!(
+            f,
+            "  type-index: [{}] -> {} offers",
+            buckets.join(", "),
+            self.type_total
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {} {}-index {}: ({}) -> {} offers",
+                if s.used { "use " } else { "skip" },
+                s.kind,
+                s.property,
+                s.atom,
+                s.postings
+            )?;
+        }
+        if self.fallback {
+            writeln!(f, "  fallback: scan the type buckets")?;
+        }
+        match &self.residual {
+            Some(r) => writeln!(f, "  residual filter: {r}")?,
+            None => writeln!(f, "  residual filter: (none)")?,
+        }
+        write!(f, "  candidates: {} of {}", self.candidates, self.store_len)
+    }
+}
+
+/// The planner's output: the plan, the candidate ids in ascending
+/// order, and the matched-type set for the caller's per-candidate type
+/// check.
+#[derive(Debug)]
+pub struct PlannedImport {
+    /// The compiled, explainable plan.
+    pub plan: QueryPlan,
+    /// Candidate offer ids, ascending.
+    pub candidates: Vec<OfferId>,
+    /// The service types that conform to the request.
+    pub matched_types: BTreeSet<String>,
+}
+
+/// One access path with its materialisable posting sets.
+struct Path<'a> {
+    step: IndexStep,
+    postings: Vec<&'a BTreeSet<OfferId>>,
+    count: usize,
+}
+
+/// Collects the posting sets for one sargable atom, or `None` when the
+/// declared index cannot serve it (range atom on a hash index).
+/// Lookups over-approximate: all range bounds are inclusive, and
+/// numeric keys unify int/float exactly as the evaluator does.
+fn atom_postings<'a>(
+    store: &'a OfferStore,
+    atom: &Atom,
+) -> Option<(String, IndexKind, String, Vec<&'a BTreeSet<OfferId>>)> {
+    let [property] = atom.path() else {
+        return None; // only top-level properties are indexed
+    };
+    let index = store.index(property)?;
+    match atom {
+        Atom::Cmp(c) => {
+            let rendered = format!("{} {} {}", property, c.op.symbol(), c.rhs);
+            match c.op {
+                BinOp::Eq => {
+                    let key = PropKey::of(&c.rhs)?;
+                    let sets = index.eq_postings(&key).into_iter().collect();
+                    Some((property.clone(), index.kind(), rendered, sets))
+                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    if !index.supports_range() {
+                        return None;
+                    }
+                    let upper = matches!(c.op, BinOp::Lt | BinOp::Le);
+                    let sets = match &c.rhs {
+                        Value::Int(_) | Value::Float(_) => {
+                            let key = PropKey::of(&c.rhs)?;
+                            let (num_lo, num_hi) = PropKey::num_band();
+                            let (lo, hi) = if upper { (num_lo, key) } else { (key, num_hi) };
+                            index.range_postings(Bound::Included(&lo), Bound::Included(&hi))
+                        }
+                        Value::Text(s) => {
+                            let key = PropKey::Text(s.clone());
+                            if upper {
+                                let lo = PropKey::Text(String::new());
+                                index.range_postings(Bound::Included(&lo), Bound::Included(&key))
+                            } else {
+                                index.range_postings(Bound::Included(&key), Bound::Unbounded)
+                            }
+                        }
+                        // Ordering a bool (or anything else) against a
+                        // property is an evaluator type error on every
+                        // offer: the atom matches nothing.
+                        _ => Vec::new(),
+                    };
+                    Some((property.clone(), index.kind(), rendered, sets))
+                }
+                _ => None,
+            }
+        }
+        Atom::InSet { values, .. } => {
+            let keys: BTreeSet<PropKey> = values.iter().filter_map(PropKey::of).collect();
+            let sets = keys.iter().filter_map(|k| index.eq_postings(k)).collect();
+            let rendered = format!(
+                "{} in [{}]",
+                property,
+                values
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            Some((property.clone(), index.kind(), rendered, sets))
+        }
+    }
+}
+
+/// Materialises a path's posting sets as one ascending id run. The
+/// sets are pairwise disjoint (distinct keys of one index), so a
+/// concat-and-sort is enough.
+fn materialise(postings: &[&BTreeSet<OfferId>]) -> Vec<OfferId> {
+    let mut ids: Vec<OfferId> = postings.iter().flat_map(|s| s.iter().copied()).collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Merge-intersects two ascending runs.
+fn intersect(a: &[OfferId], b: &[OfferId]) -> Vec<OfferId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Compiles and executes the candidate-producing half of an import.
+pub fn plan_import(
+    store: &OfferStore,
+    request: &ImportRequest,
+    repo: Option<&TypeRepository>,
+) -> PlannedImport {
+    // Matching type buckets: the requested type plus, under subtype
+    // substitution, every present subtype the repository derives.
+    let types: Vec<(String, usize)> = store
+        .types()
+        .filter(|(t, _)| {
+            *t == request.service_type
+                || (request.allow_subtypes
+                    && repo.is_some_and(|r| r.is_subtype(t, &request.service_type)))
+        })
+        .map(|(t, n)| (t.to_owned(), n))
+        .collect();
+    let matched_types: BTreeSet<String> = types.iter().map(|(t, _)| t.clone()).collect();
+    let type_total: usize = types.iter().map(|(_, n)| n).sum();
+
+    // Secondary-index access paths from the constraint's atoms.
+    let mut paths: Vec<Path<'_>> = Vec::new();
+    if let Some(constraint) = &request.constraint {
+        for atom in constraint.index_atoms() {
+            if let Some((property, kind, atom_text, postings)) = atom_postings(store, &atom) {
+                let count = postings.iter().map(|s| s.len()).sum();
+                paths.push(Path {
+                    step: IndexStep {
+                        property,
+                        kind,
+                        atom: atom_text,
+                        postings: count,
+                        used: false,
+                    },
+                    postings,
+                    count,
+                });
+            }
+        }
+    }
+    // Selectivity order: cheapest first; ties break on the rendered
+    // atom so planning is deterministic.
+    paths.sort_by(|a, b| a.count.cmp(&b.count).then(a.step.atom.cmp(&b.step.atom)));
+
+    let fallback = paths.is_empty();
+    let candidates = if fallback {
+        // Type buckets are pairwise disjoint: concat + sort.
+        let mut ids: Vec<OfferId> = matched_types
+            .iter()
+            .filter_map(|t| store.type_postings(t))
+            .flat_map(|s| s.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    } else {
+        let driver_count = paths[0].count;
+        let mut current: Option<Vec<OfferId>> = None;
+        for path in &mut paths {
+            let within_budget = path.count <= driver_count.saturating_mul(INTERSECT_FACTOR);
+            match &mut current {
+                None => {
+                    path.step.used = true;
+                    current = Some(materialise(&path.postings));
+                }
+                Some(ids) if within_budget && !ids.is_empty() => {
+                    path.step.used = true;
+                    *ids = intersect(ids, &materialise(&path.postings));
+                }
+                Some(_) => {} // residual filter re-checks this atom
+            }
+        }
+        current.unwrap_or_default()
+    };
+
+    let plan = QueryPlan {
+        service_type: request.service_type.clone(),
+        types,
+        type_total,
+        steps: paths.into_iter().map(|p| p.step).collect(),
+        residual: request.constraint.as_ref().map(|c| c.to_string()),
+        fallback,
+        candidates: candidates.len(),
+        store_len: store.len(),
+    };
+    PlannedImport {
+        plan,
+        candidates,
+        matched_types,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offer::ServiceOffer;
+    use rmodp_core::id::InterfaceId;
+
+    fn store() -> OfferStore {
+        let mut s = OfferStore::new();
+        s.create_index("ppm", IndexKind::Ordered);
+        s.create_index("region", IndexKind::Hash);
+        for i in 1..=100u64 {
+            s.insert(ServiceOffer {
+                id: OfferId::new(i),
+                service_type: if i % 4 == 0 { "Scanner" } else { "Printer" }.into(),
+                interface: InterfaceId::new(i),
+                properties: Value::record([
+                    ("ppm", Value::Int((i % 10) as i64 * 10)),
+                    (
+                        "region",
+                        Value::text(if i % 2 == 0 { "bne" } else { "syd" }),
+                    ),
+                ]),
+                held_by: "t".into(),
+            });
+        }
+        s
+    }
+
+    fn req(constraint: &str) -> ImportRequest {
+        ImportRequest::new("Printer")
+            .constraint(constraint)
+            .unwrap()
+    }
+
+    #[test]
+    fn unconstrained_imports_fall_back_to_type_buckets() {
+        let s = store();
+        let planned = plan_import(&s, &ImportRequest::new("Printer"), None);
+        assert!(planned.plan.fallback);
+        assert_eq!(planned.candidates.len(), 75);
+        assert!(planned.candidates.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn equality_drives_through_the_hash_index() {
+        let s = store();
+        let planned = plan_import(&s, &req("region == \"bne\""), None);
+        assert!(!planned.plan.fallback);
+        assert_eq!(planned.plan.steps.len(), 1);
+        assert!(planned.plan.steps[0].used);
+        assert_eq!(planned.candidates.len(), 50); // both types; residual fixes type
+    }
+
+    #[test]
+    fn ranges_need_an_ordered_index() {
+        let s = store();
+        // ppm has a btree index: servable.
+        let planned = plan_import(&s, &req("ppm >= 50"), None);
+        assert!(!planned.plan.fallback);
+        assert_eq!(planned.candidates.len(), 50);
+        // region is hash-only: a range on it is planner-opaque.
+        let planned = plan_import(&s, &req("region >= \"bne\""), None);
+        assert!(planned.plan.fallback);
+    }
+
+    #[test]
+    fn intersection_multiplies_selectivity() {
+        let s = store();
+        let planned = plan_import(&s, &req("ppm == 30 and region == \"syd\""), None);
+        assert!(!planned.plan.fallback);
+        assert_eq!(planned.plan.steps.iter().filter(|st| st.used).count(), 2);
+        // ppm==30 ⇒ i%10==3 ⇒ odd ⇒ all syd: 10 offers.
+        assert_eq!(planned.candidates.len(), 10);
+    }
+
+    #[test]
+    fn incomparable_range_prunes_everything() {
+        let s = store();
+        let planned = plan_import(&s, &req("ppm < true"), None);
+        assert!(!planned.plan.fallback);
+        assert!(planned.candidates.is_empty());
+    }
+
+    #[test]
+    fn explain_renders_every_section() {
+        let s = store();
+        let planned = plan_import(&s, &req("ppm >= 50 and region == \"bne\""), None);
+        let text = planned.plan.to_string();
+        assert!(text.contains("type-index"), "{text}");
+        assert!(text.contains("btree-index ppm"), "{text}");
+        assert!(text.contains("hash-index region"), "{text}");
+        assert!(text.contains("residual filter"), "{text}");
+        assert!(planned.plan.summary().contains("indexed"));
+    }
+}

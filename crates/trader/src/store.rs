@@ -1,0 +1,476 @@
+//! The indexed offer repository.
+//!
+//! An [`OfferStore`] is the engineering-viewpoint realisation of the
+//! trader's offer database: the tutorial's §8.3.2 describes the trader
+//! as a *directory of service advertisements*, and at federation scale
+//! a directory needs real index structures, not a linear scan. The
+//! store keeps:
+//!
+//! - the **primary map** `OfferId → ServiceOffer` (a `BTreeMap`, so
+//!   iteration order is ascending offer id — the same order the
+//!   original scan matcher observed, which is what keeps index-backed
+//!   matching byte-identical to the scan);
+//! - the **service-type index** `type name → id set`;
+//! - optional **per-property secondary indexes**, either exact-match
+//!   hash maps or ordered B-tree maps ([`IndexKind`]), over the
+//!   offers' top-level scalar properties.
+//!
+//! # Key normalisation and soundness
+//!
+//! Secondary index keys are [`PropKey`]s: scalar property values
+//! normalised so that key equality/order *over-approximates* the
+//! constraint evaluator's semantics. Numbers (int or float) share one
+//! key band keyed by the total-order bits of their `f64` widening —
+//! exactly the widening `Expr::eval` applies when comparing mixed
+//! numerics. Because `i64 → f64` is lossy above 2⁵³, two distinct
+//! values may share a key; the planner therefore treats every index
+//! lookup as a *candidate pre-filter* and re-evaluates the full
+//! constraint on each candidate. An index lookup may return a
+//! non-match (harmless), but never misses a match — see
+//! `DESIGN.md` §Trader for the full argument.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::ops::Bound;
+
+use rmodp_core::id::OfferId;
+use rmodp_core::value::Value;
+
+use crate::offer::ServiceOffer;
+
+/// A normalised, totally ordered secondary-index key.
+///
+/// Variants are banded: booleans, then numbers, then text. Range scans
+/// stay inside one band, so a numeric range can never pull in text
+/// keys (the evaluator would reject such a comparison anyway).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PropKey {
+    /// A boolean property value.
+    Bool(bool),
+    /// A numeric property value: the total-order bits of the `f64`
+    /// widening (ints widen exactly like `Expr::eval` widens them).
+    Num(u64),
+    /// A text property value.
+    Text(String),
+}
+
+/// Maps an `f64` to bits whose unsigned order matches the numeric
+/// order (`-inf < … < -0 = +0 < … < +inf < NaN`). `-0.0` is
+/// normalised onto `+0.0` so the two equal floats share a key.
+fn num_bits(x: f64) -> u64 {
+    let x = if x == 0.0 {
+        0.0
+    } else if x.is_nan() {
+        f64::NAN
+    } else {
+        x
+    };
+    let b = x.to_bits() as i64;
+    (if b < 0 { !b } else { b ^ i64::MIN }) as u64
+}
+
+impl PropKey {
+    /// The key for a scalar value; `None` for non-scalars (null, blob,
+    /// seq, record, ref), which are never indexed — no sargable atom
+    /// can accept them, so leaving them out of candidate sets is
+    /// sound.
+    pub fn of(v: &Value) -> Option<PropKey> {
+        match v {
+            Value::Bool(b) => Some(PropKey::Bool(*b)),
+            Value::Int(i) => Some(PropKey::Num(num_bits(*i as f64))),
+            Value::Float(x) => Some(PropKey::Num(num_bits(*x))),
+            Value::Text(s) => Some(PropKey::Text(s.clone())),
+            _ => None,
+        }
+    }
+
+    /// The smallest and largest possible numeric keys — the bounds of
+    /// the numeric band, used by the planner for one-sided ranges.
+    pub fn num_band() -> (PropKey, PropKey) {
+        (
+            PropKey::Num(num_bits(f64::NEG_INFINITY)),
+            PropKey::Num(num_bits(f64::INFINITY)),
+        )
+    }
+}
+
+/// The physical shape of one secondary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Exact-match lookups only (a hash map of postings).
+    Hash,
+    /// Exact-match *and* range lookups (an ordered B-tree of postings).
+    Ordered,
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            IndexKind::Hash => "hash",
+            IndexKind::Ordered => "btree",
+        })
+    }
+}
+
+#[derive(Debug)]
+enum Postings {
+    Hash(HashMap<PropKey, BTreeSet<OfferId>>),
+    Ordered(BTreeMap<PropKey, BTreeSet<OfferId>>),
+}
+
+/// One secondary index over a top-level property.
+#[derive(Debug)]
+pub struct PropertyIndex {
+    kind: IndexKind,
+    postings: Postings,
+    /// Offers currently indexed (those whose value for the property is
+    /// a scalar).
+    entries: usize,
+}
+
+impl PropertyIndex {
+    fn new(kind: IndexKind) -> Self {
+        let postings = match kind {
+            IndexKind::Hash => Postings::Hash(HashMap::new()),
+            IndexKind::Ordered => Postings::Ordered(BTreeMap::new()),
+        };
+        Self {
+            kind,
+            postings,
+            entries: 0,
+        }
+    }
+
+    /// The index's physical shape.
+    pub fn kind(&self) -> IndexKind {
+        self.kind
+    }
+
+    /// Offers indexed (offers whose property value is scalar).
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Distinct keys present.
+    pub fn distinct_keys(&self) -> usize {
+        match &self.postings {
+            Postings::Hash(m) => m.len(),
+            Postings::Ordered(m) => m.len(),
+        }
+    }
+
+    fn insert(&mut self, key: PropKey, id: OfferId) {
+        let set = match &mut self.postings {
+            Postings::Hash(m) => m.entry(key).or_default(),
+            Postings::Ordered(m) => m.entry(key).or_default(),
+        };
+        if set.insert(id) {
+            self.entries += 1;
+        }
+    }
+
+    fn remove(&mut self, key: &PropKey, id: OfferId) {
+        let emptied = match &mut self.postings {
+            Postings::Hash(m) => m.get_mut(key).map(|s| {
+                s.remove(&id);
+                s.is_empty()
+            }),
+            Postings::Ordered(m) => m.get_mut(key).map(|s| {
+                s.remove(&id);
+                s.is_empty()
+            }),
+        };
+        match emptied {
+            Some(true) => {
+                match &mut self.postings {
+                    Postings::Hash(m) => m.remove(key),
+                    Postings::Ordered(m) => m.remove(key),
+                };
+                self.entries -= 1;
+            }
+            Some(false) => self.entries -= 1,
+            None => {}
+        }
+    }
+
+    /// The posting set for an exact key, if any.
+    pub fn eq_postings(&self, key: &PropKey) -> Option<&BTreeSet<OfferId>> {
+        match &self.postings {
+            Postings::Hash(m) => m.get(key),
+            Postings::Ordered(m) => m.get(key),
+        }
+    }
+
+    /// Whether the index can serve range lookups.
+    pub fn supports_range(&self) -> bool {
+        matches!(self.postings, Postings::Ordered(_))
+    }
+
+    /// The posting sets in a key band (ordered indexes only),
+    /// ascending by key.
+    pub fn range_postings(
+        &self,
+        lo: Bound<&PropKey>,
+        hi: Bound<&PropKey>,
+    ) -> Vec<&BTreeSet<OfferId>> {
+        match &self.postings {
+            Postings::Ordered(m) => m.range((lo, hi)).map(|(_, s)| s).collect(),
+            Postings::Hash(_) => Vec::new(),
+        }
+    }
+
+    /// The number of offers in a key band (ordered indexes only).
+    /// Exact and cheap (posting sizes are summed without touching
+    /// offers) — the planner's selectivity estimate.
+    pub fn range_count(&self, lo: Bound<&PropKey>, hi: Bound<&PropKey>) -> usize {
+        self.range_postings(lo, hi).iter().map(|s| s.len()).sum()
+    }
+}
+
+/// The trader's offer repository: primary map, service-type index,
+/// declared per-property secondary indexes.
+#[derive(Debug, Default)]
+pub struct OfferStore {
+    offers: BTreeMap<OfferId, ServiceOffer>,
+    by_type: BTreeMap<String, BTreeSet<OfferId>>,
+    indexes: BTreeMap<String, PropertyIndex>,
+}
+
+impl OfferStore {
+    /// An empty store with no secondary indexes.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live offers.
+    pub fn len(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offers.is_empty()
+    }
+
+    /// One offer by id.
+    pub fn get(&self, id: OfferId) -> Option<&ServiceOffer> {
+        self.offers.get(&id)
+    }
+
+    /// All offers, ascending by id — the canonical match order.
+    pub fn iter(&self) -> impl Iterator<Item = &ServiceOffer> {
+        self.offers.values()
+    }
+
+    /// The service types currently present, with their offer counts.
+    pub fn types(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.by_type.iter().map(|(t, s)| (t.as_str(), s.len()))
+    }
+
+    /// The id set for one service type.
+    pub fn type_postings(&self, service_type: &str) -> Option<&BTreeSet<OfferId>> {
+        self.by_type.get(service_type)
+    }
+
+    /// The secondary index on a property, if declared.
+    pub fn index(&self, property: &str) -> Option<&PropertyIndex> {
+        self.indexes.get(property)
+    }
+
+    /// The declared secondary indexes, by property name.
+    pub fn indexes(&self) -> impl Iterator<Item = (&str, &PropertyIndex)> {
+        self.indexes.iter().map(|(p, i)| (p.as_str(), i))
+    }
+
+    /// Declares a secondary index on a top-level property and
+    /// backfills it from the live offers. Re-declaring a property
+    /// rebuilds it with the new kind.
+    pub fn create_index(&mut self, property: impl Into<String>, kind: IndexKind) {
+        let property = property.into();
+        let mut index = PropertyIndex::new(kind);
+        for (id, offer) in &self.offers {
+            if let Some(key) = offer.properties.field(&property).and_then(PropKey::of) {
+                index.insert(key, *id);
+            }
+        }
+        self.indexes.insert(property, index);
+    }
+
+    /// Inserts an offer (the caller has already validated it).
+    pub fn insert(&mut self, offer: ServiceOffer) {
+        let id = offer.id;
+        self.by_type
+            .entry(offer.service_type.clone())
+            .or_default()
+            .insert(id);
+        for (property, index) in &mut self.indexes {
+            if let Some(key) = offer.properties.field(property).and_then(PropKey::of) {
+                index.insert(key, id);
+            }
+        }
+        self.offers.insert(id, offer);
+    }
+
+    /// Removes an offer, unthreading it from every index.
+    pub fn remove(&mut self, id: OfferId) -> Option<ServiceOffer> {
+        let offer = self.offers.remove(&id)?;
+        if let Some(set) = self.by_type.get_mut(&offer.service_type) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_type.remove(&offer.service_type);
+            }
+        }
+        for (property, index) in &mut self.indexes {
+            if let Some(key) = offer.properties.field(property).and_then(PropKey::of) {
+                index.remove(&key, id);
+            }
+        }
+        Some(offer)
+    }
+
+    /// Replaces an offer's properties, keeping every secondary index
+    /// consistent.
+    ///
+    /// Returns `false` if the offer does not exist.
+    pub fn replace_properties(&mut self, id: OfferId, properties: Value) -> bool {
+        let Some(offer) = self.offers.get_mut(&id) else {
+            return false;
+        };
+        for (property, index) in &mut self.indexes {
+            let old = offer.properties.field(property).and_then(PropKey::of);
+            let new = properties.field(property).and_then(PropKey::of);
+            if old != new {
+                if let Some(key) = old {
+                    index.remove(&key, id);
+                }
+                if let Some(key) = new {
+                    index.insert(key, id);
+                }
+            }
+        }
+        offer.properties = properties;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rmodp_core::id::InterfaceId;
+
+    fn offer(id: u64, service_type: &str, props: Value) -> ServiceOffer {
+        ServiceOffer {
+            id: OfferId::new(id),
+            service_type: service_type.into(),
+            interface: InterfaceId::new(id),
+            properties: props,
+            held_by: "s".into(),
+        }
+    }
+
+    fn store() -> OfferStore {
+        let mut s = OfferStore::new();
+        s.create_index("ppm", IndexKind::Ordered);
+        s.create_index("region", IndexKind::Hash);
+        for (id, ppm, region) in [(1, 30, "bne"), (2, 55, "syd"), (3, 55, "bne")] {
+            s.insert(offer(
+                id,
+                "Printer",
+                Value::record([("ppm", Value::Int(ppm)), ("region", Value::text(region))]),
+            ));
+        }
+        s
+    }
+
+    #[test]
+    fn type_index_tracks_inserts_and_removes() {
+        let mut s = store();
+        assert_eq!(s.type_postings("Printer").unwrap().len(), 3);
+        s.remove(OfferId::new(2)).unwrap();
+        assert_eq!(s.type_postings("Printer").unwrap().len(), 2);
+        s.remove(OfferId::new(1)).unwrap();
+        s.remove(OfferId::new(3)).unwrap();
+        assert!(s.type_postings("Printer").is_none());
+    }
+
+    #[test]
+    fn eq_and_range_postings_find_the_right_ids() {
+        let s = store();
+        let ppm = s.index("ppm").unwrap();
+        let k55 = PropKey::of(&Value::Int(55)).unwrap();
+        assert_eq!(ppm.eq_postings(&k55).unwrap().len(), 2);
+        let lo = PropKey::of(&Value::Int(40)).unwrap();
+        let (_, hi) = PropKey::num_band();
+        assert_eq!(
+            ppm.range_count(Bound::Included(&lo), Bound::Included(&hi)),
+            2
+        );
+        let region = s.index("region").unwrap();
+        let bne = PropKey::of(&Value::text("bne")).unwrap();
+        assert_eq!(region.eq_postings(&bne).unwrap().len(), 2);
+        assert!(!region.supports_range());
+    }
+
+    #[test]
+    fn numeric_keys_unify_int_and_float() {
+        // 55 == 55.0 under the evaluator; the index must agree.
+        assert_eq!(
+            PropKey::of(&Value::Int(55)),
+            PropKey::of(&Value::Float(55.0))
+        );
+        assert_eq!(
+            PropKey::of(&Value::Float(0.0)),
+            PropKey::of(&Value::Float(-0.0))
+        );
+        // Ordering follows numeric order across the int/float seam.
+        let k = |v: &Value| PropKey::of(v).unwrap();
+        assert!(k(&Value::Float(-1.5)) < k(&Value::Int(0)));
+        assert!(k(&Value::Int(0)) < k(&Value::Float(0.5)));
+        assert!(k(&Value::Float(0.5)) < k(&Value::Int(1)));
+        // NaN sorts into the band (above +inf) and never equals a number.
+        assert!(k(&Value::Float(f64::NAN)) > k(&Value::Float(f64::INFINITY)));
+    }
+
+    #[test]
+    fn non_scalars_are_unindexed() {
+        let mut s = store();
+        s.insert(offer(
+            9,
+            "Printer",
+            Value::record([("ppm", Value::seq([]))]),
+        ));
+        assert_eq!(s.index("ppm").unwrap().entries(), 3);
+        assert_eq!(s.type_postings("Printer").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn replace_properties_reindexes() {
+        let mut s = store();
+        let (_, hi) = PropKey::num_band();
+        let lo = PropKey::of(&Value::Int(50)).unwrap();
+        let count = |s: &OfferStore| {
+            s.index("ppm")
+                .unwrap()
+                .range_count(Bound::Included(&lo), Bound::Included(&hi))
+        };
+        assert_eq!(count(&s), 2);
+        assert!(s.replace_properties(OfferId::new(1), Value::record([("ppm", Value::Int(90))])));
+        assert_eq!(count(&s), 3);
+        // Property dropped entirely: unindexed.
+        assert!(s.replace_properties(
+            OfferId::new(1),
+            Value::record([("region", Value::text("mel"))])
+        ));
+        assert_eq!(s.index("ppm").unwrap().entries(), 2);
+        assert!(!s.replace_properties(OfferId::new(77), Value::record::<&str, _>([])));
+    }
+
+    #[test]
+    fn backfilled_index_equals_incremental() {
+        let mut s = store();
+        s.create_index("ppm", IndexKind::Hash); // rebuild as hash
+        let k = PropKey::of(&Value::Int(55)).unwrap();
+        assert_eq!(s.index("ppm").unwrap().eq_postings(&k).unwrap().len(), 2);
+        assert_eq!(s.index("ppm").unwrap().kind(), IndexKind::Hash);
+    }
+}

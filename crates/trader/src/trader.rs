@@ -1,4 +1,13 @@
-//! The trader: export, withdraw, import.
+//! The trader: export, withdraw, import — with planned, index-backed
+//! matching.
+//!
+//! Imports no longer scan every offer: [`Trader::import`] compiles the
+//! request through [`crate::plan::plan_import`] against the trader's
+//! [`OfferStore`] and only evaluates the constraint on the plan's
+//! candidates. [`Trader::import_scan`] keeps the original full scan —
+//! it is the executable specification the planner is tested against
+//! (see `tests/plan_equivalence.rs`) and the baseline `trader_bench`
+//! measures.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -9,6 +18,8 @@ use rmodp_core::value::Value;
 use rmodp_typerepo::TypeRepository;
 
 use crate::offer::ServiceOffer;
+use crate::plan::{plan_import, QueryPlan};
+use crate::store::{IndexKind, OfferStore};
 
 /// A trading failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,16 +181,75 @@ pub struct TraderStats {
     pub withdrawals: u64,
     /// Import operations served.
     pub imports: u64,
-    /// Offers examined during imports.
+    /// Offers examined by the residual filter during imports. Under
+    /// planned matching this counts plan *candidates*, not the whole
+    /// repository — watching it shrink relative to [`Self::exports`] is
+    /// how index effectiveness shows up.
     pub offers_considered: u64,
+    /// Imports served by a plan that used at least one secondary index.
+    pub plans_indexed: u64,
+    /// Imports that fell back to scanning the type buckets.
+    pub plans_fallback: u64,
 }
 
-/// A trader: a repository of service offers with type-safe, constrained,
-/// preference-ordered lookup.
+/// Preference-orders matches in place: ties (and `FirstFound`) keep
+/// ascending offer-id order, which is the store's iteration order.
+pub(crate) fn order_matches(matches: &mut [Match], preference: &Preference) {
+    match preference {
+        Preference::FirstFound => {}
+        Preference::Max(_) => matches.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then(a.offer.id.cmp(&b.offer.id))
+        }),
+        Preference::Min(_) => matches.sort_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then(a.offer.id.cmp(&b.offer.id))
+        }),
+    }
+}
+
+/// The per-offer residual: constraint-variable binding, constraint
+/// evaluation, preference scoring. Identical between the planned path
+/// and the reference scan — that sharing is half of the equivalence
+/// argument (the other half is candidate ordering; see DESIGN.md).
+///
+/// Offers whose properties do not bind every constraint variable, or on
+/// which an expression fails to evaluate, simply do not match — a
+/// malformed *offer* must not fail the *import*.
+fn residual_match(
+    offer: &ServiceOffer,
+    request: &ImportRequest,
+    constraint_vars: &[Vec<String>],
+) -> Option<Match> {
+    if !offer.binds(constraint_vars) {
+        return None;
+    }
+    if let Some(constraint) = &request.constraint {
+        match constraint.eval_bool(&offer.properties) {
+            Ok(true) => {}
+            _ => return None,
+        }
+    }
+    let score = match &request.preference {
+        Preference::FirstFound => 0.0,
+        Preference::Max(e) | Preference::Min(e) => {
+            e.eval(&offer.properties).ok().and_then(|v| v.as_float())?
+        }
+    };
+    Some(Match {
+        offer: offer.clone(),
+        score,
+    })
+}
+
+/// A trader: an indexed repository of service offers with type-safe,
+/// constrained, preference-ordered lookup.
 #[derive(Debug)]
 pub struct Trader {
     name: String,
-    offers: BTreeMap<OfferId, ServiceOffer>,
+    store: OfferStore,
     /// Declared property types per service type (optional strictness).
     property_types: BTreeMap<String, rmodp_core::dtype::DataType>,
     gen: IdGen<OfferId>,
@@ -193,7 +263,7 @@ impl Trader {
     pub fn new(name: impl Into<String>) -> Self {
         Self {
             name: name.into(),
-            offers: BTreeMap::new(),
+            store: OfferStore::new(),
             property_types: BTreeMap::new(),
             gen: IdGen::new(),
             stats: TraderStats::default(),
@@ -213,12 +283,26 @@ impl Trader {
 
     /// Number of live offers.
     pub fn len(&self) -> usize {
-        self.offers.len()
+        self.store.len()
     }
 
     /// Whether the trader holds no offers.
     pub fn is_empty(&self) -> bool {
-        self.offers.is_empty()
+        self.store.is_empty()
+    }
+
+    /// The underlying offer store (read-only: indexes, type buckets).
+    pub fn store(&self) -> &OfferStore {
+        &self.store
+    }
+
+    /// Declares a secondary index over a top-level property. Existing
+    /// offers are backfilled; subsequent exports, withdrawals, and
+    /// modifications maintain it incrementally. [`IndexKind::Hash`]
+    /// serves equality and `in`-set atoms; [`IndexKind::Ordered`]
+    /// additionally serves range atoms.
+    pub fn index_property(&mut self, property: impl Into<String>, kind: IndexKind) {
+        self.store.create_index(property, kind);
     }
 
     /// Declares the property type offers of a service type must carry.
@@ -305,27 +389,24 @@ impl Trader {
                 })?;
         }
         let id = self.gen.fresh();
-        self.offers.insert(
-            id,
-            ServiceOffer {
-                id,
-                service_type,
-                interface,
-                properties,
-                held_by: self.name.clone(),
-            },
+        let detail = format!(
+            "trader={} offer={id} type={service_type} interface={interface}",
+            self.name
         );
+        self.store.insert(ServiceOffer {
+            id,
+            service_type,
+            interface,
+            properties,
+            held_by: self.name.clone(),
+        });
         self.stats.exports += 1;
-        let service_type = &self.offers[&id].service_type;
         rmodp_observe::event(
             rmodp_observe::Layer::Trader,
             rmodp_observe::EventKind::TraderExport,
         )
         .in_context()
-        .detail(format!(
-            "trader={} offer={id} type={service_type} interface={interface}",
-            self.name
-        ))
+        .detail(detail)
         .emit();
         rmodp_observe::bus::counter_add("trader.exports", 1);
         Ok(id)
@@ -338,14 +419,15 @@ impl Trader {
     /// Returns [`TraderError::UnknownOffer`] if absent.
     pub fn withdraw(&mut self, offer: OfferId) -> Result<ServiceOffer, TraderError> {
         let o = self
-            .offers
-            .remove(&offer)
+            .store
+            .remove(offer)
             .ok_or(TraderError::UnknownOffer { offer })?;
         self.stats.withdrawals += 1;
         Ok(o)
     }
 
     /// Replaces an offer's properties (e.g. a server updating its load).
+    /// Secondary indexes are re-threaded for the changed keys.
     ///
     /// # Errors
     ///
@@ -356,27 +438,101 @@ impl Trader {
                 got: properties.kind().to_owned(),
             });
         }
-        let o = self
-            .offers
-            .get_mut(&offer)
-            .ok_or(TraderError::UnknownOffer { offer })?;
-        o.properties = properties;
+        if !self.store.replace_properties(offer, properties) {
+            return Err(TraderError::UnknownOffer { offer });
+        }
         Ok(())
     }
 
     /// Looks up an offer.
     pub fn offer(&self, offer: OfferId) -> Option<&ServiceOffer> {
-        self.offers.get(&offer)
+        self.store.get(offer)
+    }
+
+    /// Compiles an import request into a [`QueryPlan`] without running
+    /// it — the plan-explain entry point. `plan.to_string()` renders the
+    /// full explanation.
+    pub fn explain(&self, request: &ImportRequest, repo: Option<&TypeRepository>) -> QueryPlan {
+        plan_import(&self.store, request, repo).plan
     }
 
     /// Serves an import: type conformance (exact or subtype via the type
     /// repository), constraint satisfaction, preference ordering,
     /// cardinality bound.
     ///
-    /// Offers whose properties do not bind every constraint variable, or
-    /// on which the constraint fails to evaluate to a boolean, simply do
-    /// not match — a malformed *offer* must not fail the *import*.
+    /// The request is compiled into an index-backed query plan first;
+    /// only the plan's candidates reach constraint evaluation. The
+    /// result — members *and* ordering — is identical to
+    /// [`Self::import_scan`]. The plan is traced as a span
+    /// (`trader_plan`), with the lookup event inside it.
     pub fn import(&mut self, request: &ImportRequest, repo: Option<&TypeRepository>) -> Vec<Match> {
+        use rmodp_observe::{bus, event, EventKind, Layer};
+        self.stats.imports += 1;
+        let planned = plan_import(&self.store, request, repo);
+        if planned.plan.fallback {
+            self.stats.plans_fallback += 1;
+            bus::counter_add("trader.plan.fallback", 1);
+        } else {
+            self.stats.plans_indexed += 1;
+            bus::counter_add("trader.plan.indexed", 1);
+        }
+        let span = bus::new_span();
+        event(Layer::Trader, EventKind::TraderPlan)
+            .span(span)
+            .parent_from_context()
+            .detail(format!("trader={} {}", self.name, planned.plan.summary()))
+            .emit();
+        bus::push_context(span);
+
+        let constraint_vars = request
+            .constraint
+            .as_ref()
+            .map(|c| c.variables())
+            .unwrap_or_default();
+        let mut matches: Vec<Match> = Vec::new();
+        for id in &planned.candidates {
+            self.stats.offers_considered += 1;
+            let Some(offer) = self.store.get(*id) else {
+                continue;
+            };
+            // Candidates come from posting sets, not type buckets: an
+            // index can surface offers of other service types, so the
+            // type check stays per-offer (against the precomputed
+            // conformant set).
+            if !planned.matched_types.contains(&offer.service_type) {
+                continue;
+            }
+            if let Some(m) = residual_match(offer, request, &constraint_vars) {
+                matches.push(m);
+            }
+        }
+        order_matches(&mut matches, &request.preference);
+        matches.truncate(request.max_matches);
+
+        event(Layer::Trader, EventKind::TraderLookup)
+            .in_context()
+            .detail(format!(
+                "trader={} type={} matches={}",
+                self.name,
+                request.service_type,
+                matches.len()
+            ))
+            .emit();
+        bus::counter_add("trader.lookups", 1);
+        bus::pop_context();
+        matches
+    }
+
+    /// The reference implementation of import: a full linear scan of
+    /// every offer, exactly as the trader matched before indexes
+    /// existed. Kept as the executable specification the planner is
+    /// property-tested against, and as the baseline side of
+    /// `trader_bench`.
+    pub fn import_scan(
+        &mut self,
+        request: &ImportRequest,
+        repo: Option<&TypeRepository>,
+    ) -> Vec<Match> {
         self.stats.imports += 1;
         let constraint_vars = request
             .constraint
@@ -384,7 +540,7 @@ impl Trader {
             .map(|c| c.variables())
             .unwrap_or_default();
         let mut matches: Vec<Match> = Vec::new();
-        for offer in self.offers.values() {
+        for offer in self.store.iter() {
             self.stats.offers_considered += 1;
             let type_ok = offer.service_type == request.service_type
                 || (request.allow_subtypes
@@ -393,42 +549,11 @@ impl Trader {
             if !type_ok {
                 continue;
             }
-            if !offer.binds(&constraint_vars) {
-                continue;
+            if let Some(m) = residual_match(offer, request, &constraint_vars) {
+                matches.push(m);
             }
-            if let Some(constraint) = &request.constraint {
-                match constraint.eval_bool(&offer.properties) {
-                    Ok(true) => {}
-                    _ => continue,
-                }
-            }
-            let score = match &request.preference {
-                Preference::FirstFound => 0.0,
-                Preference::Max(e) | Preference::Min(e) => {
-                    match e.eval(&offer.properties).ok().and_then(|v| v.as_float()) {
-                        Some(x) => x,
-                        None => continue,
-                    }
-                }
-            };
-            matches.push(Match {
-                offer: offer.clone(),
-                score,
-            });
         }
-        match &request.preference {
-            Preference::FirstFound => {}
-            Preference::Max(_) => matches.sort_by(|a, b| {
-                b.score
-                    .total_cmp(&a.score)
-                    .then(a.offer.id.cmp(&b.offer.id))
-            }),
-            Preference::Min(_) => matches.sort_by(|a, b| {
-                a.score
-                    .total_cmp(&b.score)
-                    .then(a.offer.id.cmp(&b.offer.id))
-            }),
-        }
+        order_matches(&mut matches, &request.preference);
         matches.truncate(request.max_matches);
         rmodp_observe::event(
             rmodp_observe::Layer::Trader,
@@ -436,7 +561,7 @@ impl Trader {
         )
         .in_context()
         .detail(format!(
-            "trader={} type={} matches={}",
+            "trader={} type={} matches={} mode=scan",
             self.name,
             request.service_type,
             matches.len()
@@ -496,6 +621,34 @@ mod tests {
         // No constraint: both printers, never the scanner.
         let all = t.import(&ImportRequest::new("Printer"), None);
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn indexed_import_matches_like_the_scan() {
+        let mut t = printer_trader();
+        t.index_property("ppm", IndexKind::Ordered);
+        t.index_property("colour", IndexKind::Hash);
+        for src in [
+            "ppm >= 40",
+            "colour == true",
+            "ppm >= 40 and colour == false",
+        ] {
+            let req = ImportRequest::new("Printer").constraint(src).unwrap();
+            let planned = t.import(&req, None);
+            let scanned = t.import_scan(&req, None);
+            assert_eq!(planned, scanned, "{src}");
+        }
+        let s = t.stats();
+        assert_eq!(s.plans_indexed, 3);
+        // The ppm >= 40 plan pre-filters down to one candidate.
+        let plan = t.explain(
+            &ImportRequest::new("Printer")
+                .constraint("ppm >= 40")
+                .unwrap(),
+            None,
+        );
+        assert!(!plan.fallback);
+        assert_eq!(plan.candidates, 1);
     }
 
     #[test]
@@ -573,6 +726,7 @@ mod tests {
     #[test]
     fn withdraw_and_modify() {
         let mut t = printer_trader();
+        t.index_property("dpi", IndexKind::Ordered);
         let id = t.import(&ImportRequest::new("Scanner"), None)[0].offer.id;
         t.modify(id, Value::record([("dpi", Value::Int(1200))]))
             .unwrap();
@@ -590,6 +744,8 @@ mod tests {
         ));
         assert!(t.import(&ImportRequest::new("Scanner"), None).is_empty());
         assert_eq!(t.len(), 2);
+        // The withdrawn offer left the index, too.
+        assert_eq!(t.store().index("dpi").unwrap().entries(), 0);
     }
 
     #[test]
@@ -615,7 +771,11 @@ mod tests {
         let s = t.stats();
         assert_eq!(s.exports, 3);
         assert_eq!(s.imports, 1);
-        assert_eq!(s.offers_considered, 3);
+        // With no indexes the plan falls back to the type buckets: only
+        // the two printers are examined, never the scanner.
+        assert_eq!(s.offers_considered, 2);
+        assert_eq!(s.plans_fallback, 1);
+        assert_eq!(s.plans_indexed, 0);
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! The planner's contract, property-tested: for any offer population,
+//! index declaration, and constraint drawn from the grammar the planner
+//! understands (and several it must treat as opaque), the planned
+//! [`Trader::import`] returns *exactly* the matches of the reference
+//! scan [`Trader::import_scan`] — same members, same order.
+//!
+//! This is the determinism argument of DESIGN.md §Trader made
+//! executable: candidates are produced in ascending offer-id order (the
+//! scan's visiting order) and the residual filter re-evaluates the full
+//! constraint, so indexes can only skip non-matches, never reorder or
+//! drop matches.
+
+use proptest::prelude::*;
+
+use rmodp_core::id::InterfaceId;
+use rmodp_core::value::Value;
+use rmodp_trader::{ImportRequest, IndexKind, Trader};
+
+/// One randomized offer: mixed property shapes on purpose — ints and
+/// floats under the same key (the evaluator unifies them), a missing
+/// property sometimes, and a text region.
+#[derive(Debug, Clone)]
+struct OfferSpec {
+    service: u8, // 0 = "Printer", 1 = "Scanner", 2 = "Plotter"
+    ppm: i64,
+    float_ppm: bool,
+    region: u8, // index into REGIONS
+    floor: Option<i64>,
+    colour: bool,
+}
+
+const REGIONS: [&str; 4] = ["bne", "syd", "mel", "per"];
+const SERVICES: [&str; 3] = ["Printer", "Scanner", "Plotter"];
+
+fn arb_offers() -> impl Strategy<Value = Vec<OfferSpec>> {
+    proptest::collection::vec(
+        (
+            0u8..3,
+            0i64..100,
+            any::<bool>(),
+            0u8..4,
+            proptest::option::of(0i64..10),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(service, ppm, float_ppm, region, floor, colour)| OfferSpec {
+                    service,
+                    ppm,
+                    float_ppm,
+                    region,
+                    floor,
+                    colour,
+                },
+            ),
+        0..60,
+    )
+}
+
+/// Constraints spanning the planner's whole range: fully sargable,
+/// partly sargable, and completely opaque.
+fn arb_constraint() -> impl Strategy<Value = String> {
+    let threshold = 0i64..100;
+    prop_oneof![
+        threshold.clone().prop_map(|t| format!("ppm >= {t}")),
+        threshold.clone().prop_map(|t| format!("ppm < {t}")),
+        (threshold.clone(), 0usize..4)
+            .prop_map(|(t, r)| format!("ppm >= {t} and region == \"{}\"", REGIONS[r])),
+        (threshold.clone(), threshold.clone()).prop_map(|(a, b)| format!(
+            "ppm >= {} and ppm <= {}",
+            a.min(b),
+            a.max(b)
+        )),
+        threshold.clone().prop_map(|t| format!("ppm >= {}.5", t)), // float literal vs int property
+        Just("colour == true".to_owned()),
+        Just("floor in [1, 3, 5]".to_owned()),
+        Just("region in [\"bne\", \"mel\"]".to_owned()),
+        // Planner-opaque shapes: must fall back, still agree.
+        threshold.clone().prop_map(|t| format!("ppm + 0 >= {t}")),
+        threshold.prop_map(|t| format!("ppm >= {t} or colour == true")),
+        Just("not (colour == true)".to_owned()),
+        Just("ppm != 50".to_owned()),
+        // Type-error-on-some-offers shape: ordering floor (sometimes
+        // absent) — absent kills the match via binds().
+        Just("floor >= 2".to_owned()),
+        // Always-false index shape: range against a bool literal.
+        Just("ppm < true".to_owned()),
+    ]
+}
+
+/// Which indexes to declare: none, partial, or all — the planner must
+/// agree with the scan under every declaration.
+fn arb_indexes() -> impl Strategy<Value = Vec<(&'static str, IndexKind)>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(("ppm", IndexKind::Ordered)),
+            Just(("ppm", IndexKind::Hash)), // ranges on ppm become opaque
+            Just(("region", IndexKind::Hash)),
+            Just(("floor", IndexKind::Ordered)),
+            Just(("colour", IndexKind::Hash)),
+        ],
+        0..4,
+    )
+}
+
+fn trader_with(offers: &[OfferSpec], indexes: &[(&str, IndexKind)]) -> Trader {
+    let mut t = Trader::new("prop");
+    for (property, kind) in indexes {
+        t.index_property(*property, *kind);
+    }
+    for (i, o) in offers.iter().enumerate() {
+        let mut fields = vec![
+            (
+                "ppm",
+                if o.float_ppm {
+                    Value::Float(o.ppm as f64)
+                } else {
+                    Value::Int(o.ppm)
+                },
+            ),
+            ("region", Value::text(REGIONS[o.region as usize])),
+            ("colour", Value::Bool(o.colour)),
+        ];
+        if let Some(floor) = o.floor {
+            fields.push(("floor", Value::Int(floor)));
+        }
+        t.export(
+            SERVICES[o.service as usize],
+            InterfaceId::new(i as u64 + 1),
+            Value::record(fields),
+        )
+        .unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The core equivalence: planned import ≡ reference scan, members
+    /// and ordering, across random populations, constraints, and index
+    /// declarations.
+    #[test]
+    fn planned_import_equals_reference_scan(
+        offers in arb_offers(),
+        constraint in arb_constraint(),
+        indexes in arb_indexes(),
+        service in 0usize..3,
+    ) {
+        let mut t = trader_with(&offers, &indexes);
+        let request = ImportRequest::new(SERVICES[service])
+            .constraint(&constraint)
+            .unwrap();
+        let planned = t.import(&request, None);
+        let scanned = t.import_scan(&request, None);
+        prop_assert_eq!(planned, scanned, "constraint={} indexes={:?}", constraint, indexes);
+    }
+
+    /// Equivalence survives preference ordering and truncation: the
+    /// plan feeds the same ordered matches into the same sort.
+    #[test]
+    fn equivalence_holds_under_preference_and_limit(
+        offers in arb_offers(),
+        constraint in arb_constraint(),
+        indexes in arb_indexes(),
+        limit in 1usize..6,
+        maximise in any::<bool>(),
+    ) {
+        let mut t = trader_with(&offers, &indexes);
+        let base = ImportRequest::new("Printer").constraint(&constraint).unwrap();
+        let request = if maximise {
+            base.prefer_max("ppm").unwrap()
+        } else {
+            base.prefer_min("ppm").unwrap()
+        }
+        .at_most(limit);
+        let planned = t.import(&request, None);
+        let scanned = t.import_scan(&request, None);
+        prop_assert_eq!(planned, scanned);
+    }
+
+    /// Equivalence survives mutation: withdrawals and property
+    /// modifications re-thread the indexes, and planned results keep
+    /// tracking the scan afterwards.
+    #[test]
+    fn equivalence_survives_withdraw_and_modify(
+        offers in arb_offers(),
+        constraint in arb_constraint(),
+        new_ppm in 0i64..100,
+    ) {
+        prop_assume!(offers.len() >= 2);
+        let mut t = trader_with(
+            &offers,
+            &[("ppm", IndexKind::Ordered), ("region", IndexKind::Hash)],
+        );
+        // Withdraw the first offer; modify the second.
+        let first = t.store().iter().next().unwrap().id;
+        let second = t.store().iter().nth(1).unwrap().id;
+        t.withdraw(first).unwrap();
+        t.modify(
+            second,
+            Value::record([
+                ("ppm", Value::Int(new_ppm)),
+                ("region", Value::text("bne")),
+                ("colour", Value::Bool(true)),
+            ]),
+        )
+        .unwrap();
+        let request = ImportRequest::new("Printer").constraint(&constraint).unwrap();
+        let planned = t.import(&request, None);
+        let scanned = t.import_scan(&request, None);
+        prop_assert_eq!(planned, scanned);
+    }
+}
+
+/// Regression: with no indexes declared at all, every plan is a
+/// fallback, and the fallback is still exactly the scan.
+#[test]
+fn empty_index_fallback_equals_scan() {
+    let specs: Vec<OfferSpec> = (0..30)
+        .map(|i| OfferSpec {
+            service: (i % 3) as u8,
+            ppm: (i * 7) % 100,
+            float_ppm: i % 2 == 0,
+            region: (i % 4) as u8,
+            floor: if i % 5 == 0 { None } else { Some(i % 10) },
+            colour: i % 2 == 1,
+        })
+        .collect();
+    let mut t = trader_with(&specs, &[]);
+    for constraint in ["ppm >= 40", "region == \"syd\"", "floor in [1, 2]"] {
+        let request = ImportRequest::new("Printer")
+            .constraint(constraint)
+            .unwrap();
+        let plan = t.explain(&request, None);
+        assert!(plan.fallback, "no indexes ⇒ fallback: {constraint}");
+        let planned = t.import(&request, None);
+        let scanned = t.import_scan(&request, None);
+        assert_eq!(planned, scanned, "{constraint}");
+    }
+    assert_eq!(t.stats().plans_indexed, 0);
+    assert_eq!(t.stats().plans_fallback, 3);
+}
