@@ -9,7 +9,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p rmodp-bench --bin chaos_bench [--seed N] [output-path]
+//! cargo run --release -p rmodp-bench --bin chaos_bench -- [--seed N] [output-path]
 //! ```
 //!
 //! Everything runs on virtual time with seeded RNGs, so the same seed
@@ -17,24 +17,7 @@
 //! compares.
 
 fn main() {
-    let mut seed = 4_242u64;
-    let mut out_path = "target/BENCH_chaos.json".to_owned();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--seed" {
-            seed = args
-                .next()
-                .and_then(|s| s.parse().ok())
-                .expect("--seed needs an integer");
-        } else {
-            out_path = arg;
-        }
-    }
-
-    let json = rmodp_bench::chaos_suite::run_suite(seed);
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        std::fs::create_dir_all(dir).expect("create output directory");
-    }
-    std::fs::write(&out_path, &json).expect("write benchmark output");
-    println!("wrote {out_path}");
+    let args = rmodp_bench::cli::parse(4_242, "target/BENCH_chaos.json", &[]);
+    let json = rmodp_bench::chaos_suite::run_suite(args.seed);
+    rmodp_bench::cli::write_output(&args.out, &json);
 }

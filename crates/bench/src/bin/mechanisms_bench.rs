@@ -7,23 +7,20 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p rmodp-bench --bin mechanisms_bench [output-path]
+//! cargo run --release -p rmodp-bench --bin mechanisms_bench -- [--seed N] [output-path]
 //! ```
 //!
 //! The default output path is `target/BENCH_mechanisms.json`. Every
 //! figure in the file derives from virtual time or metered counters —
-//! wall-clock rates go to stdout only — so the file is byte-identical
-//! across runs: CI runs the binary twice and compares.
+//! wall-clock rates go to stdout only — so the same seed produces a
+//! byte-identical file: CI runs the binary twice and compares.
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "target/BENCH_mechanisms.json".to_owned());
-
-    let json = rmodp_bench::mechanisms::run_suite();
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        std::fs::create_dir_all(dir).expect("create output directory");
-    }
-    std::fs::write(&out_path, &json).expect("write benchmark output");
-    println!("wrote {out_path}");
+    let args = rmodp_bench::cli::parse(
+        rmodp_bench::mechanisms::DEFAULT_SEED,
+        "target/BENCH_mechanisms.json",
+        &[],
+    );
+    let json = rmodp_bench::mechanisms::run_suite(args.seed);
+    rmodp_bench::cli::write_output(&args.out, &json);
 }

@@ -1,0 +1,77 @@
+//! Perf-regression gate: diffs freshly produced `BENCH_*.json`
+//! artifacts against the checked-in baselines and writes a
+//! deterministic `PERF_report.json` (schema `rmodp-perf-report/1`,
+//! documented in `EXPERIMENTS.md` §E12). Exits non-zero when any metric
+//! drifts outside its tolerance band or disappears, so an injected
+//! slowdown fails the CI build.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p rmodp-bench --bin perf_gate -- \
+//!     --baselines tests/baselines --out target/PERF_report.json \
+//!     target/BENCH_workload.json target/BENCH_chaos.json ...
+//! ```
+//!
+//! Each artifact is matched to the baseline with the same file name
+//! under the baselines directory.
+
+use rmodp_bench::perf;
+
+fn main() {
+    let mut baselines = "tests/baselines".to_owned();
+    let mut out_path = "target/PERF_report.json".to_owned();
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baselines" => baselines = args.next().expect("--baselines needs a directory"),
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            path => artifacts.push(path.to_owned()),
+        }
+    }
+    assert!(
+        !artifacts.is_empty(),
+        "usage: perf_gate [--baselines DIR] [--out PATH] BENCH_*.json..."
+    );
+
+    let bands = perf::default_bands();
+    let mut reports = Vec::new();
+    for artifact in &artifacts {
+        let name = std::path::Path::new(artifact)
+            .file_name()
+            .and_then(|n| n.to_str())
+            .expect("artifact path has a file name")
+            .to_owned();
+        let base_path = format!("{baselines}/{name}");
+        let base = std::fs::read_to_string(&base_path)
+            .unwrap_or_else(|e| panic!("read baseline {base_path}: {e}"));
+        let cur = std::fs::read_to_string(artifact)
+            .unwrap_or_else(|e| panic!("read artifact {artifact}: {e}"));
+        let report = perf::compare(&name, &base, &cur, &bands)
+            .unwrap_or_else(|e| panic!("compare {name}: {e}"));
+        for diff in &report.diffs {
+            println!(
+                "{name}: {} {} baseline={:?} current={:?} (band {})",
+                diff.status, diff.path, diff.baseline, diff.current, diff.band
+            );
+        }
+        println!(
+            "{name}: {} ({} metrics checked)",
+            if report.pass { "PASS" } else { "FAIL" },
+            report.checked
+        );
+        reports.push(report);
+    }
+
+    let rendered = perf::render_report(&reports);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("create output directory");
+    }
+    std::fs::write(&out_path, &rendered).expect("write PERF_report.json");
+    println!("wrote {out_path}");
+
+    if reports.iter().any(|r| !r.pass) {
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! ```text
 //! cargo run --release -p rmodp-bench --bin trader_bench -- \
-//!     [output-path] [--offers N] [--imports N] [--seed N]
+//!     [--seed N] [--offers N] [--imports N] [output-path]
 //! ```
 //!
 //! The default output path is `target/BENCH_trader.json`, the default
@@ -20,27 +20,19 @@
 use rmodp_bench::trader_suite::{run_suite, TraderBenchConfig};
 
 fn main() {
-    let mut out_path = "target/BENCH_trader.json".to_owned();
     let mut cfg = TraderBenchConfig::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let mut numeric = |name: &str| {
-            args.next()
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or_else(|| panic!("{name} needs a numeric argument"))
-        };
-        match arg.as_str() {
-            "--offers" => cfg.offers = numeric("--offers") as usize,
-            "--imports" => cfg.imports = numeric("--imports") as usize,
-            "--seed" => cfg.seed = numeric("--seed"),
-            path => out_path = path.to_owned(),
-        }
+    let args = rmodp_bench::cli::parse(
+        cfg.seed,
+        "target/BENCH_trader.json",
+        &["--offers", "--imports"],
+    );
+    cfg.seed = args.seed;
+    if let Some(offers) = args.extra[0] {
+        cfg.offers = offers as usize;
     }
-
+    if let Some(imports) = args.extra[1] {
+        cfg.imports = imports as usize;
+    }
     let json = run_suite(cfg);
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        std::fs::create_dir_all(dir).expect("create output directory");
-    }
-    std::fs::write(&out_path, &json).expect("write benchmark output");
-    println!("wrote {out_path}");
+    rmodp_bench::cli::write_output(&args.out, &json);
 }

@@ -7,22 +7,20 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p rmodp-bench --bin workload_bench [output-path]
+//! cargo run --release -p rmodp-bench --bin workload_bench -- [--seed N] [output-path]
 //! ```
 //!
-//! The default output path is `target/BENCH_workload.json`. Everything
-//! runs on virtual time with fixed seeds, so the file is byte-identical
-//! across runs — CI runs the binary twice and compares.
+//! The default output path is `target/BENCH_workload.json` and the
+//! default seed `1000` (each scenario runs at a fixed offset from the
+//! base). Everything runs on virtual time, so the same seed produces a
+//! byte-identical file — CI runs the binary twice and compares.
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "target/BENCH_workload.json".to_owned());
-
-    let json = rmodp_bench::workload_suite::run_suite();
-    if let Some(dir) = std::path::Path::new(&out_path).parent() {
-        std::fs::create_dir_all(dir).expect("create output directory");
-    }
-    std::fs::write(&out_path, &json).expect("write benchmark output");
-    println!("wrote {out_path}");
+    let args = rmodp_bench::cli::parse(
+        rmodp_bench::workload_suite::DEFAULT_SEED,
+        "target/BENCH_workload.json",
+        &[],
+    );
+    let json = rmodp_bench::workload_suite::run_suite(args.seed);
+    rmodp_bench::cli::write_output(&args.out, &json);
 }

@@ -33,11 +33,11 @@ use crate::{add_one, counter_rig, open};
 /// `(time, seq)` order. The order checksum (a fold over the pop
 /// sequence) lands in the document; the events/sec wall-clock rate goes
 /// to stdout.
-fn kernel_queue() -> String {
+fn kernel_queue(seed: u64) -> String {
     use rand::Rng;
 
     const EVENTS: u64 = 200_000;
-    let mut rng = KernelRng::seeded(77);
+    let mut rng = KernelRng::seeded(seed);
     let mut queue = EventQueue::new();
     let started = Instant::now();
     for i in 0..EVENTS {
@@ -71,10 +71,10 @@ fn kernel_queue() -> String {
 /// Part 2: the uncontended invocation path. Under the old code every
 /// delivered envelope was parsed with a deep payload copy; now parsing
 /// slices the delivered frame, so the copy counter must read zero.
-fn invocation() -> String {
+fn invocation(seed: u64) -> String {
     const CALLS: u64 = 500;
     let ((), registry) = capture_metrics(|| {
-        let mut rig = counter_rig(7_001, SyntaxId::Text);
+        let mut rig = counter_rig(seed, SyntaxId::Text);
         let channel = open(&mut rig, ChannelConfig::default());
         for _ in 0..CALLS {
             let t = rig
@@ -105,10 +105,10 @@ fn invocation() -> String {
 /// retransmit; each retransmission reuses the marshalled frame (an
 /// `Arc` clone), so payload allocations must not scale with retries —
 /// where the old code re-marshalled once per attempt.
-fn retransmission() -> String {
+fn retransmission(seed: u64) -> String {
     const CALLS: u64 = 200;
     let ((), registry) = capture_metrics(|| {
-        let mut rig = counter_rig(7_002, SyntaxId::Text);
+        let mut rig = counter_rig(seed, SyntaxId::Text);
         let client = rig.engine.sim_node(rig.client).expect("client exists");
         let server = rig.engine.sim_node(rig.server).expect("server exists");
         let before = rig.engine.sim().topology().link(client, server);
@@ -168,11 +168,11 @@ fn retransmission() -> String {
 /// Part 4: replication fan-out. One update to an actively replicated
 /// group marshals the invocation once and shares it across every
 /// replica — the old path re-encoded the arguments per replica.
-fn replication() -> String {
+fn replication(seed: u64) -> String {
     const REPLICAS: usize = 5;
     const UPDATES: u64 = 20;
     let ((), registry) = capture_metrics(|| {
-        let mut engine = rmodp_engineering::engine::Engine::new(7_003);
+        let mut engine = rmodp_engineering::engine::Engine::new(seed);
         engine.behaviours_mut().register(
             "counter",
             rmodp_engineering::behaviour::CounterBehaviour::default,
@@ -221,19 +221,22 @@ fn replication() -> String {
     )
 }
 
-/// Runs all four parts and returns the `BENCH_mechanisms.json`
-/// document. Wall-clock rates go to stdout only, so the document is
+/// The base seed CI uses; the parts derive their rig seeds from it.
+pub const DEFAULT_SEED: u64 = 70;
+
+/// Runs all four parts at the given base seed and returns the
+/// `BENCH_mechanisms.json` document. Wall-clock rates go to stdout only, so the document is
 /// byte-identical across reruns.
 ///
 /// # Panics
 ///
 /// If the queue misorders events or any payload deep-copy is observed
 /// on a hot path.
-pub fn run_suite() -> String {
-    let kernel = kernel_queue();
-    let invocation = invocation();
-    let retransmission = retransmission();
-    let replication = replication();
+pub fn run_suite(seed: u64) -> String {
+    let kernel = kernel_queue(seed);
+    let invocation = invocation(seed.wrapping_mul(100) + 1);
+    let retransmission = retransmission(seed.wrapping_mul(100) + 2);
+    let replication = replication(seed.wrapping_mul(100) + 3);
 
     format!(
         "{{\"schema\":\"rmodp-bench-mechanisms/1\",\"kernel\":{kernel},\"invocation\":{invocation},\"retransmission\":{retransmission},\"replication\":{replication}}}\n"

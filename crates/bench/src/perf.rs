@@ -1,0 +1,592 @@
+//! The performance-regression gate behind `perf_gate`.
+//!
+//! CI produces four deterministic benchmark artifacts (`BENCH_*.json`).
+//! This module diffs each one against a checked-in baseline under
+//! `tests/baselines/` at the workspace root, applying per-metric
+//! tolerance bands, and renders a deterministic `PERF_report.json`
+//! (schema `rmodp-perf-report/1`, documented in `EXPERIMENTS.md` §E12).
+//! An out-of-tolerance metric — or one that vanished from the artifact —
+//! fails the gate, so an injected slowdown fails the build instead of
+//! drifting silently.
+//!
+//! Everything here is hand-rolled on the standard library (the build is
+//! offline): a minimal JSON reader, a path flattener, and a `*`-glob
+//! matcher for the tolerance rules. The reader handles exactly the JSON
+//! the benchmark suites emit — objects, arrays, strings, numbers,
+//! booleans, null — and rejects anything else.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys keep insertion order irrelevant —
+/// flattened metric paths are sorted before comparison anyway.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; benchmarks emit integers and decimal fractions only.
+    Num(f64),
+    /// A string (schema tags, scenario names, fault labels).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object.
+    Obj(Vec<(String, Json)>),
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Malformed input, with a byte offset in the message.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing input at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // {
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected `:` at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // [
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = bytes
+                    .get(*pos)
+                    .copied()
+                    .ok_or("unterminated escape".to_owned())?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape".to_owned())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unknown escape `\\{}`", other as char)),
+                }
+            }
+            other => {
+                // Multi-byte UTF-8 sequences pass through byte by byte.
+                let start = *pos - 1;
+                let len = utf8_len(other);
+                let chunk = bytes
+                    .get(start..start + len)
+                    .ok_or("truncated UTF-8".to_owned())?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos = start + len;
+            }
+        }
+    }
+    Err("unterminated string".to_owned())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
+/// Flattens the numeric and boolean leaves of a document to sorted
+/// `dotted.path[i]` → value pairs. Booleans compare as 0/1 (so a
+/// flipped SLO verdict is a metric regression); strings and nulls are
+/// identity, not performance, and are skipped.
+pub fn flatten(doc: &Json) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn walk(node: &Json, path: String, out: &mut BTreeMap<String, f64>) {
+    match node {
+        Json::Num(v) => {
+            out.insert(path, *v);
+        }
+        Json::Bool(v) => {
+            out.insert(path, if *v { 1.0 } else { 0.0 });
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                walk(item, format!("{path}[{i}]"), out);
+            }
+        }
+        Json::Obj(fields) => {
+            for (key, value) in fields {
+                let sub = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                walk(value, sub, out);
+            }
+        }
+        Json::Str(_) | Json::Null => {}
+    }
+}
+
+/// One tolerance rule: the first band whose `*`-glob matches a metric
+/// path decides how far the current value may drift from the baseline.
+/// A value passes when `|current - baseline| <= max(abs, rel * |baseline|)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Band {
+    /// `*`-glob over the flattened metric path.
+    pub pattern: &'static str,
+    /// Relative tolerance (fraction of the baseline magnitude).
+    pub rel: f64,
+    /// Absolute slack, so near-zero baselines aren't impossibly strict.
+    pub abs: f64,
+}
+
+/// The default bands, checked in order. Invariants (causality
+/// violations, duplicate dispatches, order checksums, payload copies,
+/// SLO verdicts) get zero tolerance; latency-shaped figures get a wide
+/// band because queueing amplifies small scheduling shifts; counts get
+/// a modest one.
+pub fn default_bands() -> Vec<Band> {
+    vec![
+        Band {
+            pattern: "*violations*",
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Band {
+            pattern: "*duplicate_dispatches*",
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Band {
+            pattern: "*checksum*",
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Band {
+            pattern: "*payload_copies*",
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Band {
+            pattern: "*pass*",
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Band {
+            pattern: "*availability*",
+            rel: 0.05,
+            abs: 0.01,
+        },
+        Band {
+            pattern: "*_us*",
+            rel: 0.25,
+            abs: 50.0,
+        },
+        Band {
+            pattern: "*latency*",
+            rel: 0.25,
+            abs: 50.0,
+        },
+        Band {
+            pattern: "*mttr*",
+            rel: 0.25,
+            abs: 50.0,
+        },
+        Band {
+            pattern: "*mean*",
+            rel: 0.25,
+            abs: 50.0,
+        },
+        Band {
+            pattern: "*",
+            rel: 0.10,
+            abs: 2.0,
+        },
+    ]
+}
+
+/// `*`-glob match (no `?`, no classes — the bands don't need them).
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[u8], t: &[u8]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some(b'*') => (0..=t.len()).any(|skip| inner(&p[1..], &t[skip..])),
+            Some(&c) => t.first() == Some(&c) && inner(&p[1..], &t[1..]),
+        }
+    }
+    inner(pattern.as_bytes(), text.as_bytes())
+}
+
+// The zero-tolerance fallback when no band matches (unreachable with
+// the default set, whose last rule is `*`).
+const STRICT: Band = Band {
+    pattern: "*",
+    rel: 0.0,
+    abs: 0.0,
+};
+
+fn band_for<'a>(bands: &'a [Band], path: &str) -> &'a Band {
+    bands
+        .iter()
+        .find(|b| glob_match(b.pattern, path))
+        .unwrap_or(&STRICT)
+}
+
+/// One compared metric that did not simply pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Flattened metric path.
+    pub path: String,
+    /// Baseline value, if the baseline has the metric.
+    pub baseline: Option<f64>,
+    /// Current value, if the artifact has the metric.
+    pub current: Option<f64>,
+    /// The tolerance band pattern that decided this metric.
+    pub band: &'static str,
+    /// `"fail"`, `"missing"` (both fail the gate) or `"added"` (a note).
+    pub status: &'static str,
+}
+
+/// The comparison result for one artifact.
+#[derive(Debug, Clone)]
+pub struct ArtifactReport {
+    /// Artifact file name, e.g. `BENCH_workload.json`.
+    pub name: String,
+    /// Metrics present in both documents and compared.
+    pub checked: usize,
+    /// Everything that wasn't a clean pass, sorted by path.
+    pub diffs: Vec<MetricDiff>,
+    /// False if any diff has a failing status.
+    pub pass: bool,
+}
+
+/// Compares one artifact against its baseline under the given bands.
+///
+/// # Errors
+///
+/// Either document fails to parse.
+pub fn compare(
+    name: &str,
+    baseline: &str,
+    current: &str,
+    bands: &[Band],
+) -> Result<ArtifactReport, String> {
+    let base = flatten(&parse(baseline).map_err(|e| format!("{name} baseline: {e}"))?);
+    let cur = flatten(&parse(current).map_err(|e| format!("{name} artifact: {e}"))?);
+
+    let mut diffs = Vec::new();
+    let mut checked = 0usize;
+    for (path, &b) in &base {
+        let band = band_for(bands, path);
+        match cur.get(path) {
+            None => diffs.push(MetricDiff {
+                path: path.clone(),
+                baseline: Some(b),
+                current: None,
+                band: band.pattern,
+                status: "missing",
+            }),
+            Some(&c) => {
+                checked += 1;
+                let allowed = band.abs.max(band.rel * b.abs());
+                if (c - b).abs() > allowed {
+                    diffs.push(MetricDiff {
+                        path: path.clone(),
+                        baseline: Some(b),
+                        current: Some(c),
+                        band: band.pattern,
+                        status: "fail",
+                    });
+                }
+            }
+        }
+    }
+    for (path, &c) in &cur {
+        if !base.contains_key(path) {
+            diffs.push(MetricDiff {
+                path: path.clone(),
+                baseline: None,
+                current: Some(c),
+                band: band_for(bands, path).pattern,
+                status: "added",
+            });
+        }
+    }
+    diffs.sort_by(|a, z| a.path.cmp(&z.path));
+    let pass = diffs.iter().all(|d| d.status == "added");
+    Ok(ArtifactReport {
+        name: name.to_owned(),
+        checked,
+        diffs,
+        pass,
+    })
+}
+
+/// Formats a value the way the report writes numbers: integers bare,
+/// fractions via the shortest round-trip `Display` form. Deterministic
+/// for a given input.
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_owned(), fmt_num)
+}
+
+/// Renders the deterministic `PERF_report.json` document (schema
+/// `rmodp-perf-report/1`) over all artifact reports.
+pub fn render_report(artifacts: &[ArtifactReport]) -> String {
+    let pass = artifacts.iter().all(|a| a.pass);
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"schema\":\"rmodp-perf-report/1\",\"pass\":{pass},\"artifacts\":["
+    );
+    for (i, a) in artifacts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let failed = a.diffs.iter().filter(|d| d.status == "fail").count();
+        let missing = a.diffs.iter().filter(|d| d.status == "missing").count();
+        let added = a.diffs.iter().filter(|d| d.status == "added").count();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"pass\":{},\"checked\":{},\"failed\":{failed},\"missing\":{missing},\"added\":{added},\"diffs\":[",
+            a.name, a.pass, a.checked
+        );
+        for (j, d) in a.diffs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"path\":\"{}\",\"status\":\"{}\",\"baseline\":{},\"current\":{},\"band\":\"{}\"}}",
+                d.path,
+                d.status,
+                fmt_opt(d.baseline),
+                fmt_opt(d.current),
+                d.band
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{"schema":"s/1","latency_us":{"p50":1000,"p99":4000},
+        "completed":1200,"causality_violations":0,"pass":true}"#;
+
+    #[test]
+    fn parser_round_trips_the_shapes_benchmarks_emit() {
+        let doc = parse(r#"{"a":[1,2.5,-3e2],"b":{"c":"x","d":true,"e":null}}"#).unwrap();
+        let flat = flatten(&doc);
+        assert_eq!(flat.get("a[0]"), Some(&1.0));
+        assert_eq!(flat.get("a[2]"), Some(&-300.0));
+        assert_eq!(flat.get("b.d"), Some(&1.0));
+        assert!(!flat.contains_key("b.c"), "strings are not metrics");
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2] trailing").is_err());
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let report = compare("BENCH_x.json", BASE, BASE, &default_bands()).unwrap();
+        assert!(report.pass);
+        assert_eq!(report.checked, 5);
+        assert!(report.diffs.is_empty());
+    }
+
+    #[test]
+    fn drift_within_band_passes_and_beyond_band_fails() {
+        // +20% latency: inside the 25% latency band.
+        let ok = BASE.replace("\"p99\":4000", "\"p99\":4800");
+        assert!(compare("x", BASE, &ok, &default_bands()).unwrap().pass);
+        // +100% latency: an injected slowdown must fail the gate.
+        let slow = BASE.replace("\"p99\":4000", "\"p99\":8000");
+        let report = compare("x", BASE, &slow, &default_bands()).unwrap();
+        assert!(!report.pass);
+        assert_eq!(report.diffs.len(), 1);
+        assert_eq!(report.diffs[0].path, "latency_us.p99");
+        assert_eq!(report.diffs[0].status, "fail");
+    }
+
+    #[test]
+    fn invariants_have_zero_tolerance() {
+        let bad = BASE.replace("\"causality_violations\":0", "\"causality_violations\":1");
+        assert!(!compare("x", BASE, &bad, &default_bands()).unwrap().pass);
+        let flipped = BASE.replace("\"pass\":true", "\"pass\":false");
+        assert!(!compare("x", BASE, &flipped, &default_bands()).unwrap().pass);
+    }
+
+    #[test]
+    fn missing_metric_fails_added_metric_is_a_note() {
+        let missing = BASE.replace("\"completed\":1200,", "");
+        let report = compare("x", BASE, &missing, &default_bands()).unwrap();
+        assert!(!report.pass);
+        assert_eq!(report.diffs[0].status, "missing");
+
+        let added = BASE.replace("\"completed\":1200", "\"completed\":1200,\"extra\":7");
+        let report = compare("x", BASE, &added, &default_bands()).unwrap();
+        assert!(report.pass, "new metrics don't fail the gate");
+        assert_eq!(report.diffs[0].status, "added");
+    }
+
+    #[test]
+    fn report_is_deterministic_and_flags_failures() {
+        let slow = BASE.replace("\"p99\":4000", "\"p99\":9999");
+        let a = compare("BENCH_x.json", BASE, &slow, &default_bands()).unwrap();
+        let b = compare("BENCH_x.json", BASE, &slow, &default_bands()).unwrap();
+        let ra = render_report(&[a]);
+        let rb = render_report(&[b]);
+        assert_eq!(ra, rb, "report must be byte-identical across reruns");
+        assert!(ra.starts_with("{\"schema\":\"rmodp-perf-report/1\",\"pass\":false"));
+        assert!(ra.contains("\"path\":\"latency_us.p99\""));
+        assert!(ra.contains("\"baseline\":4000,\"current\":9999"));
+        // The report itself parses with the same reader.
+        assert!(parse(ra.trim_end()).is_ok());
+    }
+
+    #[test]
+    fn glob_bands_match_expected_paths() {
+        assert!(glob_match("*_us*", "scenarios[0].report.latency_us.p50"));
+        assert!(glob_match(
+            "*violations*",
+            "scenarios[3].causality_violations"
+        ));
+        assert!(glob_match("*", "anything"));
+        assert!(!glob_match("*mttr*", "latency_us.p50"));
+        let bands = default_bands();
+        let band = band_for(&bands, "kernel.order_checksum");
+        assert_eq!(band.pattern, "*checksum*");
+        assert_eq!(band.rel, 0.0);
+    }
+}

@@ -1,11 +1,13 @@
 //! Golden artifact tests: the benchmark suites must reproduce the
 //! committed fixtures byte-for-byte.
 //!
-//! The fixtures under `tests/fixtures/` at the workspace root were
-//! generated before the kernel refactor (PR 5) landed, so these tests
-//! pin the refactored scheduling, RNG streams, and payload sharing to
-//! the exact pre-refactor behaviour: same seed → same events in the
-//! same order → the same JSON document, byte for byte.
+//! The fixtures under `tests/fixtures/` at the workspace root pin the
+//! scheduling, RNG streams, and payload sharing to exact behaviour:
+//! same seed → same events in the same order → the same JSON document,
+//! byte for byte. They were regenerated when the profiling PR landed —
+//! log-bucketed histograms changed quantile values, and the admission /
+//! call-span instrumentation added events to the streams the oracles
+//! count.
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/../../tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -15,7 +17,8 @@ fn fixture(name: &str) -> String {
 #[test]
 fn workload_suite_reproduces_committed_artifact() {
     let golden = fixture("BENCH_workload.json");
-    let produced = rmodp_bench::workload_suite::run_suite();
+    let produced =
+        rmodp_bench::workload_suite::run_suite(rmodp_bench::workload_suite::DEFAULT_SEED);
     assert_eq!(
         produced, golden,
         "BENCH_workload.json drifted from the committed fixture"
@@ -34,8 +37,8 @@ fn chaos_suite_reproduces_committed_artifact() {
 
 #[test]
 fn mechanisms_suite_is_deterministic() {
-    let first = rmodp_bench::mechanisms::run_suite();
-    let second = rmodp_bench::mechanisms::run_suite();
+    let first = rmodp_bench::mechanisms::run_suite(rmodp_bench::mechanisms::DEFAULT_SEED);
+    let second = rmodp_bench::mechanisms::run_suite(rmodp_bench::mechanisms::DEFAULT_SEED);
     assert_eq!(first, second, "mechanisms suite must be byte-identical");
     assert!(first.starts_with("{\"schema\":\"rmodp-bench-mechanisms/1\""));
 }

@@ -276,6 +276,10 @@ impl Actor<Engine> for FaultInjector {
         self.next += 1;
         self.perform(world, action);
     }
+
+    fn name(&self) -> &'static str {
+        "fault_injector"
+    }
 }
 
 #[cfg(test)]

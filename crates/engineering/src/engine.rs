@@ -204,6 +204,9 @@ pub struct Engine {
     interface_gen: IdGen<InterfaceId>,
     channel_gen: IdGen<ChannelId>,
     next_request: u64,
+    /// Call spans of in-flight [`Engine::call_send`] requests, so
+    /// [`Engine::take_reply`] can close them with a `CallEnd` event.
+    pending_calls: BTreeMap<u64, (u64, String)>,
     /// Deterministic jitter for retransmission backoff; a separate
     /// stream from the simulator's RNG so retry pacing never perturbs
     /// loss/latency draws.
@@ -243,6 +246,7 @@ impl Engine {
             interface_gen: IdGen::new(),
             channel_gen: IdGen::new(),
             next_request: 1,
+            pending_calls: BTreeMap::new(),
             jitter_rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
         }
     }
@@ -1359,13 +1363,35 @@ impl Engine {
         let payload = self.encode_invocation(client_native, op, args);
         let request_id = self.next_request;
         self.next_request += 1;
+        // Async calls get the same span shape as the blocking path —
+        // CallStart here, CallEnd when the reply is collected — so the
+        // critical-path profiler sees open-loop invocations too.
+        let span = bus::new_span();
+        event(Layer::Engineering, EventKind::CallStart)
+            .span(span)
+            .parent_from_context()
+            .channel(channel.raw())
+            .detail(format!("op={op} mode=async"))
+            .emit();
         let mut env = Envelope::request(channel, request_id, target, client_native, payload);
-        {
+        bus::push_context(span);
+        let sent = {
             let cc = self.channels.get_mut(&channel).expect("checked above");
-            cc.stack.outgoing(&mut env)?;
+            cc.stack.outgoing(&mut env)
+        };
+        if let Err(e) = sent {
+            bus::pop_context();
+            event(Layer::Engineering, EventKind::CallEnd)
+                .span(span)
+                .channel(channel.raw())
+                .detail(format!("op={op} -> error: {e}"))
+                .emit();
+            return Err(e.into());
         }
         self.sim.send_from(driver, dst, env.to_bytes());
+        bus::pop_context();
         bus::counter_add("engineering.calls_async", 1);
+        self.pending_calls.insert(request_id, (span, op.to_owned()));
         Ok(request_id)
     }
 
@@ -1396,6 +1422,10 @@ impl Engine {
         let Some((mut reply, arrived)) = d.mailbox.remove(&request_id) else {
             return Ok(None);
         };
+        let pending = self.pending_calls.remove(&request_id);
+        if let Some((span, _)) = &pending {
+            bus::push_context(*span);
+        }
         let outcome = {
             let cc = self.channels.get_mut(&channel).expect("checked above");
             match cc.stack.incoming(&mut reply) {
@@ -1403,6 +1433,20 @@ impl Engine {
                 Ok(()) => self.interpret_reply(target, reply),
             }
         };
+        if pending.is_some() {
+            bus::pop_context();
+        }
+        if let Some((span, op)) = pending {
+            let detail = match &outcome {
+                Ok(t) => format!("op={op} -> {}", t.name),
+                Err(e) => format!("op={op} -> error: {e}"),
+            };
+            event(Layer::Engineering, EventKind::CallEnd)
+                .span(span)
+                .channel(channel.raw())
+                .detail(detail)
+                .emit();
+        }
         Ok(Some((arrived, outcome)))
     }
 
@@ -1444,5 +1488,9 @@ impl World for Engine {
 
     fn step(&mut self) -> bool {
         self.sim.step()
+    }
+
+    fn queue_len(&self) -> usize {
+        World::queue_len(&self.sim)
     }
 }

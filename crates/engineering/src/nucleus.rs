@@ -146,6 +146,11 @@ struct QueuedRequest {
     env: Envelope,
     reply_to: rmodp_netsim::sim::Addr,
     enqueued_at: SimTime,
+    /// The causal context (the request message's span) captured at
+    /// enqueue time. Service happens on a timer, which carries no
+    /// context of its own; restoring this around dispatch keeps the
+    /// reply causally linked to the request that provoked it.
+    context: Option<u64>,
 }
 
 /// The per-node engineering kernel, run as a simulator process.
@@ -581,10 +586,20 @@ impl NucleusProcess {
             }
         }
         rmodp_observe::bus::counter_add("engineering.admission.enqueued", 1);
+        rmodp_observe::event(
+            rmodp_observe::Layer::Engineering,
+            rmodp_observe::EventKind::AdmissionEnqueue,
+        )
+        .in_context()
+        .node(self.node.raw())
+        .channel(env.channel.raw())
+        .detail(format!("queue at {}", self.queue.len() + 1))
+        .emit();
         self.queue.push_back(QueuedRequest {
             env,
             reply_to: src,
             enqueued_at: ctx.now(),
+            context: rmodp_observe::bus::current_context(),
         });
         self.publish_queue_depth();
         if !self.draining {
@@ -598,11 +613,27 @@ impl NucleusProcess {
     fn serve_next(&mut self, ctx: &mut Ctx<'_>) {
         if let Some(queued) = self.queue.pop_front() {
             self.publish_queue_depth();
-            rmodp_observe::bus::observe(
-                "engineering.admission.queue_wait_us",
-                ctx.now().since(queued.enqueued_at).as_micros(),
-            );
+            let wait_us = ctx.now().since(queued.enqueued_at).as_micros();
+            rmodp_observe::bus::observe("engineering.admission.queue_wait_us", wait_us);
+            // The drain timer carries no causal context; restore the
+            // one captured at enqueue so the dispatch (and the reply it
+            // sends) stays on the request's span.
+            if let Some(span) = queued.context {
+                rmodp_observe::bus::push_context(span);
+            }
+            rmodp_observe::event(
+                rmodp_observe::Layer::Engineering,
+                rmodp_observe::EventKind::AdmissionDispatch,
+            )
+            .in_context()
+            .node(self.node.raw())
+            .channel(queued.env.channel.raw())
+            .detail(format!("waited {wait_us}us"))
+            .emit();
             self.dispatch_request(ctx, queued.reply_to, queued.env);
+            if queued.context.is_some() {
+                rmodp_observe::bus::pop_context();
+            }
         }
         if self.queue.is_empty() {
             self.draining = false;

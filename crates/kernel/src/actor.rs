@@ -13,8 +13,19 @@
 //! * the world's clock never moves backward;
 //! * when no actor is due but one still has work in flight, the kernel
 //!   steps the world one event at a time, polling actors between steps.
+//!
+//! Profiling: every tick is accounted to its actor through the observe
+//! bus — `kernel.actor.<name>.ticks` counts firings and
+//! `kernel.actor.<name>.tick_advance_us` records how much virtual time
+//! each tick consumed (an engine-driving tick that blocks on a call
+//! consumes the call's latency). The kernel also samples
+//! `kernel.queue_depth` (the world's event queue) and `kernel.due_lag_us`
+//! (how far behind its requested instant an actor fired) on every
+//! advance. Metric names are precomputed at [`Kernel::register`], so the
+//! hot loop formats nothing.
 
 use crate::time::SimTime;
+use rmodp_observe::bus;
 
 /// The substrate the kernel drives: anything with a virtual clock and an
 /// event queue (the network simulator, or an engine wrapping one).
@@ -31,6 +42,13 @@ pub trait World {
 
     /// Processes exactly one queued event; `false` if none remained.
     fn step(&mut self) -> bool;
+
+    /// How many events are queued right now (0 if the world does not
+    /// expose its queue). Sampled into the `kernel.queue_depth` gauge on
+    /// every kernel advance.
+    fn queue_len(&self) -> usize {
+        0
+    }
 }
 
 /// A participant scheduled on the kernel.
@@ -53,12 +71,26 @@ pub trait Actor<W: World + ?Sized> {
     /// Called after each single step taken on the actor's behalf (see
     /// [`Actor::pending`]); typically drains completions.
     fn poll(&mut self, _world: &mut W) {}
+
+    /// A stable name for per-actor accounting
+    /// (`kernel.actor.<name>.ticks` etc.). Actors sharing a name share
+    /// the metric.
+    fn name(&self) -> &'static str {
+        "actor"
+    }
+}
+
+/// A registered actor plus its precomputed metric names.
+struct Slot<'a, W: World + ?Sized> {
+    actor: &'a mut dyn Actor<W>,
+    ticks_metric: String,
+    advance_metric: String,
 }
 
 /// The one deterministic scheduler: interleaves registered actors' due
 /// instants with world progress.
 pub struct Kernel<'a, W: World> {
-    actors: Vec<&'a mut dyn Actor<W>>,
+    actors: Vec<Slot<'a, W>>,
 }
 
 impl<W: World> Default for Kernel<'_, W> {
@@ -75,8 +107,14 @@ impl<'a, W: World> Kernel<'a, W> {
 
     /// Registers an actor. Registration order breaks equal-time ties, so
     /// register higher-priority actors (e.g. fault injectors) first.
+    /// Per-actor metric names are formatted once here, not per tick.
     pub fn register(&mut self, actor: &'a mut dyn Actor<W>) -> &mut Self {
-        self.actors.push(actor);
+        let name = actor.name();
+        self.actors.push(Slot {
+            actor,
+            ticks_metric: format!("kernel.actor.{name}.ticks"),
+            advance_metric: format!("kernel.actor.{name}.tick_advance_us"),
+        });
         self
     }
 
@@ -84,8 +122,8 @@ impl<'a, W: World> Kernel<'a, W> {
     /// earliest-registered actor), optionally bounded by `limit`.
     fn earliest_due(&self, world: &W, limit: Option<SimTime>) -> Option<(SimTime, usize)> {
         let mut best: Option<(SimTime, usize)> = None;
-        for (i, actor) in self.actors.iter().enumerate() {
-            if let Some(t) = actor.next_due(world) {
+        for (i, slot) in self.actors.iter().enumerate() {
+            if let Some(t) = slot.actor.next_due(world) {
                 if limit.is_some_and(|l| t > l) {
                     continue;
                 }
@@ -97,13 +135,29 @@ impl<'a, W: World> Kernel<'a, W> {
         best
     }
 
+    /// Advances the world to the due instant, samples the kernel gauges,
+    /// fires the actor, and accounts the virtual time its tick consumed.
+    fn fire(&mut self, world: &mut W, t: SimTime, i: usize) {
+        let lag = world.now().as_micros().saturating_sub(t.as_micros());
+        world.advance_to(t);
+        bus::gauge_set("kernel.queue_depth", world.queue_len() as i64);
+        bus::gauge_set("kernel.due_lag_us", lag as i64);
+        let before = world.now().as_micros();
+        let slot = &mut self.actors[i];
+        slot.actor.tick(world, t);
+        bus::counter_add(&slot.ticks_metric, 1);
+        bus::observe(
+            &slot.advance_metric,
+            world.now().as_micros().saturating_sub(before),
+        );
+    }
+
     /// Advances the world to `target`, firing every actor due on the
     /// way, each at its exact instant. The world never runs past a
     /// pending due.
     pub fn advance_to(&mut self, world: &mut W, target: SimTime) {
         while let Some((t, i)) = self.earliest_due(world, Some(target)) {
-            world.advance_to(t);
-            self.actors[i].tick(world, t);
+            self.fire(world, t, i);
         }
         world.advance_to(target);
     }
@@ -117,16 +171,15 @@ impl<'a, W: World> Kernel<'a, W> {
     pub fn run(&mut self, world: &mut W) {
         loop {
             if let Some((t, i)) = self.earliest_due(world, None) {
-                world.advance_to(t);
-                self.actors[i].tick(world, t);
+                self.fire(world, t, i);
                 continue;
             }
-            if self.actors.iter().any(|a| a.pending(world)) {
+            if self.actors.iter().any(|s| s.actor.pending(world)) {
                 if !world.step() {
                     break;
                 }
-                for actor in self.actors.iter_mut() {
-                    actor.poll(world);
+                for slot in self.actors.iter_mut() {
+                    slot.actor.poll(world);
                 }
             } else {
                 break;
@@ -137,8 +190,7 @@ impl<'a, W: World> Kernel<'a, W> {
     /// Fires every remaining due, then drains the world to quiescence.
     pub fn finish(&mut self, world: &mut W) {
         while let Some((t, i)) = self.earliest_due(world, None) {
-            world.advance_to(t);
-            self.actors[i].tick(world, t);
+            self.fire(world, t, i);
         }
         world.run_until_idle();
     }
@@ -191,6 +243,10 @@ mod tests {
                 None => false,
             }
         }
+
+        fn queue_len(&self) -> usize {
+            self.queue.len()
+        }
     }
 
     /// Ticks at fixed instants, recording `(instant, tag)`.
@@ -221,6 +277,10 @@ mod tests {
             self.next += 1;
             self.log.push((world.now(), self.tag));
             let _ = at;
+        }
+
+        fn name(&self) -> &'static str {
+            "metronome"
         }
     }
 
@@ -293,6 +353,28 @@ mod tests {
             self.polls += 1;
             self.outstanding = world.queue.len();
         }
+    }
+
+    #[test]
+    fn kernel_accounts_ticks_and_samples_gauges() {
+        bus::reset();
+        let mut world = ToyWorld::new();
+        world.queue.schedule(SimTime::from_micros(5), 99);
+        let mut a = Metronome::at(1, &[10, 30]);
+        let mut kernel = Kernel::new();
+        kernel.register(&mut a);
+        kernel.run(&mut world);
+        let m = bus::snapshot_metrics();
+        assert_eq!(m.counter("kernel.actor.metronome.ticks"), 2);
+        assert_eq!(
+            m.histogram("kernel.actor.metronome.tick_advance_us")
+                .map(|h| h.count()),
+            Some(2),
+            "each tick's virtual-time advance is recorded"
+        );
+        assert_eq!(m.gauge("kernel.queue_depth"), Some(0));
+        assert_eq!(m.gauge("kernel.due_lag_us"), Some(0));
+        bus::reset();
     }
 
     #[test]

@@ -132,11 +132,16 @@ impl<'a> Ctx<'a> {
         self.self_addr
     }
 
-    /// Sends a message from this process.
+    /// Sends a message from this process. The causal context active
+    /// *now* is captured with the command: commands are applied after
+    /// the handler returns, by which time a context the handler pushed
+    /// (e.g. a queued request's span restored around its dispatch) has
+    /// been popped again.
     pub fn send(&mut self, dst: Addr, payload: impl Into<Payload>) {
         self.out.push(Command::Send {
             dst,
             payload: payload.into(),
+            context: bus::current_context(),
         });
     }
 
@@ -181,8 +186,17 @@ impl<'a> Ctx<'a> {
 
 #[derive(Debug)]
 enum Command {
-    Send { dst: Addr, payload: Payload },
-    SetTimer { at: SimTime, tag: u64, id: TimerId },
+    Send {
+        dst: Addr,
+        payload: Payload,
+        /// Causal context captured at `Ctx::send` time (see there).
+        context: Option<u64>,
+    },
+    SetTimer {
+        at: SimTime,
+        tag: u64,
+        id: TimerId,
+    },
     CancelTimer(TimerId),
     Note(String),
 }
@@ -566,7 +580,27 @@ impl Sim {
     fn apply(&mut self, from: Addr, commands: Vec<Command>) {
         for cmd in commands {
             match cmd {
-                Command::Send { dst, payload } => self.do_send(from, dst, payload),
+                Command::Send {
+                    dst,
+                    payload,
+                    context,
+                } => {
+                    // Restore the sender's causal context so the Send
+                    // event parents on the activity that provoked it
+                    // even when the command is applied context-free
+                    // (timer handlers, queued dispatches).
+                    let restored = match (context, bus::current_context()) {
+                        (Some(span), top) if top != Some(span) => {
+                            bus::push_context(span);
+                            true
+                        }
+                        _ => false,
+                    };
+                    self.do_send(from, dst, payload);
+                    if restored {
+                        bus::pop_context();
+                    }
+                }
                 Command::SetTimer { at, tag, id } => {
                     self.queue.schedule(
                         at,
@@ -608,6 +642,10 @@ impl World for Sim {
 
     fn step(&mut self) -> bool {
         Sim::step(self)
+    }
+
+    fn queue_len(&self) -> usize {
+        self.queue.len()
     }
 }
 

@@ -90,6 +90,11 @@ pub enum EventKind {
     Relocate,
     /// A channel's circuit breaker changed state (closed/open/half-open).
     BreakerTransition,
+    /// A request entered a node's admission queue (start of queue wait).
+    AdmissionEnqueue,
+    /// A queued request left the admission queue for service (end of
+    /// queue wait, start of service).
+    AdmissionDispatch,
     // ---- transparency ----
     /// A write was applied to replicas.
     ReplicaUpdate,
@@ -150,6 +155,8 @@ impl EventKind {
             EventKind::MigrateEnd => "migrate_end",
             EventKind::Relocate => "relocate",
             EventKind::BreakerTransition => "breaker_transition",
+            EventKind::AdmissionEnqueue => "admission_enqueue",
+            EventKind::AdmissionDispatch => "admission_dispatch",
             EventKind::ReplicaUpdate => "replica_update",
             EventKind::ReplicaRead => "replica_read",
             EventKind::ReplicaVote => "replica_vote",

@@ -84,8 +84,15 @@ struct NodeRow {
 
 /// Renders a per-node summary table (message traffic and all other
 /// events located at each node), followed by a per-channel hop count
-/// table and per-layer event-kind totals.
+/// table and per-layer event-kind totals. Unbounded — at federation
+/// scale prefer [`summary_table_capped`].
 pub fn summary_table(events: &[Event]) -> String {
+    summary_table_capped(events, usize::MAX)
+}
+
+/// [`summary_table`] with each table truncated to `max_rows` rows; a
+/// `(+N more)` marker makes the truncation explicit.
+pub fn summary_table_capped(events: &[Event], max_rows: usize) -> String {
     let mut nodes: BTreeMap<u64, NodeRow> = BTreeMap::new();
     let mut channels: BTreeMap<u64, u64> = BTreeMap::new();
     let mut kinds: BTreeMap<(Layer, EventKind), u64> = BTreeMap::new();
@@ -109,27 +116,34 @@ pub fn summary_table(events: &[Event]) -> String {
 
     let mut out = String::new();
     out.push_str(&format!("events: {}\n", events.len()));
+    let more = |out: &mut String, total: usize| {
+        if total > max_rows {
+            out.push_str(&format!("  (+{} more)\n", total - max_rows));
+        }
+    };
     if !nodes.is_empty() {
         out.push_str(&format!(
             "{:>6} {:>7} {:>9} {:>6} {:>7} {:>7}\n",
             "node", "sends", "delivers", "drops", "timers", "other"
         ));
-        for (node, r) in &nodes {
+        for (node, r) in nodes.iter().take(max_rows) {
             out.push_str(&format!(
                 "{:>6} {:>7} {:>9} {:>6} {:>7} {:>7}\n",
                 node, r.sends, r.delivers, r.drops, r.timers, r.other
             ));
         }
+        more(&mut out, nodes.len());
     }
     if !channels.is_empty() {
         out.push_str(&format!("{:>8} {:>7}\n", "channel", "events"));
-        for (ch, n) in &channels {
+        for (ch, n) in channels.iter().take(max_rows) {
             out.push_str(&format!("{ch:>8} {n:>7}\n"));
         }
+        more(&mut out, channels.len());
     }
     if !kinds.is_empty() {
         out.push_str(&format!("{:<14} {:<16} {:>6}\n", "layer", "kind", "count"));
-        for ((layer, kind), n) in &kinds {
+        for ((layer, kind), n) in kinds.iter().take(max_rows) {
             out.push_str(&format!(
                 "{:<14} {:<16} {:>6}\n",
                 layer.name(),
@@ -137,6 +151,7 @@ pub fn summary_table(events: &[Event]) -> String {
                 n
             ));
         }
+        more(&mut out, kinds.len());
     }
     out
 }
@@ -144,8 +159,17 @@ pub fn summary_table(events: &[Event]) -> String {
 /// Renders a causal timeline: events in emission order, indented by the
 /// depth of their span in the parent chain, so a migration's checkpoint,
 /// transfer messages, and reactivation visually nest under the
-/// migration's own span.
+/// migration's own span. Unbounded — at federation scale prefer
+/// [`timeline_capped`].
 pub fn timeline(events: &[Event]) -> String {
+    timeline_capped(events, usize::MAX)
+}
+
+/// [`timeline`] truncated to the first `max_events` events, with a
+/// `(+N more events)` marker making the truncation explicit. Span
+/// depths are still computed over the whole stream, so the shown prefix
+/// indents exactly as it would untruncated.
+pub fn timeline_capped(events: &[Event], max_events: usize) -> String {
     // A span's parent is taken from the first event that declares it.
     let mut parent_of: BTreeMap<u64, u64> = BTreeMap::new();
     for e in events {
@@ -169,7 +193,7 @@ pub fn timeline(events: &[Event]) -> String {
     };
 
     let mut out = String::new();
-    for e in events {
+    for e in events.iter().take(max_events) {
         let indent = "  ".repeat(depth_of(e.span));
         out.push_str(&format!("t={:>8}us {}{}\n", e.t_us, indent, {
             let mut line = format!("[{}] {}", e.layer.name(), e.kind.name());
@@ -184,6 +208,9 @@ pub fn timeline(events: &[Event]) -> String {
             }
             line
         }));
+    }
+    if events.len() > max_events {
+        out.push_str(&format!("(+{} more events)\n", events.len() - max_events));
     }
     out
 }
@@ -243,6 +270,25 @@ mod tests {
         assert!(s.contains("events: 4"));
         assert!(s.contains("channel"));
         assert!(s.contains("netsim"));
+    }
+
+    #[test]
+    fn capped_exports_mark_truncation() {
+        let evs: Vec<Event> = (0..20)
+            .map(|i| ev(i, EventKind::Send, Some(1), None))
+            .collect();
+        let t = timeline_capped(&evs, 5);
+        assert_eq!(t.lines().count(), 6);
+        assert!(t.ends_with("(+15 more events)\n"));
+        // Under the cap: no marker, identical to the unbounded render.
+        assert_eq!(timeline_capped(&evs, 20), timeline(&evs));
+        assert!(!timeline_capped(&evs, 20).contains("more events"));
+
+        // 20 events over nodes 0/1, channel 3 — capping rows to 1 marks
+        // the hidden node row.
+        let s = summary_table_capped(&evs, 1);
+        assert!(s.contains("(+1 more)"));
+        assert_eq!(summary_table_capped(&evs, 100), summary_table(&evs));
     }
 
     #[test]

@@ -2,82 +2,155 @@
 //! by hierarchical dot-separated names (`netsim.delivery_us`,
 //! `engineering.calls`, `twopc.commits`).
 //!
-//! Everything is deterministic: histograms store raw samples and compute
-//! percentiles by sorting, so the same run yields byte-identical
-//! summaries.
+//! Everything is deterministic. Histograms are log-bucketed rather than
+//! raw-sample vectors: memory is O(buckets touched), not O(samples), so
+//! a million-invocation run costs the same as a hundred-invocation run.
+//! `count`, `sum`, `min`, and `max` stay exact; percentiles are resolved
+//! to a bucket's upper bound (clamped to the observed min/max), which
+//! bounds the relative error at one sub-bucket width (< 1/16 ≈ 6%).
+//! Values below 128 get their own bucket, so small distributions — and
+//! every unit-test-sized histogram — report exact percentiles.
 
 use std::collections::BTreeMap;
 
+/// Number of identity buckets: values `< LINEAR_CUTOFF` are their own
+/// bucket and percentiles over them are exact.
+const LINEAR_CUTOFF: u64 = 128;
+/// log2 of the number of sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUBS: u64 = 1 << SUB_BITS;
+/// Exponent of the first octave above the linear range (2^7 = 128).
+const FIRST_EXP: u32 = 7;
+
+/// Maps a sample to its bucket index.
+fn bucket_index(v: u64) -> u32 {
+    if v < LINEAR_CUTOFF {
+        return v as u32;
+    }
+    let e = 63 - v.leading_zeros(); // >= FIRST_EXP
+    let sub = ((v >> (e - SUB_BITS)) & (SUBS - 1)) as u32;
+    LINEAR_CUTOFF as u32 + (e - FIRST_EXP) * SUBS as u32 + sub
+}
+
+/// The largest value contained in a bucket.
+fn bucket_upper(idx: u32) -> u64 {
+    if (idx as u64) < LINEAR_CUTOFF {
+        return idx as u64;
+    }
+    let i = idx - LINEAR_CUTOFF as u32;
+    let e = i / SUBS as u32 + FIRST_EXP;
+    let sub = (i % SUBS as u32) as u64;
+    // Bucket holds [ (SUBS+sub) << (e-SUB_BITS), ((SUBS+sub+1) << (e-SUB_BITS)) - 1 ].
+    ((SUBS + sub + 1) << (e - SUB_BITS)).wrapping_sub(1)
+}
+
 /// A latency/size distribution over `u64` samples (typically sim-time
-/// microseconds).
+/// microseconds), stored as sparse log buckets.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
-    samples: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+    buckets: BTreeMap<u32, u64>,
 }
 
 impl Histogram {
     /// Records one sample.
     pub fn observe(&mut self, v: u64) {
-        self.samples.push(v);
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v as u128;
+        *self.buckets.entry(bucket_index(v)).or_insert(0) += 1;
     }
 
-    /// Number of samples.
+    /// Number of samples (exact).
     pub fn count(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
-    /// Sum of all samples.
+    /// Sum of all samples (exact).
     pub fn sum(&self) -> u128 {
-        self.samples.iter().map(|&v| v as u128).sum()
+        self.sum
     }
 
-    /// Mean of all samples (0 if empty).
+    /// Mean of all samples (exact; 0 if empty).
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             0.0
         } else {
-            self.sum() as f64 / self.samples.len() as f64
+            self.sum as f64 / self.count as f64
         }
     }
 
-    /// The smallest sample (0 if empty).
+    /// The smallest sample (exact; 0 if empty).
     pub fn min(&self) -> u64 {
-        self.samples.iter().copied().min().unwrap_or(0)
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
-    /// The largest sample (0 if empty).
+    /// The largest sample (exact; 0 if empty).
     pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
     }
 
-    /// The `p`-th percentile (nearest-rank), `0.0 < p <= 100.0`.
-    /// Returns 0 for an empty histogram. Monotone in `p` by
-    /// construction: it indexes into the same sorted sample vector.
+    /// The `p`-th percentile (nearest-rank over buckets),
+    /// `0.0 < p <= 100.0`. Returns 0 for an empty histogram. Monotone in
+    /// `p` by construction: it walks the same cumulative bucket counts.
+    /// The answer is the containing bucket's upper bound clamped to
+    /// `[min, max]`, so constant distributions and values `< 128` are
+    /// exact and the relative error is otherwise < 1/16.
     pub fn percentile(&self, p: f64) -> u64 {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return 0;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let n = sorted.len();
-        let rank = ((p / 100.0) * n as f64).ceil() as usize;
-        sorted[rank.clamp(1, n) - 1]
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cum = 0u64;
+        for (&idx, &n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                return bucket_upper(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
     }
 
     /// Convenience: (p50, p95, p99).
     pub fn quantiles(&self) -> (u64, u64, u64) {
-        // One sort for all three.
-        if self.samples.is_empty() {
-            return (0, 0, 0);
-        }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let n = sorted.len();
-        let at = |p: f64| {
-            let rank = ((p / 100.0) * n as f64).ceil() as usize;
-            sorted[rank.clamp(1, n) - 1]
-        };
-        (at(50.0), at(95.0), at(99.0))
+        (
+            self.percentile(50.0),
+            self.percentile(95.0),
+            self.percentile(99.0),
+        )
+    }
+
+    /// Number of distinct buckets currently occupied — the histogram's
+    /// memory footprint is proportional to this, never to [`count`].
+    ///
+    /// [`count`]: Self::count
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Occupied buckets as `(upper_bound_inclusive, count)` pairs in
+    /// ascending value order — the raw material for external renderings.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&idx, &n)| (bucket_upper(idx), n))
     }
 }
 
@@ -205,6 +278,75 @@ mod tests {
         assert_eq!(p99, 9);
         assert_eq!(h.percentile(50.0), p50);
         assert_eq!(h.percentile(100.0), 9);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        // Values below the linear cutoff land in identity buckets, so
+        // nearest-rank percentiles match a raw-sample implementation.
+        let mut h = Histogram::default();
+        for v in [5u64, 1, 9, 7, 3, 3, 8, 2, 6, 4] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(50.0), 4);
+        assert_eq!(h.percentile(10.0), 1);
+        assert_eq!(h.percentile(90.0), 8);
+    }
+
+    #[test]
+    fn constant_distribution_is_exact_at_any_scale() {
+        let mut h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(1_000_000);
+        }
+        assert_eq!(h.quantiles(), (1_000_000, 1_000_000, 1_000_000));
+        assert_eq!(h.mean(), 1_000_000.0);
+    }
+
+    #[test]
+    fn large_values_have_bounded_relative_error() {
+        let mut h = Histogram::default();
+        for v in (0..10_000u64).map(|i| 1_000 + i * 37) {
+            h.observe(v);
+        }
+        for p in [10.0, 50.0, 90.0, 95.0, 99.0] {
+            let approx = h.percentile(p);
+            // Exact nearest-rank over the same arithmetic sequence.
+            let rank = ((p / 100.0) * 10_000f64).ceil() as u64;
+            let exact = 1_000 + (rank - 1) * 37;
+            let err = approx.abs_diff(exact) as f64 / exact as f64;
+            assert!(err < 1.0 / 16.0, "p{p}: approx {approx} vs exact {exact}");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_buckets_not_samples() {
+        let mut h = Histogram::default();
+        for v in 0..100_000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 100_000);
+        // 128 identity buckets + 16 per octave for ~10 octaves.
+        assert!(h.bucket_count() < 320, "got {}", h.bucket_count());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 99_999);
+        let total: u64 = h.buckets().map(|(_, n)| n).sum();
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        for v in (0..64)
+            .map(|e| 1u64 << e)
+            .chain([0, 1, 127, 128, 129, 1000, 123_456_789])
+        {
+            let idx = bucket_index(v);
+            assert!(bucket_upper(idx) >= v, "upper({idx}) < {v}");
+            if idx as u64 >= LINEAR_CUTOFF {
+                // Lower neighbour's upper bound is below v.
+                assert!(bucket_upper(idx - 1) < v, "bucket {idx} too wide for {v}");
+            }
+        }
     }
 
     #[test]

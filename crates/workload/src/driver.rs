@@ -218,6 +218,10 @@ impl Actor<Engine> for OpenLoopActor<'_> {
         self.driver.drain(world);
         self.driver.send_one(world, at, None);
     }
+
+    fn name(&self) -> &'static str {
+        "open_loop"
+    }
 }
 
 fn open_loop(
@@ -305,6 +309,10 @@ impl Actor<Engine> for ClosedLoopActor<'_> {
 
     fn poll(&mut self, world: &mut Engine) {
         self.harvest(world);
+    }
+
+    fn name(&self) -> &'static str {
+        "closed_loop"
     }
 }
 

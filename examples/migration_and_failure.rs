@@ -144,8 +144,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(layers.len() >= 4, "expected events from >=4 layers");
     assert!(kinds.len() >= 8, "expected >=8 distinct event kinds");
 
-    println!("\n{}", export::summary_table(&events));
+    // Capped exports: the tail of a long run is noise here, and the
+    // `(+N more)` markers make the truncation explicit.
+    println!("\n{}", export::summary_table_capped(&events, 12));
     println!("{}", export::metrics_table(&bus::snapshot_metrics()));
-    println!("{}", export::timeline(&events));
+    println!("{}", export::timeline_capped(&events, 80));
     Ok(())
 }

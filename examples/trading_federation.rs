@@ -81,8 +81,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ── Observability epilogue: what did the trading layer do? ──────
     let events = bus::snapshot_events();
-    println!("\n{}", export::summary_table(&events));
+    // Capped exports keep the epilogue readable; `(+N more)` marks
+    // anything truncated.
+    println!("\n{}", export::summary_table_capped(&events, 12));
     println!("{}", export::metrics_table(&bus::snapshot_metrics()));
-    println!("{}", export::timeline(&events));
+    println!("{}", export::timeline_capped(&events, 80));
     Ok(())
 }
