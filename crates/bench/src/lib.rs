@@ -9,6 +9,7 @@
 
 pub mod chaos_suite;
 pub mod mechanisms;
+pub mod oo7_suite;
 pub mod perf;
 pub mod trader_suite;
 pub mod workload_suite;

@@ -1,6 +1,6 @@
 //! The performance-regression gate behind `perf_gate`.
 //!
-//! CI produces four deterministic benchmark artifacts (`BENCH_*.json`).
+//! CI produces five deterministic benchmark artifacts (`BENCH_*.json`).
 //! This module diffs each one against a checked-in baseline under
 //! `tests/baselines/` at the workspace root, applying per-metric
 //! tolerance bands, and renders a deterministic `PERF_report.json`
@@ -262,9 +262,9 @@ pub struct Band {
 
 /// The default bands, checked in order. Invariants (causality
 /// violations, duplicate dispatches, order checksums, payload copies,
-/// SLO verdicts) get zero tolerance; latency-shaped figures get a wide
-/// band because queueing amplifies small scheduling shifts; counts get
-/// a modest one.
+/// SLO verdicts, and the durable store's recovery-loss counters) get
+/// zero tolerance; latency-shaped figures get a wide band because
+/// queueing amplifies small scheduling shifts; counts get a modest one.
 pub fn default_bands() -> Vec<Band> {
     vec![
         Band {
@@ -289,6 +289,16 @@ pub fn default_bands() -> Vec<Band> {
         },
         Band {
             pattern: "*pass*",
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Band {
+            pattern: "*lost_updates*",
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Band {
+            pattern: "*lost_committed*",
             rel: 0.0,
             abs: 0.0,
         },
@@ -587,6 +597,14 @@ mod tests {
         let bands = default_bands();
         let band = band_for(&bands, "kernel.order_checksum");
         assert_eq!(band.pattern, "*checksum*");
+        assert_eq!(band.rel, 0.0);
+        // The durable store's recovery invariants are zero-tolerance:
+        // any drift in a loss counter is a correctness bug, not noise.
+        let band = band_for(&bands, "recovery.capsule_kill.lost_updates");
+        assert_eq!(band.pattern, "*lost_updates*");
+        assert_eq!(band.abs, 0.0);
+        let band = band_for(&bands, "recovery.power_loss.lost_committed_updates");
+        assert_eq!(band.pattern, "*lost_committed*");
         assert_eq!(band.rel, 0.0);
     }
 }

@@ -24,6 +24,8 @@ pub enum Layer {
     Trader,
     /// Common ODP functions (`rmodp-functions`).
     Functions,
+    /// The durable object store (`rmodp-store`).
+    Store,
     /// Code driving the stack: examples, tests, benches.
     Application,
 }
@@ -38,6 +40,7 @@ impl Layer {
             Layer::Transactions => "transactions",
             Layer::Trader => "trader",
             Layer::Functions => "functions",
+            Layer::Store => "store",
             Layer::Application => "application",
         }
     }
@@ -132,6 +135,17 @@ pub enum EventKind {
     FaultInject,
     /// A scheduled fault was cleared (restart, heal, window end).
     FaultClear,
+    // ---- durable store ----
+    /// A batch of writes was made stable in the write-ahead log
+    /// (`store.wal` span).
+    WalCommit,
+    /// A snapshot of the full committed state was written
+    /// (`store.snapshot` span).
+    StoreSnapshot,
+    /// The log was compacted behind a snapshot (`store.compaction` span).
+    StoreCompaction,
+    /// A store recovered its state from snapshot + log replay.
+    StoreRecovery,
 }
 
 impl EventKind {
@@ -173,6 +187,10 @@ impl EventKind {
             EventKind::TxAbort => "tx_abort",
             EventKind::FaultInject => "fault_inject",
             EventKind::FaultClear => "fault_clear",
+            EventKind::WalCommit => "store.wal",
+            EventKind::StoreSnapshot => "store.snapshot",
+            EventKind::StoreCompaction => "store.compaction",
+            EventKind::StoreRecovery => "store.recovery",
         }
     }
 }

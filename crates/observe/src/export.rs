@@ -220,6 +220,33 @@ pub fn metrics_table(registry: &Registry) -> String {
     registry.render()
 }
 
+/// Renders the durable store's health block: WAL/snapshot footprint and
+/// the compaction / recovery counters (`store.*`), plus the failure
+/// transparency's lost-update counter, which the store-backed path must
+/// keep at zero. Empty when no store metric has been recorded.
+pub fn store_summary(registry: &Registry) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (name, v) in registry.gauges() {
+        if name.starts_with("store.") {
+            rows.push((name.to_owned(), v.to_string()));
+        }
+    }
+    for (name, v) in registry.counters() {
+        if name.starts_with("store.") || name == "failure.lost_updates" {
+            rows.push((name.to_owned(), v.to_string()));
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort();
+    let mut out = String::from("durable store:\n");
+    for (name, v) in rows {
+        out.push_str(&format!("  {name:<44} {v}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +316,26 @@ mod tests {
         let s = summary_table_capped(&evs, 1);
         assert!(s.contains("(+1 more)"));
         assert_eq!(summary_table_capped(&evs, 100), summary_table(&evs));
+    }
+
+    #[test]
+    fn store_summary_collects_store_metrics_only() {
+        let mut reg = Registry::new();
+        assert_eq!(store_summary(&reg), "", "no store metrics, no block");
+        reg.gauge_set("store.log_bytes", 4096);
+        reg.gauge_set("store.snapshot_bytes", 1024);
+        reg.counter_add("store.compactions", 2);
+        reg.counter_add("store.recovery_replayed", 17);
+        reg.counter_add("failure.lost_updates", 0);
+        reg.counter_add("netsim.sent", 99);
+        let s = store_summary(&reg);
+        assert!(s.starts_with("durable store:\n"));
+        assert!(s.contains("store.log_bytes"));
+        assert!(s.contains("store.snapshot_bytes"));
+        assert!(s.contains("store.compactions"));
+        assert!(s.contains("store.recovery_replayed"));
+        assert!(s.contains("failure.lost_updates"));
+        assert!(!s.contains("netsim.sent"));
     }
 
     #[test]

@@ -1,0 +1,517 @@
+//! The storage engine: batches in, durable state out.
+//!
+//! [`StoreEngine`] keeps the committed keyspace in memory and makes it
+//! durable through the write-ahead discipline of
+//! [`rmodp_transactions::log`]: every mutation is framed onto the
+//! [`StableMedia`] WAL *before* it touches the in-memory state, a commit
+//! syncs the log, and only then is the batch applied. Recovery is the
+//! inverse — load the last snapshot, scan the log's valid frame prefix,
+//! classify transactions with [`WriteAheadLog::analyze`], and redo the
+//! committed writes in order. Redo is idempotent (writes carry absolute
+//! after-images; [`Value::Null`] is the delete tombstone), so replaying
+//! an over-long log onto a newer snapshot converges to the same state.
+//!
+//! Compaction bounds the log: when the WAL outgrows
+//! [`StoreConfig::compact_wal_bytes`], the engine stages a snapshot,
+//! **syncs it**, and only then atomically resets the WAL. A crash
+//! between the two steps leaves snapshot + over-long log — tolerated —
+//! never a short log without its covering snapshot.
+
+use std::collections::BTreeMap;
+
+use rmodp_core::id::TxId;
+use rmodp_core::value::Value;
+use rmodp_observe::bus;
+use rmodp_observe::event::{EventBuilder, EventKind, Layer};
+use rmodp_transactions::log::{LogRecord, WriteAheadLog};
+
+use crate::media::StableMedia;
+use crate::snapshot::{decode_snapshot, encode_snapshot, Snapshot};
+use crate::wal::{decode_frames, encode_frame};
+
+/// A store failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The durable snapshot could not be decoded. Unlike a torn WAL tail
+    /// (expected after a crash, silently discarded) a damaged snapshot is
+    /// unrecoverable corruption — installation is atomic, so this never
+    /// arises from a crash alone.
+    CorruptSnapshot(String),
+    /// A batch operation was issued with no batch open.
+    NoOpenBatch,
+    /// `begin` was called while a batch was already open.
+    BatchAlreadyOpen,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::CorruptSnapshot(why) => write!(f, "corrupt snapshot: {why}"),
+            StoreError::NoOpenBatch => write!(f, "no open batch"),
+            StoreError::BatchAlreadyOpen => write!(f, "a batch is already open"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Tuning knobs for the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Compact (snapshot + reset the WAL) once the log exceeds this many
+    /// bytes. `usize::MAX` disables auto-compaction.
+    pub compact_wal_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            compact_wal_bytes: 1 << 20,
+        }
+    }
+}
+
+/// What recovery found and did when the engine opened.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Whether a durable snapshot was loaded first.
+    pub snapshot_loaded: bool,
+    /// WAL records scanned from the valid frame prefix.
+    pub records_scanned: usize,
+    /// Committed write records redone onto the state.
+    pub writes_replayed: usize,
+    /// Whether a torn/corrupt WAL tail was discarded.
+    pub tail_discarded: bool,
+    /// Transactions the log left unresolved (active or in doubt) whose
+    /// effects were therefore *not* applied.
+    pub unresolved_txs: usize,
+}
+
+#[derive(Debug)]
+struct OpenBatch {
+    tx: TxId,
+    /// Staged after-images, applied on commit ([`Value::Null`] deletes).
+    ops: Vec<(String, Value)>,
+}
+
+/// Counters the engine accumulates over its lifetime (mirrored onto the
+/// observe bus under `store.*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Batches committed.
+    pub commits: u64,
+    /// Batches aborted.
+    pub aborts: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Committed writes replayed by the last recovery.
+    pub recovery_replayed: u64,
+}
+
+/// A durable key→[`Value`] store over some [`StableMedia`].
+#[derive(Debug)]
+pub struct StoreEngine<M: StableMedia> {
+    media: M,
+    config: StoreConfig,
+    state: BTreeMap<String, Value>,
+    next_batch: u64,
+    open: Option<OpenBatch>,
+    stats: StoreStats,
+    recovery: RecoveryReport,
+}
+
+impl<M: StableMedia> StoreEngine<M> {
+    /// Opens the engine over `media`, recovering whatever committed
+    /// state the media holds: snapshot first, then redo of the WAL's
+    /// valid frame prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CorruptSnapshot`] if a snapshot exists but cannot
+    /// be decoded (real corruption, not a crash artefact).
+    pub fn open(media: M, config: StoreConfig) -> Result<Self, StoreError> {
+        let mut report = RecoveryReport::default();
+        let snapshot = match media.snapshot_bytes() {
+            Some(bytes) => {
+                report.snapshot_loaded = true;
+                decode_snapshot(bytes).map_err(StoreError::CorruptSnapshot)?
+            }
+            None => Snapshot::default(),
+        };
+        let decoded = decode_frames(media.wal_bytes());
+        report.records_scanned = decoded.records.len();
+        report.tail_discarded = decoded.truncated_tail;
+
+        let mut state = snapshot.state;
+        let log = WriteAheadLog::from_records(decoded.records);
+        let analysis = log.analyze();
+        report.unresolved_txs = analysis.active.len() + analysis.in_doubt.len();
+        let mut max_tx = 0u64;
+        for record in log.records() {
+            max_tx = max_tx.max(record.tx().raw());
+            if let LogRecord::Write {
+                tx, item, after, ..
+            } = record
+            {
+                if analysis.committed.contains(tx) {
+                    report.writes_replayed += 1;
+                    if matches!(after, Value::Null) {
+                        state.remove(item);
+                    } else {
+                        state.insert(item.clone(), after.clone());
+                    }
+                }
+            }
+        }
+        let next_batch = snapshot.next_batch.max(max_tx + 1);
+
+        let stats = StoreStats {
+            recovery_replayed: report.writes_replayed as u64,
+            ..StoreStats::default()
+        };
+        bus::counter_add("store.recovery_replayed", stats.recovery_replayed);
+        EventBuilder::new(Layer::Store, EventKind::StoreRecovery)
+            .detail(format!(
+                "snapshot={} scanned={} replayed={} torn_tail={} unresolved={}",
+                report.snapshot_loaded,
+                report.records_scanned,
+                report.writes_replayed,
+                report.tail_discarded,
+                report.unresolved_txs
+            ))
+            .emit();
+
+        let engine = Self {
+            media,
+            config,
+            state,
+            next_batch,
+            open: None,
+            stats,
+            recovery: report,
+        };
+        engine.publish_sizes();
+        Ok(engine)
+    }
+
+    /// What the opening recovery pass found.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The committed keyspace (reads never see an open batch's writes).
+    pub fn state(&self) -> &BTreeMap<String, Value> {
+        &self.state
+    }
+
+    /// Reads a committed value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.state.get(key)
+    }
+
+    /// Number of committed keys.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    /// Whether no key is committed.
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+
+    /// Whether a batch is currently open.
+    pub fn has_open_batch(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Current WAL size in bytes.
+    pub fn log_bytes(&self) -> usize {
+        self.media.wal_len()
+    }
+
+    /// Current durable snapshot size in bytes.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.media.snapshot_len()
+    }
+
+    /// The media, for crash probes in tests.
+    pub fn media_mut(&mut self) -> &mut M {
+        &mut self.media
+    }
+
+    /// Consumes the engine, returning its media (e.g. to reopen after a
+    /// simulated crash).
+    pub fn into_media(self) -> M {
+        self.media
+    }
+
+    /// Opens a batch.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::BatchAlreadyOpen`] if one is already open.
+    pub fn begin(&mut self) -> Result<TxId, StoreError> {
+        if self.open.is_some() {
+            return Err(StoreError::BatchAlreadyOpen);
+        }
+        let tx = TxId::new(self.next_batch);
+        self.next_batch += 1;
+        self.append(&LogRecord::Begin { tx });
+        self.open = Some(OpenBatch {
+            tx,
+            ops: Vec::new(),
+        });
+        Ok(tx)
+    }
+
+    /// Stages a write into the open batch (logged write-ahead).
+    ///
+    /// [`Value::Null`] is reserved as the delete tombstone; storing it
+    /// is equivalent to [`delete`](Self::delete).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoOpenBatch`] without a batch.
+    pub fn put(&mut self, key: &str, value: Value) -> Result<(), StoreError> {
+        let before = self.state.get(key).cloned();
+        let batch = self.open.as_mut().ok_or(StoreError::NoOpenBatch)?;
+        let record = LogRecord::Write {
+            tx: batch.tx,
+            item: key.to_owned(),
+            before,
+            after: value.clone(),
+        };
+        batch.ops.push((key.to_owned(), value));
+        self.append(&record);
+        Ok(())
+    }
+
+    /// Stages a delete (a [`Value::Null`] tombstone) into the open batch.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoOpenBatch`] without a batch.
+    pub fn delete(&mut self, key: &str) -> Result<(), StoreError> {
+        self.put(key, Value::Null)
+    }
+
+    /// Commits the open batch: logs the commit record, syncs the WAL
+    /// (the durability point), then applies the staged writes.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoOpenBatch`] without a batch.
+    pub fn commit(&mut self) -> Result<(), StoreError> {
+        let batch = self.open.take().ok_or(StoreError::NoOpenBatch)?;
+        self.append(&LogRecord::Commit { tx: batch.tx });
+        self.media.sync();
+        let ops = batch.ops.len();
+        for (key, value) in batch.ops {
+            if matches!(value, Value::Null) {
+                self.state.remove(&key);
+            } else {
+                self.state.insert(key, value);
+            }
+        }
+        self.stats.commits += 1;
+        bus::counter_add("store.commits", 1);
+        EventBuilder::new(Layer::Store, EventKind::WalCommit)
+            .detail(format!("tx={} ops={ops}", batch.tx.raw()))
+            .emit();
+        self.publish_sizes();
+        if self.media.wal_len() > self.config.compact_wal_bytes {
+            self.compact();
+        }
+        Ok(())
+    }
+
+    /// Aborts the open batch: logs the abort, discards the staged
+    /// writes. The state was never touched, so there is nothing to undo.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NoOpenBatch`] without a batch.
+    pub fn abort(&mut self) -> Result<(), StoreError> {
+        let batch = self.open.take().ok_or(StoreError::NoOpenBatch)?;
+        self.append(&LogRecord::Abort { tx: batch.tx });
+        self.stats.aborts += 1;
+        bus::counter_add("store.aborts", 1);
+        Ok(())
+    }
+
+    /// Compacts: snapshot the committed state, sync it durable, then
+    /// atomically reset the WAL. Ordering is load-bearing — the reset
+    /// must not happen before its covering snapshot is stable.
+    pub fn compact(&mut self) {
+        self.media
+            .snapshot_write(&encode_snapshot(&self.state, self.next_batch));
+        self.media.sync();
+        EventBuilder::new(Layer::Store, EventKind::StoreSnapshot)
+            .detail(format!("keys={}", self.state.len()))
+            .emit();
+        // If an uncommitted batch is open its records must survive the
+        // reset, or recovery could mistake its later commit frame for a
+        // full transaction. Re-frame the open batch's prefix into the
+        // fresh log.
+        let mut tail = Vec::new();
+        if let Some(batch) = &self.open {
+            tail.extend_from_slice(&encode_frame(&LogRecord::Begin { tx: batch.tx }));
+            for (key, value) in &batch.ops {
+                tail.extend_from_slice(&encode_frame(&LogRecord::Write {
+                    tx: batch.tx,
+                    item: key.clone(),
+                    before: None,
+                    after: value.clone(),
+                }));
+            }
+        }
+        self.media.wal_reset(&tail);
+        self.stats.compactions += 1;
+        bus::counter_add("store.compactions", 1);
+        EventBuilder::new(Layer::Store, EventKind::StoreCompaction)
+            .detail(format!("log_bytes={}", self.media.wal_len()))
+            .emit();
+        self.publish_sizes();
+    }
+
+    fn append(&mut self, record: &LogRecord) {
+        self.media.wal_append(&encode_frame(record));
+    }
+
+    fn publish_sizes(&self) {
+        bus::gauge_set("store.log_bytes", self.media.wal_len() as i64);
+        bus::gauge_set("store.snapshot_bytes", self.media.snapshot_len() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::media::MemMedia;
+
+    fn open_mem() -> StoreEngine<MemMedia> {
+        StoreEngine::open(MemMedia::new(), StoreConfig::default()).unwrap()
+    }
+
+    fn commit_one(engine: &mut StoreEngine<MemMedia>, key: &str, v: i64) {
+        engine.begin().unwrap();
+        engine.put(key, Value::Int(v)).unwrap();
+        engine.commit().unwrap();
+    }
+
+    #[test]
+    fn committed_batches_survive_a_crash() {
+        let mut engine = open_mem();
+        commit_one(&mut engine, "a", 1);
+        engine.begin().unwrap();
+        engine.put("b", Value::Int(2)).unwrap();
+        // No commit: crash with the batch in flight.
+        let mut media = engine.into_media();
+        media.crash();
+        let engine = StoreEngine::open(media, StoreConfig::default()).unwrap();
+        assert_eq!(engine.get("a"), Some(&Value::Int(1)));
+        assert_eq!(engine.get("b"), None, "uncommitted batch must vanish");
+        assert_eq!(engine.recovery_report().writes_replayed, 1);
+    }
+
+    #[test]
+    fn deletes_are_tombstones() {
+        let mut engine = open_mem();
+        commit_one(&mut engine, "k", 7);
+        engine.begin().unwrap();
+        engine.delete("k").unwrap();
+        engine.commit().unwrap();
+        assert_eq!(engine.get("k"), None);
+        let engine = StoreEngine::open(engine.into_media(), StoreConfig::default()).unwrap();
+        assert_eq!(engine.get("k"), None, "tombstone replays as a delete");
+    }
+
+    #[test]
+    fn abort_leaves_state_untouched() {
+        let mut engine = open_mem();
+        commit_one(&mut engine, "x", 1);
+        engine.begin().unwrap();
+        engine.put("x", Value::Int(99)).unwrap();
+        engine.abort().unwrap();
+        assert_eq!(engine.get("x"), Some(&Value::Int(1)));
+        let engine = StoreEngine::open(engine.into_media(), StoreConfig::default()).unwrap();
+        assert_eq!(engine.get("x"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_resets_the_log() {
+        let mut engine = StoreEngine::open(
+            MemMedia::new(),
+            StoreConfig {
+                compact_wal_bytes: 1,
+            },
+        )
+        .unwrap();
+        for i in 0..10 {
+            commit_one(&mut engine, &format!("k{i}"), i);
+        }
+        assert!(engine.stats().compactions >= 9, "every commit over-filled");
+        assert!(engine.log_bytes() < 64);
+        assert!(engine.snapshot_bytes() > 0);
+        let engine = StoreEngine::open(engine.into_media(), StoreConfig::default()).unwrap();
+        assert_eq!(engine.len(), 10);
+        assert_eq!(engine.get("k9"), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_reset_is_tolerated() {
+        // Simulate the window by syncing a snapshot but never resetting.
+        let mut engine = open_mem();
+        commit_one(&mut engine, "a", 1);
+        let snap_bytes = encode_snapshot(engine.state(), 5);
+        let media = engine.media_mut();
+        media.snapshot_write(&snap_bytes);
+        media.sync();
+        // Crash: snapshot installed, full WAL still present.
+        let mut media = engine.into_media();
+        media.crash();
+        let engine = StoreEngine::open(media, StoreConfig::default()).unwrap();
+        assert_eq!(engine.get("a"), Some(&Value::Int(1)), "redo is idempotent");
+        assert!(engine.recovery_report().snapshot_loaded);
+    }
+
+    #[test]
+    fn batch_ids_stay_monotone_across_restart_and_compaction() {
+        let mut engine = open_mem();
+        let t1 = engine.begin().unwrap();
+        engine.put("a", Value::Int(1)).unwrap();
+        engine.commit().unwrap();
+        engine.compact();
+        let engine = StoreEngine::open(engine.into_media(), StoreConfig::default()).unwrap();
+        let mut engine = engine;
+        let t2 = engine.begin().unwrap();
+        assert!(t2.raw() > t1.raw());
+    }
+
+    #[test]
+    fn open_batch_survives_compaction() {
+        let mut engine = open_mem();
+        commit_one(&mut engine, "a", 1);
+        engine.begin().unwrap();
+        engine.put("b", Value::Int(2)).unwrap();
+        engine.compact();
+        engine.commit().unwrap();
+        let engine = StoreEngine::open(engine.into_media(), StoreConfig::default()).unwrap();
+        assert_eq!(engine.get("b"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn misuse_is_reported() {
+        let mut engine = open_mem();
+        assert_eq!(engine.commit(), Err(StoreError::NoOpenBatch));
+        assert_eq!(engine.abort(), Err(StoreError::NoOpenBatch));
+        assert_eq!(engine.put("k", Value::Int(1)), Err(StoreError::NoOpenBatch));
+        engine.begin().unwrap();
+        assert_eq!(engine.begin().unwrap_err(), StoreError::BatchAlreadyOpen);
+    }
+}

@@ -1,0 +1,161 @@
+//! rmodp-store: the durable object store behind the persistence
+//! transparency.
+//!
+//! RM-ODP's persistence transparency (§5.3) masks deactivation and
+//! reactivation of objects; its failure transparency (§9) masks crashes
+//! by checkpointing and recovery. Both bottom out in *some* place where
+//! state outlives a capsule. This crate is that place: a deterministic,
+//! seed-stable storage engine built from
+//!
+//! - a **write-ahead log** ([`wal`]) framing the redo/undo records of
+//!   [`rmodp_transactions::log`] with per-frame checksums,
+//! - **periodic snapshots** ([`snapshot`]) and **log compaction**
+//!   (snapshot-then-reset, crash-ordered),
+//! - **recovery on restart** ([`engine`]): longest-valid-prefix scan,
+//!   transaction classification, idempotent redo,
+//! - an explicit **crash model** ([`media`]): only synced bytes survive.
+//!
+//! The [`PersistentStore`] trait is the seam the transparencies plug
+//! into: the in-memory [`StorageFunction`] implements it (the old
+//! behaviour, nothing durable), and [`StoreEngine`] implements it with
+//! full write-ahead durability — so a capsule kill followed by restart
+//! replays the log and loses no committed update.
+//!
+//! [`oo7`] builds the OO7-class object-database workload (information
+//! viewpoint: typed assemblies, composite and atomic parts, documents)
+//! that `rmodp-bench` drives against the engine.
+
+pub mod engine;
+pub mod media;
+pub mod oo7;
+pub mod snapshot;
+pub mod wal;
+
+pub use engine::{RecoveryReport, StoreConfig, StoreEngine, StoreError, StoreStats};
+pub use media::{FileMedia, MemMedia, StableMedia};
+pub use oo7::{state_checksum, Oo7Config, Oo7Schemas, Oo7Workload};
+
+use rmodp_core::naming::Name;
+use rmodp_core::value::Value;
+use rmodp_functions::storage::StorageFunction;
+
+/// The seam between the transparencies and whatever keeps their bytes.
+///
+/// Keys are slash-separated paths (they must parse as [`Name`]s for the
+/// [`StorageFunction`] implementation). Implementations differ only in
+/// durability: [`StorageFunction`] keeps bytes in memory (lost with the
+/// process), [`StoreEngine`] write-ahead-logs every mutation so a crash
+/// loses nothing committed.
+pub trait PersistentStore {
+    /// Stores (or overwrites) bytes under a key.
+    fn persist(&mut self, key: &str, bytes: Vec<u8>);
+
+    /// Reads the bytes stored under a key.
+    fn fetch(&self, key: &str) -> Option<Vec<u8>>;
+
+    /// Removes a key; returns whether it existed.
+    fn remove(&mut self, key: &str) -> bool;
+
+    /// Every stored key, sorted.
+    fn stored_keys(&self) -> Vec<String>;
+}
+
+impl PersistentStore for StorageFunction {
+    fn persist(&mut self, key: &str, bytes: Vec<u8>) {
+        let name: Name = key.parse().expect("store key forms a valid name");
+        self.put(name, bytes);
+    }
+
+    fn fetch(&self, key: &str) -> Option<Vec<u8>> {
+        let name: Name = key.parse().ok()?;
+        self.get(&name).ok().map(|(bytes, _)| bytes.to_vec())
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        match key.parse::<Name>() {
+            Ok(name) => self.delete(&name),
+            Err(_) => false,
+        }
+    }
+
+    fn stored_keys(&self) -> Vec<String> {
+        self.names().map(ToString::to_string).collect()
+    }
+}
+
+impl<M: StableMedia> PersistentStore for StoreEngine<M> {
+    /// Durable: one write-ahead-logged, synced batch per call (or a
+    /// staged write if a batch is already open — durable at its commit).
+    fn persist(&mut self, key: &str, bytes: Vec<u8>) {
+        let standalone = !self.has_open_batch();
+        if standalone {
+            self.begin().expect("no batch is open");
+        }
+        self.put(key, Value::Blob(bytes)).expect("a batch is open");
+        if standalone {
+            self.commit().expect("a batch is open");
+        }
+    }
+
+    fn fetch(&self, key: &str) -> Option<Vec<u8>> {
+        match self.get(key) {
+            Some(Value::Blob(bytes)) => Some(bytes.clone()),
+            _ => None,
+        }
+    }
+
+    fn remove(&mut self, key: &str) -> bool {
+        let existed = self.get(key).is_some();
+        if existed {
+            let standalone = !self.has_open_batch();
+            if standalone {
+                self.begin().expect("no batch is open");
+            }
+            self.delete(key).expect("a batch is open");
+            if standalone {
+                self.commit().expect("a batch is open");
+            }
+        }
+        existed
+    }
+
+    fn stored_keys(&self) -> Vec<String> {
+        self.state().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &mut dyn PersistentStore) {
+        store.persist("persistent/acct", vec![1, 2, 3]);
+        store.persist("persistent/acct", vec![4]);
+        store.persist("guard/a/op/0", vec![9]);
+        assert_eq!(store.fetch("persistent/acct"), Some(vec![4]));
+        assert_eq!(store.fetch("missing"), None);
+        assert_eq!(
+            store.stored_keys(),
+            vec!["guard/a/op/0".to_owned(), "persistent/acct".to_owned()]
+        );
+        assert!(store.remove("guard/a/op/0"));
+        assert!(!store.remove("guard/a/op/0"));
+    }
+
+    #[test]
+    fn storage_function_implements_the_seam() {
+        exercise(&mut StorageFunction::new());
+    }
+
+    #[test]
+    fn store_engine_implements_the_seam_durably() {
+        let mut engine = StoreEngine::open(MemMedia::new(), StoreConfig::default()).unwrap();
+        exercise(&mut engine);
+        // And the engine's copy survives a crash.
+        let mut media = engine.into_media();
+        media.crash();
+        let engine = StoreEngine::open(media, StoreConfig::default()).unwrap();
+        assert_eq!(engine.fetch("persistent/acct"), Some(vec![4]));
+        assert_eq!(engine.fetch("guard/a/op/0"), None);
+    }
+}

@@ -12,7 +12,7 @@
 //! 2. **Selectivity-based choice.** Every path's candidate count is
 //!    known exactly (posting sizes are maintained by the store), so
 //!    the cheapest path drives; other paths join the intersection only
-//!    if they are within [`INTERSECT_FACTOR`]× of the driver — beyond
+//!    if they are within `INTERSECT_FACTOR`× of the driver — beyond
 //!    that, re-checking them per candidate (which the residual does
 //!    anyway) is cheaper than materialising them.
 //! 3. **Intersection.** Used paths are materialised as ascending

@@ -10,6 +10,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use rmodp_core::id::TxId;
 use rmodp_core::value::Value;
 
+/// Tags identifying each record shape in the durable [`Value`] form.
+const TAGS: [&str; 5] = ["begin", "write", "prepare", "commit", "abort"];
+
 /// One log record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LogRecord {
@@ -41,6 +44,83 @@ impl LogRecord {
             LogRecord::Write { tx, .. } => *tx,
         }
     }
+
+    /// The record as a self-describing [`Value`], the form a durable log
+    /// serialises through a transfer syntax. The optional before-image is
+    /// carried as a zero/one-element sequence so that `None` and a stored
+    /// `Null` stay distinguishable.
+    pub fn to_value(&self) -> Value {
+        let (tag, tx) = match self {
+            LogRecord::Begin { tx } => (TAGS[0], tx),
+            LogRecord::Write { tx, .. } => (TAGS[1], tx),
+            LogRecord::Prepare { tx } => (TAGS[2], tx),
+            LogRecord::Commit { tx } => (TAGS[3], tx),
+            LogRecord::Abort { tx } => (TAGS[4], tx),
+        };
+        let mut fields = vec![
+            ("rec".to_owned(), Value::text(tag)),
+            ("tx".to_owned(), Value::Int(tx.raw() as i64)),
+        ];
+        if let LogRecord::Write {
+            item,
+            before,
+            after,
+            ..
+        } = self
+        {
+            fields.push(("item".to_owned(), Value::text(item.clone())));
+            fields.push((
+                "before".to_owned(),
+                Value::Seq(before.iter().cloned().collect()),
+            ));
+            fields.push(("after".to_owned(), after.clone()));
+        }
+        Value::record(fields)
+    }
+
+    /// Rebuilds a record from its [`to_value`](Self::to_value) form.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first structural problem found.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let tag = v
+            .field("rec")
+            .and_then(Value::as_text)
+            .ok_or("missing record tag")?;
+        let tx = TxId::new(
+            v.field("tx")
+                .and_then(Value::as_int)
+                .ok_or("missing tx id")? as u64,
+        );
+        match tag {
+            "begin" => Ok(LogRecord::Begin { tx }),
+            "prepare" => Ok(LogRecord::Prepare { tx }),
+            "commit" => Ok(LogRecord::Commit { tx }),
+            "abort" => Ok(LogRecord::Abort { tx }),
+            "write" => {
+                let item = v
+                    .field("item")
+                    .and_then(Value::as_text)
+                    .ok_or("write without item")?
+                    .to_owned();
+                let before = v
+                    .field("before")
+                    .and_then(Value::as_seq)
+                    .ok_or("write without before-image slot")?
+                    .first()
+                    .cloned();
+                let after = v.field("after").cloned().ok_or("write without after")?;
+                Ok(LogRecord::Write {
+                    tx,
+                    item,
+                    before,
+                    after,
+                })
+            }
+            other => Err(format!("unknown record tag `{other}`")),
+        }
+    }
 }
 
 /// The write-ahead log with an explicit stable/volatile boundary.
@@ -69,6 +149,13 @@ impl WriteAheadLog {
     /// Creates an empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a log from already-stable records (e.g. decoded from a
+    /// durable medium after a crash): everything is marked flushed.
+    pub fn from_records(records: Vec<LogRecord>) -> Self {
+        let flushed = records.len();
+        Self { records, flushed }
     }
 
     /// Appends a record (volatile until [`flush`](Self::flush)).
@@ -254,6 +341,40 @@ mod tests {
         assert_eq!(undo.len(), 3);
         assert_eq!(undo[0], ("y".to_owned(), Some(Value::Int(7))));
         assert_eq!(undo[2], ("x".to_owned(), None));
+    }
+
+    #[test]
+    fn value_form_round_trips_every_record_shape() {
+        let records = vec![
+            LogRecord::Begin { tx: T1 },
+            write(T1, "x", None, 1),
+            write(T1, "x", Some(1), 2),
+            LogRecord::Write {
+                tx: T1,
+                item: "n".to_owned(),
+                before: Some(Value::Null),
+                after: Value::record([("k", Value::Int(3))]),
+            },
+            LogRecord::Prepare { tx: T1 },
+            LogRecord::Commit { tx: T1 },
+            LogRecord::Abort { tx: T2 },
+        ];
+        for r in &records {
+            let back = LogRecord::from_value(&r.to_value()).unwrap();
+            assert_eq!(&back, r);
+        }
+        assert!(LogRecord::from_value(&Value::Int(3)).is_err());
+        assert!(LogRecord::from_value(&Value::record([("rec", Value::text("warp"))])).is_err());
+    }
+
+    #[test]
+    fn from_records_is_fully_stable() {
+        let log = WriteAheadLog::from_records(vec![
+            write(T1, "x", None, 1),
+            LogRecord::Commit { tx: T1 },
+        ]);
+        assert_eq!(log.stable_len(), 2);
+        assert_eq!(log.replay().get("x"), Some(&Value::Int(1)));
     }
 
     #[test]

@@ -7,6 +7,16 @@
 //! keep calling. Work since the last checkpoint is lost: failure
 //! transparency "masks the failure and possible recovery of objects, to
 //! enhance fault tolerance", it does not promise exactly-once effects.
+//!
+//! That loss window used to be *silent*. Recovery now performs a
+//! post-mortem diff — the crashed node's structures survive in the
+//! simulation, so the cluster's actual final state can be compared
+//! against the checkpoint being restored — and reports every divergent
+//! object on the `failure.lost_updates` counter. The counter is the
+//! contract the chaos matrix pins: positive for the in-memory guard
+//! (the window is real), and exactly zero for
+//! [`DurableGuard`](crate::durable::DurableGuard), which write-ahead
+//! logs every operation into a durable store and replays the tail.
 
 use std::fmt;
 
@@ -54,6 +64,30 @@ pub struct FailureGuard {
     interfaces: Vec<InterfaceId>,
     last_checkpoint: Option<ClusterCheckpoint>,
     recoveries: u64,
+    lost_updates: u64,
+}
+
+/// Counts the objects whose state diverges between the checkpoint being
+/// restored and the cluster's actual final state (objects missing from
+/// either side count too).
+pub(crate) fn divergent_objects(restored: &ClusterCheckpoint, actual: &ClusterCheckpoint) -> u64 {
+    let restored_states: std::collections::BTreeMap<_, _> = restored
+        .objects
+        .iter()
+        .map(|o| (o.record.object, &o.state))
+        .collect();
+    let mut lost = 0u64;
+    let mut seen = std::collections::BTreeSet::new();
+    for o in &actual.objects {
+        seen.insert(o.record.object);
+        if restored_states.get(&o.record.object) != Some(&&o.state) {
+            lost += 1;
+        }
+    }
+    lost + restored_states
+        .keys()
+        .filter(|id| !seen.contains(*id))
+        .count() as u64
 }
 
 impl FailureGuard {
@@ -69,6 +103,7 @@ impl FailureGuard {
             interfaces,
             last_checkpoint: None,
             recoveries: 0,
+            lost_updates: 0,
         }
     }
 
@@ -80,6 +115,12 @@ impl FailureGuard {
     /// How many recoveries this guard has performed.
     pub fn recoveries(&self) -> u64 {
         self.recoveries
+    }
+
+    /// Objects whose post-checkpoint updates recovery has dropped so
+    /// far (the in-memory guard's data-loss window, measured).
+    pub fn lost_updates(&self) -> u64 {
+        self.lost_updates
     }
 
     /// Takes a checkpoint of the guarded cluster (call periodically; the
@@ -126,6 +167,18 @@ impl FailureGuard {
             .last_checkpoint
             .clone()
             .ok_or(FailureError::NoCheckpoint)?;
+        // Post-mortem: the crashed node's structures survive in the
+        // simulation, so the loss window is measurable — how many
+        // objects moved past the checkpoint we are about to restore?
+        let lost = {
+            let (node, capsule, cluster) = self.home;
+            engine
+                .checkpoint_cluster(node, capsule, cluster)
+                .map(|actual| divergent_objects(&cp, &actual))
+                .unwrap_or(0)
+        };
+        self.lost_updates += lost;
+        bus::counter_add("failure.lost_updates", lost);
         let (backup_node, backup_capsule) = self.backup;
         let span = bus::new_span();
         event(Layer::Transparency, EventKind::RecoveryStart)
@@ -153,7 +206,7 @@ impl FailureGuard {
             .span(span)
             .capsule(backup_capsule.raw())
             .detail(format!(
-                "cluster={new_cluster} recovery #{}",
+                "cluster={new_cluster} recovery #{} lost={lost}",
                 self.recoveries
             ))
             .emit();
@@ -251,6 +304,9 @@ mod tests {
 
         w.guard.recover(&mut w.engine, &mut w.infra).unwrap();
         assert_eq!(w.guard.recoveries(), 1);
+        // The post-checkpoint Add(5) is the measured loss window.
+        assert_eq!(w.guard.lost_updates(), 1);
+        assert_eq!(bus::counter("failure.lost_updates"), 1);
 
         // The client's next call is transparently routed to the recovered
         // replica; state is the checkpointed 10, not 15.

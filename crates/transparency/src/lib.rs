@@ -13,11 +13,12 @@
 //! | location | clients hold only an [`InterfaceId`](rmodp_core::id::InterfaceId); the proxy resolves physical addresses via the relocator ([`proxy`]) |
 //! | relocation | on `NotHere`, the proxy requeries the relocator, reconnects the channel and **replays** the interaction (§9.2) |
 //! | migration | cluster migration keeps interface identity; combined with relocation the moved object *and its peers* are unaware ([`proxy::migrate_transparently`]) |
-//! | persistence | deactivated clusters are restored on demand from the storage function ([`persistence`]) |
-//! | failure | a [`FailureGuard`](failure::FailureGuard) checkpoints a cluster and recovers it on a backup node when its home crashes ([`failure`]) |
+//! | persistence | deactivated clusters are restored on demand from any [`PersistentStore`](rmodp_store::PersistentStore) — in-memory or write-ahead durable ([`persistence`]) |
+//! | failure | a [`FailureGuard`](failure::FailureGuard) checkpoints a cluster and recovers it on a backup node when its home crashes, measuring the loss window; a [`DurableGuard`](durable::DurableGuard) write-ahead logs operations into the store and replays the tail, losing nothing ([`failure`], [`durable`]) |
 //! | replication | a [`ReplicatedService`](replication::ReplicatedService) keeps a group of replicas consistent behind one interface ([`replication`]) |
 //! | transaction | behaviour refinements report *actions of interest* to the transaction function; [`transaction::in_transaction`] brackets application code (§9.3) |
 
+pub mod durable;
 pub mod failure;
 pub mod persistence;
 pub mod proxy;

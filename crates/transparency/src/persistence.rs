@@ -1,20 +1,25 @@
 //! Persistence transparency: masking deactivation and reactivation.
 //!
-//! Cluster checkpoints are serialised through the storage function; a
+//! Cluster checkpoints are serialised through a [`PersistentStore`]; a
 //! [`PersistenceManager`] remembers where each persistent cluster lives so
 //! it can be deactivated to storage and restored on demand — including
 //! transparently, when a proxy finds the target gone.
+//!
+//! The manager is generic over the store: the in-memory
+//! [`StorageFunction`](rmodp_functions::storage::StorageFunction) gives
+//! the classic behaviour (checkpoints live as long as the process), and
+//! [`StoreEngine`](rmodp_store::StoreEngine) write-ahead-logs every
+//! checkpoint so deactivated state survives a capsule kill and restart.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
 use rmodp_core::codec::{syntax_for, SyntaxId};
 use rmodp_core::id::{CapsuleId, ClusterId, InterfaceId, NodeId, ObjectId};
-use rmodp_core::naming::Name;
 use rmodp_core::value::Value;
 use rmodp_engineering::engine::{EngError, Engine};
 use rmodp_engineering::structure::{BeoRecord, ClusterCheckpoint, ObjectCheckpoint};
-use rmodp_functions::storage::StorageFunction;
+use rmodp_store::PersistentStore;
 
 /// A persistence failure.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,20 +171,17 @@ impl PersistenceManager {
     /// # Errors
     ///
     /// Engineering failures.
-    pub fn deactivate_to_storage(
+    pub fn deactivate_to_storage<S: PersistentStore>(
         &mut self,
         engine: &mut Engine,
-        storage: &mut StorageFunction,
+        storage: &mut S,
         label: &str,
         node: NodeId,
         capsule: CapsuleId,
         cluster: ClusterId,
     ) -> Result<(), PersistenceError> {
         let cp = engine.deactivate_cluster(node, capsule, cluster)?;
-        let name: Name = format!("persistent/{label}")
-            .parse()
-            .expect("label forms a valid name");
-        storage.put(name, encode_checkpoint(&cp));
+        storage.persist(&format!("persistent/{label}"), encode_checkpoint(&cp));
         self.homes.insert(label.to_owned(), Home { node, capsule });
         for o in &cp.objects {
             for ifc in &o.record.interfaces {
@@ -204,10 +206,10 @@ impl PersistenceManager {
     /// # Errors
     ///
     /// Missing/corrupt checkpoints or engineering failures.
-    pub fn restore(
+    pub fn restore<S: PersistentStore>(
         &mut self,
         engine: &mut Engine,
-        storage: &StorageFunction,
+        storage: &S,
         label: &str,
     ) -> Result<ClusterId, PersistenceError> {
         let home = self
@@ -217,15 +219,12 @@ impl PersistenceManager {
             .ok_or_else(|| PersistenceError::NotStored {
                 name: label.to_owned(),
             })?;
-        let name: Name = format!("persistent/{label}")
-            .parse()
-            .expect("label forms a valid name");
-        let (bytes, _) = storage
-            .get(&name)
-            .map_err(|_| PersistenceError::NotStored {
+        let bytes = storage
+            .fetch(&format!("persistent/{label}"))
+            .ok_or_else(|| PersistenceError::NotStored {
                 name: label.to_owned(),
             })?;
-        let cp = decode_checkpoint(bytes).map_err(|detail| PersistenceError::Corrupt {
+        let cp = decode_checkpoint(&bytes).map_err(|detail| PersistenceError::Corrupt {
             name: label.to_owned(),
             detail,
         })?;
@@ -260,6 +259,8 @@ mod tests {
     use super::*;
     use rmodp_engineering::behaviour::CounterBehaviour;
     use rmodp_engineering::channel::ChannelConfig;
+    use rmodp_functions::storage::StorageFunction;
+    use rmodp_store::{MemMedia, StableMedia, StoreConfig, StoreEngine};
 
     fn checkpoint_sample() -> ClusterCheckpoint {
         ClusterCheckpoint {
@@ -334,6 +335,41 @@ mod tests {
             .call(ch, "Get", &Value::record::<&str, _>([]))
             .unwrap();
         assert_eq!(t.results.field("n"), Some(&Value::Int(33)));
+    }
+
+    #[test]
+    fn deactivate_to_durable_store_survives_a_crash_of_the_medium() {
+        let mut engine = Engine::new(12);
+        engine
+            .behaviours_mut()
+            .register("counter", CounterBehaviour::default);
+        let node = engine.add_node(SyntaxId::Binary);
+        let capsule = engine.add_capsule(node).unwrap();
+        let cluster = engine.add_cluster(node, capsule).unwrap();
+        let (_, refs) = engine
+            .create_object(
+                node,
+                capsule,
+                cluster,
+                "c",
+                "counter",
+                CounterBehaviour::initial_state(),
+                1,
+            )
+            .unwrap();
+
+        let mut store = StoreEngine::open(MemMedia::new(), StoreConfig::default()).unwrap();
+        let mut pm = PersistenceManager::new();
+        pm.deactivate_to_storage(&mut engine, &mut store, "acct", node, capsule, cluster)
+            .unwrap();
+
+        // The medium crashes; the WAL replays the checkpoint intact.
+        let mut media = store.into_media();
+        media.crash();
+        let store = StoreEngine::open(media, StoreConfig::default()).unwrap();
+        let restored = pm.restore(&mut engine, &store, "acct").unwrap();
+        assert!(engine.lookup(refs[0].interface).is_some());
+        assert_ne!(restored.raw(), 0);
     }
 
     #[test]

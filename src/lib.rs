@@ -56,6 +56,7 @@ pub use rmodp_information as information;
 pub use rmodp_netsim as netsim;
 pub use rmodp_observe as observe;
 pub use rmodp_profile as profile;
+pub use rmodp_store as store;
 pub use rmodp_trader as trader;
 pub use rmodp_transactions as transactions;
 pub use rmodp_transparency as transparency;

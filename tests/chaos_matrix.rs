@@ -13,7 +13,11 @@ use rmodp::netsim::sim::{Addr, NodeIdx, Sim};
 use rmodp::netsim::time::{SimDuration, SimTime};
 use rmodp::netsim::topology::{LinkConfig, Topology};
 use rmodp::observe::{bus, export};
+use rmodp::store::{MemMedia, StoreConfig, StoreEngine};
 use rmodp::transactions::twopc::{Coordinator, Participant, TxOutcome, TxRequest};
+use rmodp::transparency::durable::DurableGuard;
+use rmodp::transparency::failure::FailureGuard;
+use rmodp::transparency::{OdpInfra, Transparency, TransparencySet, TransparentProxy};
 use rmodp::workload::prelude::*;
 
 fn profile() -> ChaosProfile {
@@ -274,6 +278,173 @@ fn partition_during_prepare_never_reports_commit() {
             .unwrap()
             .outcome(TxId::new(2)),
         Some(TxOutcome::Committed)
+    );
+}
+
+/// A guarded counter world for the loss-window comparison.
+struct GuardWorld {
+    engine: Engine,
+    infra: OdpInfra,
+    home: rmodp::core::id::NodeId,
+    home_capsule: rmodp::core::id::CapsuleId,
+    backup: rmodp::core::id::NodeId,
+    backup_capsule: rmodp::core::id::CapsuleId,
+    cluster: rmodp::core::id::ClusterId,
+    proxy: TransparentProxy,
+    interface: rmodp::core::id::InterfaceId,
+}
+
+fn guard_world(seed: u64) -> GuardWorld {
+    let mut engine = Engine::new(seed);
+    engine
+        .behaviours_mut()
+        .register("counter", CounterBehaviour::default);
+    let home = engine.add_node(SyntaxId::Binary);
+    let backup = engine.add_node(SyntaxId::Binary);
+    let client = engine.add_node(SyntaxId::Binary);
+    let home_capsule = engine.add_capsule(home).unwrap();
+    let backup_capsule = engine.add_capsule(backup).unwrap();
+    let cluster = engine.add_cluster(home, home_capsule).unwrap();
+    let (_, refs) = engine
+        .create_object(
+            home,
+            home_capsule,
+            cluster,
+            "c",
+            "counter",
+            CounterBehaviour::initial_state(),
+            1,
+        )
+        .unwrap();
+    let mut infra = OdpInfra::new();
+    infra.publish(&engine, refs[0].interface).unwrap();
+    let proxy = TransparentProxy::new(
+        client,
+        refs[0].interface,
+        TransparencySet::none().with(Transparency::Relocation),
+    );
+    GuardWorld {
+        engine,
+        infra,
+        home,
+        home_capsule,
+        backup,
+        backup_capsule,
+        cluster,
+        proxy,
+        interface: refs[0].interface,
+    }
+}
+
+/// Crashes the home node via a chaos plan whose window outlasts the
+/// test (apply only, never cleared), so the guard — not the injector —
+/// must perform recovery.
+fn crash_home_via_plan(w: &mut GuardWorld) {
+    let epoch = w.engine.sim().now();
+    let plan = FaultPlan::new().with(
+        SimDuration::from_millis(1),
+        FaultKind::CrashRestart {
+            node: w.engine.sim_node(w.home).unwrap(),
+            down_for: SimDuration::from_secs(600),
+        },
+    );
+    let mut injector = FaultInjector::new(plan, epoch);
+    injector.apply_until(&mut w.engine, epoch + SimDuration::from_millis(2));
+    assert!(w
+        .engine
+        .sim()
+        .topology()
+        .is_crashed(w.engine.sim_node(w.home).unwrap()));
+}
+
+#[test]
+fn in_memory_recovery_loses_the_tail_and_the_counter_measures_it() {
+    let mut w = guard_world(61);
+    let mut guard = FailureGuard::new(
+        (w.home, w.home_capsule, w.cluster),
+        (w.backup, w.backup_capsule),
+        vec![w.interface],
+    );
+    let add = |k: i64| Value::record([("k", Value::Int(k))]);
+    w.proxy
+        .call(&mut w.engine, &mut w.infra, "Add", &add(10))
+        .unwrap();
+    guard.checkpoint_now(&mut w.engine).unwrap();
+    // Post-checkpoint work the in-memory checkpoint cannot cover.
+    w.proxy
+        .call(&mut w.engine, &mut w.infra, "Add", &add(5))
+        .unwrap();
+
+    crash_home_via_plan(&mut w);
+    guard.recover(&mut w.engine, &mut w.infra).unwrap();
+
+    assert!(
+        guard.lost_updates() > 0,
+        "the in-memory path must measure a non-empty loss window"
+    );
+    assert!(bus::counter("failure.lost_updates") > 0);
+    let t = w
+        .proxy
+        .call(
+            &mut w.engine,
+            &mut w.infra,
+            "Get",
+            &Value::record::<&str, _>([]),
+        )
+        .unwrap();
+    assert_eq!(
+        t.results.field("n").and_then(Value::as_int),
+        Some(10),
+        "recovery rolled back to the checkpoint"
+    );
+}
+
+#[test]
+fn durable_recovery_replays_the_tail_and_the_counter_stays_zero() {
+    let mut w = guard_world(61);
+    let mut store = StoreEngine::open(MemMedia::new(), StoreConfig::default()).unwrap();
+    let mut guard = DurableGuard::new(
+        "cmp",
+        (w.home, w.home_capsule, w.cluster),
+        (w.backup, w.backup_capsule),
+        vec![w.interface],
+    );
+    let add = |k: i64| Value::record([("k", Value::Int(k))]);
+    guard.log_op(&mut store, w.interface, "Add", &add(10));
+    w.proxy
+        .call(&mut w.engine, &mut w.infra, "Add", &add(10))
+        .unwrap();
+    guard.checkpoint_now(&mut w.engine, &mut store).unwrap();
+    // The same post-checkpoint work — this time write-ahead logged.
+    guard.log_op(&mut store, w.interface, "Add", &add(5));
+    w.proxy
+        .call(&mut w.engine, &mut w.infra, "Add", &add(5))
+        .unwrap();
+
+    crash_home_via_plan(&mut w);
+    guard
+        .recover(&mut w.engine, &mut w.infra, &mut store)
+        .unwrap();
+
+    assert_eq!(
+        bus::counter("failure.lost_updates"),
+        0,
+        "the durable path's measured loss window is zero"
+    );
+    assert_eq!(guard.replayed(), 1, "the logged tail was replayed");
+    let t = w
+        .proxy
+        .call(
+            &mut w.engine,
+            &mut w.infra,
+            "Get",
+            &Value::record::<&str, _>([]),
+        )
+        .unwrap();
+    assert_eq!(
+        t.results.field("n").and_then(Value::as_int),
+        Some(15),
+        "10 + 5: nothing lost"
     );
 }
 
