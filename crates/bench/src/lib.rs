@@ -8,6 +8,7 @@
 //! builders the `benches/` targets share, so they are also unit-testable.
 
 pub mod chaos_suite;
+pub mod failover_suite;
 pub mod mechanisms;
 pub mod oo7_suite;
 pub mod perf;

@@ -303,6 +303,11 @@ pub fn default_bands() -> Vec<Band> {
             abs: 0.0,
         },
         Band {
+            pattern: "*split_brain*",
+            rel: 0.0,
+            abs: 0.0,
+        },
+        Band {
             pattern: "*availability*",
             rel: 0.05,
             abs: 0.01,

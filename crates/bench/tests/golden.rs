@@ -36,6 +36,16 @@ fn chaos_suite_reproduces_committed_artifact() {
 }
 
 #[test]
+fn failover_suite_reproduces_committed_artifact() {
+    let golden = fixture("BENCH_failover.json");
+    let produced = rmodp_bench::failover_suite::run_suite(4_242);
+    assert_eq!(
+        produced, golden,
+        "BENCH_failover.json drifted from the committed fixture"
+    );
+}
+
+#[test]
 fn mechanisms_suite_is_deterministic() {
     let first = rmodp_bench::mechanisms::run_suite(rmodp_bench::mechanisms::DEFAULT_SEED);
     let second = rmodp_bench::mechanisms::run_suite(rmodp_bench::mechanisms::DEFAULT_SEED);

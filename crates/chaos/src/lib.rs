@@ -22,6 +22,11 @@
 //!   per-fault MTTR and in-window availability from the observe event
 //!   stream, and snapshots the at-most-once counters
 //!   (`duplicate_dispatches` must stay zero);
+//! - [`linear`] — [`GroupOracle`] / [`ConsistencyReport`]: replays the
+//!   event stream of quorum-replicated groups and audits the
+//!   consensus-safety invariants (epochs strictly increase, at most one
+//!   leader per epoch, committed updates survive view changes, reads
+//!   observe committed state only);
 //! - [`driver`] — [`run_scenario_under_faults`]: the one-call harness
 //!   tying a workload scenario, a fault plan, and the oracles together.
 //!
@@ -33,10 +38,13 @@
 //! [`FaultInjector`]: inject::FaultInjector
 //! [`RecoveryOracle`]: oracle::RecoveryOracle
 //! [`RecoveryReport`]: oracle::RecoveryReport
+//! [`GroupOracle`]: linear::GroupOracle
+//! [`ConsistencyReport`]: linear::ConsistencyReport
 //! [`run_scenario_under_faults`]: driver::run_scenario_under_faults
 
 pub mod driver;
 pub mod inject;
+pub mod linear;
 pub mod oracle;
 pub mod plan;
 
@@ -44,6 +52,7 @@ pub mod plan;
 pub mod prelude {
     pub use crate::driver::{run_scenario_under_faults, ChaosOutcome};
     pub use crate::inject::{AppliedFault, FaultInjector};
+    pub use crate::linear::{ConsistencyReport, GroupConsistency, GroupOracle};
     pub use crate::oracle::{FaultRecovery, RecoveryOracle, RecoveryReport};
     pub use crate::plan::{ChaosProfile, FaultEvent, FaultKind, FaultPlan};
 }

@@ -213,10 +213,69 @@ impl FaultPlan {
         self
     }
 
+    /// Checks the plan's static invariants: every fault window is
+    /// non-zero (a zero-length fault would inject and clear at the same
+    /// virtual instant, ordering-dependently), loss probabilities lie in
+    /// `[0, 1]`, and two-endpoint faults name two *distinct* nodes (a
+    /// self-partition is always a plan bug, never a scenario).
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as a human-readable description
+    /// naming the offending event.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, e) in self.events.iter().enumerate() {
+            let what = |msg: &str| {
+                format!(
+                    "event #{i} (+{}us, {}): {msg}",
+                    e.at.as_micros(),
+                    e.fault.label()
+                )
+            };
+            if e.fault.window().as_micros() == 0 {
+                return Err(what("zero-length fault window"));
+            }
+            match &e.fault {
+                FaultKind::Partition { a, b, .. } | FaultKind::LatencySpike { a, b, .. } => {
+                    if a == b {
+                        return Err(what("both endpoints are the same node"));
+                    }
+                }
+                FaultKind::LossBurst { a, b, loss, .. } => {
+                    if a == b {
+                        return Err(what("both endpoints are the same node"));
+                    }
+                    if !(0.0..=1.0).contains(loss) {
+                        return Err(what("loss probability outside [0, 1]"));
+                    }
+                }
+                FaultKind::OneWayLoss { from, to, loss, .. } => {
+                    if from == to {
+                        return Err(what("both endpoints are the same node"));
+                    }
+                    if !(0.0..=1.0).contains(loss) {
+                        return Err(what("loss probability outside [0, 1]"));
+                    }
+                }
+                FaultKind::CrashRestart { .. } | FaultKind::CapsuleKill { .. } => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Draws a plan from a seed. The RNG is dedicated to the plan (it is
     /// not the simulator's RNG), and draws happen in a fixed order —
     /// crashes, then partitions, then loss bursts, then latency spikes —
-    /// so the same seed and profile always yield the same plan.
+    /// so the same seed and profile always yield the same plan. The
+    /// drawn plan is [`validate`](Self::validate)d before being
+    /// returned, so a profile that would produce degenerate faults
+    /// (e.g. the client listed among the servers, making a
+    /// self-partition possible) fails loudly instead of silently
+    /// injecting a no-op.
+    ///
+    /// # Panics
+    ///
+    /// When the profile produces an invalid plan.
     pub fn generate(seed: u64, profile: &ChaosProfile) -> Self {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xfa17_57ed_c4a0_5eed);
         let mut plan = FaultPlan::new();
@@ -285,6 +344,8 @@ impl FaultPlan {
                 },
             });
         }
+        plan.validate()
+            .unwrap_or_else(|why| panic!("generated plan is invalid: {why}"));
         plan
     }
 
@@ -353,6 +414,47 @@ mod tests {
             .filter(|e| matches!(e.fault, FaultKind::CrashRestart { .. }))
             .count();
         assert_eq!(crashes, 2);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_plans() {
+        // Self-partition.
+        let p = FaultPlan::new().with(
+            SimDuration::from_millis(1),
+            FaultKind::Partition {
+                a: NodeIdx(3),
+                b: NodeIdx(3),
+                heal_after: SimDuration::from_millis(5),
+            },
+        );
+        let err = p.validate().unwrap_err();
+        assert!(err.contains("same node"), "{err}");
+        assert!(err.contains("partition"), "{err}");
+
+        // Loss probability out of range.
+        let p = FaultPlan::new().with(
+            SimDuration::from_millis(1),
+            FaultKind::OneWayLoss {
+                from: NodeIdx(0),
+                to: NodeIdx(1),
+                loss: 1.5,
+                window: SimDuration::from_millis(5),
+            },
+        );
+        assert!(p.validate().unwrap_err().contains("[0, 1]"));
+
+        // Zero-length window.
+        let p = FaultPlan::new().with(
+            SimDuration::from_millis(1),
+            FaultKind::CrashRestart {
+                node: NodeIdx(0),
+                down_for: SimDuration::from_micros(0),
+            },
+        );
+        assert!(p.validate().unwrap_err().contains("zero-length"));
+
+        // A generated plan always validates.
+        assert!(FaultPlan::generate(9, &profile()).validate().is_ok());
     }
 
     #[test]

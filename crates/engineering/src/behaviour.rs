@@ -142,6 +142,206 @@ impl ServerBehaviour for CounterBehaviour {
     }
 }
 
+/// An epoch-fencing, quorum-replicated counter: the replica-side state
+/// machine of the group/replication transparencies (§8.2, §9).
+///
+/// The state record holds the *committed* value `n`, the committed
+/// watermark `commit`, the highest *staged* sequence `applied`, a
+/// contiguous staged suffix `staged` (records `{seq, k}` with
+/// `commit < seq <= applied`), and the replica's current `epoch`.
+///
+/// Operations (all carry the caller's epoch; a caller whose epoch is
+/// *behind* the replica's is **fenced** with a `Fenced` termination —
+/// this is what makes a partitioned stale leader harmless):
+///
+/// - `NewEpoch {epoch}` — adopt a strictly higher epoch and return
+///   `{applied, commit, n, epoch}` as an election acknowledgement;
+/// - `Apply {epoch, seq, k, commit}` — stage `{seq, k}` (idempotent at
+///   or below `applied`, rejected with `Gap` above `applied + 1` so the
+///   staged log stays a gap-free prefix), then fold every staged entry
+///   at or below `commit` into `n`;
+/// - `Commit {epoch, commit}` — advance the committed watermark alone;
+/// - `Sync {epoch, n, commit}` — absolute state transfer for a lagging
+///   or rejoining member (discards its staged suffix: anything staged
+///   but uncommitted at sync time was never quorum-committed);
+/// - `Get {}` — return `{n, commit, epoch, applied}`; **committed state
+///   only**, a reader can never observe a staged (uncommitted) update.
+#[derive(Debug, Default)]
+pub struct QuorumCounterBehaviour;
+
+/// The termination name a replica answers when it fences a stale-epoch
+/// write ([`QuorumCounterBehaviour`]).
+pub const FENCED: &str = "Fenced";
+
+/// The termination name a replica answers when an `Apply` would leave a
+/// hole in its staged log ([`QuorumCounterBehaviour`]).
+pub const GAP: &str = "Gap";
+
+impl QuorumCounterBehaviour {
+    /// The initial state a quorum counter object should be created with.
+    pub fn initial_state() -> Value {
+        Value::record([
+            ("epoch", Value::Int(0)),
+            ("n", Value::Int(0)),
+            ("commit", Value::Int(0)),
+            ("applied", Value::Int(0)),
+            ("staged", Value::Seq(Vec::new())),
+        ])
+    }
+
+    fn int(state: &Value, field: &str) -> i64 {
+        state.field(field).and_then(Value::as_int).unwrap_or(0)
+    }
+
+    fn arg(invocation: &Invocation, field: &str) -> Option<i64> {
+        invocation.args.field(field).and_then(Value::as_int)
+    }
+
+    /// Folds every staged entry with `seq <= through` into `n` and
+    /// advances `commit`. `through` is clamped to `applied`.
+    fn commit_through(state: &mut Value, through: i64) {
+        let through = through.min(Self::int(state, "applied"));
+        if through <= Self::int(state, "commit") {
+            return;
+        }
+        let mut n = Self::int(state, "n");
+        let staged = state
+            .field("staged")
+            .and_then(Value::as_seq)
+            .map(<[Value]>::to_vec)
+            .unwrap_or_default();
+        let mut rest = Vec::new();
+        for entry in staged {
+            let seq = entry.field("seq").and_then(Value::as_int).unwrap_or(0);
+            if seq <= through {
+                n += entry.field("k").and_then(Value::as_int).unwrap_or(0);
+            } else {
+                rest.push(entry);
+            }
+        }
+        state.set_field("n", Value::Int(n));
+        state.set_field("commit", Value::Int(through));
+        state.set_field("staged", Value::Seq(rest));
+    }
+
+    /// Epoch admission: fences strictly lower epochs, adopts strictly
+    /// higher ones (a follower learning of a new leader). Returns the
+    /// fencing termination to answer, if any.
+    fn admit_epoch(state: &mut Value, epoch: i64) -> Option<Termination> {
+        let mine = Self::int(state, "epoch");
+        if epoch < mine {
+            return Some(Termination::new(
+                FENCED,
+                Value::record([("epoch", Value::Int(mine)), ("stale", Value::Int(epoch))]),
+            ));
+        }
+        if epoch > mine {
+            state.set_field("epoch", Value::Int(epoch));
+        }
+        None
+    }
+
+    fn ack(state: &Value) -> Termination {
+        Termination::ok(Value::record([
+            ("applied", Value::Int(Self::int(state, "applied"))),
+            ("commit", Value::Int(Self::int(state, "commit"))),
+            ("n", Value::Int(Self::int(state, "n"))),
+            ("epoch", Value::Int(Self::int(state, "epoch"))),
+        ]))
+    }
+}
+
+impl ServerBehaviour for QuorumCounterBehaviour {
+    fn invoke(&mut self, state: &mut Value, invocation: &Invocation) -> Termination {
+        match invocation.operation.as_str() {
+            "NewEpoch" => {
+                let Some(epoch) = Self::arg(invocation, "epoch") else {
+                    return Termination::error("NewEpoch requires integer parameter epoch");
+                };
+                // An election demands a *strictly* higher epoch: equal is
+                // as stale as lower (two candidates must never both win).
+                if epoch <= Self::int(state, "epoch") {
+                    return Termination::new(
+                        FENCED,
+                        Value::record([
+                            ("epoch", Value::Int(Self::int(state, "epoch"))),
+                            ("stale", Value::Int(epoch)),
+                        ]),
+                    );
+                }
+                state.set_field("epoch", Value::Int(epoch));
+                Self::ack(state)
+            }
+            "Apply" => {
+                let (Some(epoch), Some(seq), Some(k)) = (
+                    Self::arg(invocation, "epoch"),
+                    Self::arg(invocation, "seq"),
+                    Self::arg(invocation, "k"),
+                ) else {
+                    return Termination::error("Apply requires epoch, seq and k");
+                };
+                if let Some(fenced) = Self::admit_epoch(state, epoch) {
+                    return fenced;
+                }
+                let applied = Self::int(state, "applied");
+                if seq == applied + 1 {
+                    if let Some(Value::Seq(staged)) = state.field_mut("staged") {
+                        staged.push(Value::record([
+                            ("seq", Value::Int(seq)),
+                            ("k", Value::Int(k)),
+                        ]));
+                    }
+                    state.set_field("applied", Value::Int(seq));
+                } else if seq > applied + 1 {
+                    return Termination::new(
+                        GAP,
+                        Value::record([("applied", Value::Int(applied)), ("seq", Value::Int(seq))]),
+                    );
+                }
+                // seq <= applied is an idempotent retransmission.
+                if let Some(commit) = Self::arg(invocation, "commit") {
+                    Self::commit_through(state, commit);
+                }
+                Self::ack(state)
+            }
+            "Commit" => {
+                let (Some(epoch), Some(commit)) = (
+                    Self::arg(invocation, "epoch"),
+                    Self::arg(invocation, "commit"),
+                ) else {
+                    return Termination::error("Commit requires epoch and commit");
+                };
+                if let Some(fenced) = Self::admit_epoch(state, epoch) {
+                    return fenced;
+                }
+                Self::commit_through(state, commit);
+                Self::ack(state)
+            }
+            "Sync" => {
+                let (Some(epoch), Some(n), Some(commit)) = (
+                    Self::arg(invocation, "epoch"),
+                    Self::arg(invocation, "n"),
+                    Self::arg(invocation, "commit"),
+                ) else {
+                    return Termination::error("Sync requires epoch, n and commit");
+                };
+                if let Some(fenced) = Self::admit_epoch(state, epoch) {
+                    return fenced;
+                }
+                if commit >= Self::int(state, "commit") {
+                    state.set_field("n", Value::Int(n));
+                    state.set_field("commit", Value::Int(commit));
+                    state.set_field("applied", Value::Int(commit));
+                    state.set_field("staged", Value::Seq(Vec::new()));
+                }
+                Self::ack(state)
+            }
+            "Get" => Self::ack(state),
+            other => Termination::error(format!("unknown operation {other}")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +392,120 @@ mod tests {
         b.on_flow(&mut state, "other", &Value::Int(100));
         b.on_flow(&mut state, "increments", &Value::text("junk"));
         assert_eq!(state.field("n"), Some(&Value::Int(7)));
+    }
+
+    fn apply(epoch: i64, seq: i64, k: i64, commit: i64) -> Invocation {
+        Invocation::new(
+            "Apply",
+            Value::record([
+                ("epoch", Value::Int(epoch)),
+                ("seq", Value::Int(seq)),
+                ("k", Value::Int(k)),
+                ("commit", Value::Int(commit)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn quorum_counter_stages_then_commits() {
+        let mut b = QuorumCounterBehaviour;
+        let mut state = QuorumCounterBehaviour::initial_state();
+        // Stage two entries; nothing is committed yet, so Get shows 0.
+        assert!(b.invoke(&mut state, &apply(1, 1, 5, 0)).is_ok());
+        assert!(b.invoke(&mut state, &apply(1, 2, 7, 0)).is_ok());
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("Get", Value::record::<&str, _>([])),
+        );
+        assert_eq!(t.results.field("n"), Some(&Value::Int(0)));
+        assert_eq!(t.results.field("applied"), Some(&Value::Int(2)));
+        // Committing through 2 folds both staged entries into n.
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new(
+                "Commit",
+                Value::record([("epoch", Value::Int(1)), ("commit", Value::Int(2))]),
+            ),
+        );
+        assert_eq!(t.results.field("n"), Some(&Value::Int(12)));
+        assert_eq!(t.results.field("commit"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn quorum_counter_fences_stale_epochs() {
+        let mut b = QuorumCounterBehaviour;
+        let mut state = QuorumCounterBehaviour::initial_state();
+        assert!(b.invoke(&mut state, &apply(3, 1, 1, 1)).is_ok());
+        // A leader still at epoch 2 is fenced; nothing changes.
+        let t = b.invoke(&mut state, &apply(2, 2, 9, 2));
+        assert_eq!(t.name, FENCED);
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("Get", Value::record::<&str, _>([])),
+        );
+        assert_eq!(t.results.field("n"), Some(&Value::Int(1)));
+        assert_eq!(t.results.field("applied"), Some(&Value::Int(1)));
+        // NewEpoch at an equal epoch is just as stale.
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("NewEpoch", Value::record([("epoch", Value::Int(3))])),
+        );
+        assert_eq!(t.name, FENCED);
+        // A strictly higher epoch wins and acks the applied watermark.
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("NewEpoch", Value::record([("epoch", Value::Int(4))])),
+        );
+        assert!(t.is_ok());
+        assert_eq!(t.results.field("applied"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn quorum_counter_rejects_gaps_and_dedups_retransmits() {
+        let mut b = QuorumCounterBehaviour;
+        let mut state = QuorumCounterBehaviour::initial_state();
+        assert!(b.invoke(&mut state, &apply(1, 1, 5, 0)).is_ok());
+        // A hole is refused, so the staged log stays a contiguous prefix.
+        let t = b.invoke(&mut state, &apply(1, 3, 9, 0));
+        assert_eq!(t.name, GAP);
+        // Retransmitting seq 1 is idempotent.
+        assert!(b.invoke(&mut state, &apply(1, 1, 5, 0)).is_ok());
+        let t = b.invoke(&mut state, &apply(1, 2, 2, 2));
+        assert_eq!(t.results.field("n"), Some(&Value::Int(7)));
+        assert_eq!(t.results.field("applied"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn quorum_counter_sync_overwrites_lagging_state() {
+        let mut b = QuorumCounterBehaviour;
+        let mut state = QuorumCounterBehaviour::initial_state();
+        assert!(b.invoke(&mut state, &apply(1, 1, 5, 0)).is_ok());
+        // Seq 1 was staged but never committed: the new leader's sync
+        // (which continues the history from its own committed prefix)
+        // replaces it wholesale.
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new(
+                "Sync",
+                Value::record([
+                    ("epoch", Value::Int(2)),
+                    ("n", Value::Int(40)),
+                    ("commit", Value::Int(6)),
+                ]),
+            ),
+        );
+        assert!(t.is_ok());
+        let t = b.invoke(
+            &mut state,
+            &Invocation::new("Get", Value::record::<&str, _>([])),
+        );
+        assert_eq!(t.results.field("n"), Some(&Value::Int(40)));
+        assert_eq!(t.results.field("commit"), Some(&Value::Int(6)));
+        assert_eq!(t.results.field("applied"), Some(&Value::Int(6)));
+        assert_eq!(t.results.field("epoch"), Some(&Value::Int(2)));
+        // The leader continues at seq 7 under the new epoch.
+        let t = b.invoke(&mut state, &apply(2, 7, 2, 7));
+        assert_eq!(t.results.field("n"), Some(&Value::Int(42)));
     }
 
     #[test]

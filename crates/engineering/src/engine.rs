@@ -1286,6 +1286,27 @@ impl Engine {
         Ok(self.nucleus(node)?.stats)
     }
 
+    /// Overrides a node's request-id dedup cache capacity (default
+    /// [`crate::nucleus::DEDUP_CAPACITY`]); shrinking evicts
+    /// oldest-first immediately.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn set_dedup_capacity(&mut self, node: NodeId, capacity: usize) -> Result<(), EngError> {
+        self.nucleus_mut(node)?.set_dedup_capacity(capacity);
+        Ok(())
+    }
+
+    /// How many request outcomes a node's dedup cache currently holds.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node.
+    pub fn dedup_len(&self, node: NodeId) -> Result<usize, EngError> {
+        Ok(self.nucleus(node)?.dedup_len())
+    }
+
     /// Sets a node's admission control (bounded invocation queue). The
     /// default is [`crate::nucleus::AdmissionPolicy::Unbounded`], the
     /// historical dispatch-on-delivery behaviour.

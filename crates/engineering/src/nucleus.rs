@@ -33,7 +33,8 @@ const SERVICE_TIMER_TAG: u64 = 0xAD_715;
 /// How many request outcomes the dedup cache remembers before evicting
 /// the oldest (FIFO). Far above any in-flight population the simulator
 /// reaches, so retransmissions practically always hit the cache.
-const DEDUP_CAPACITY: usize = 65_536;
+/// Override per node with [`NucleusProcess::set_dedup_capacity`].
+pub const DEDUP_CAPACITY: usize = 65_536;
 
 /// Remembered outcome of a request, keyed by (channel, request id), so
 /// retransmissions are served **at most once** even without a
@@ -181,6 +182,8 @@ pub struct NucleusProcess {
     dedup: BTreeMap<(u64, u64), DedupEntry>,
     /// FIFO eviction order for `dedup`.
     dedup_order: VecDeque<(u64, u64)>,
+    /// How many outcomes `dedup` may hold before FIFO eviction.
+    dedup_capacity: usize,
 }
 
 /// Counters the nucleus maintains.
@@ -237,7 +240,24 @@ impl NucleusProcess {
             draining: false,
             dedup: BTreeMap::new(),
             dedup_order: VecDeque::new(),
+            dedup_capacity: DEDUP_CAPACITY,
         }
+    }
+
+    /// Overrides the dedup cache capacity (default [`DEDUP_CAPACITY`]).
+    /// Shrinking evicts oldest-first immediately, preserving FIFO order.
+    pub fn set_dedup_capacity(&mut self, capacity: usize) {
+        self.dedup_capacity = capacity.max(1);
+        while self.dedup_order.len() > self.dedup_capacity {
+            if let Some(old) = self.dedup_order.pop_front() {
+                self.dedup.remove(&old);
+            }
+        }
+    }
+
+    /// How many request outcomes the dedup cache currently remembers.
+    pub fn dedup_len(&self) -> usize {
+        self.dedup.len()
     }
 
     /// The dedup key for an envelope, when it can be correlated: the
@@ -250,7 +270,7 @@ impl NucleusProcess {
     fn dedup_insert(&mut self, key: (u64, u64), entry: DedupEntry) {
         if self.dedup.insert(key, entry).is_none() {
             self.dedup_order.push_back(key);
-            while self.dedup_order.len() > DEDUP_CAPACITY {
+            while self.dedup_order.len() > self.dedup_capacity {
                 if let Some(old) = self.dedup_order.pop_front() {
                     self.dedup.remove(&old);
                 }

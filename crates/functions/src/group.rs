@@ -10,6 +10,15 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use rmodp_core::id::{GroupId, IdGen, InterfaceId};
+use rmodp_observe::{bus, event, EventKind, Layer};
+
+/// How many views a group's [`view_log`] retains before evicting the
+/// oldest: long chaos soaks churn views without bounding memory
+/// otherwise. Evictions are counted per group and on the
+/// `group.view_log_evicted` bus counter.
+///
+/// [`view_log`]: GroupManager::view_log
+pub const VIEW_LOG_CAP: usize = 64;
 
 /// How updates are propagated to the group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,11 +35,26 @@ pub enum ReplicationPolicy {
 pub struct View {
     /// Monotone view number (starts at 1).
     pub number: u64,
+    /// Fencing epoch. Membership changes (`join`/`leave`) bump `number`
+    /// but keep the epoch; only an elected view installed by majority
+    /// acknowledgement ([`GroupManager::install_view`]) advances it.
+    pub epoch: u64,
     /// Members in deterministic (insertion) order.
     pub members: Vec<InterfaceId>,
     /// The primary (lowest-id member) — meaningful under
     /// [`ReplicationPolicy::PrimaryCopy`].
     pub primary: Option<InterfaceId>,
+    /// The elected leader holding this view's epoch, once a quorum
+    /// election has run ([`GroupManager::install_view`]); `None` for
+    /// purely membership-managed groups.
+    pub leader: Option<InterfaceId>,
+}
+
+impl View {
+    /// How many acknowledgements constitute a majority of this view.
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
 }
 
 /// A group-management failure.
@@ -42,6 +66,11 @@ pub enum GroupError {
     AlreadyMember { member: InterfaceId },
     /// The member is not in the group.
     NotMember { member: InterfaceId },
+    /// A view install carried an epoch at or below the current one.
+    StaleEpoch { epoch: u64, current: u64 },
+    /// A view install was acknowledged by fewer than a majority of the
+    /// previous view's members.
+    NoQuorum { acks: usize, needed: usize },
 }
 
 impl fmt::Display for GroupError {
@@ -50,6 +79,12 @@ impl fmt::Display for GroupError {
             GroupError::UnknownGroup { group } => write!(f, "unknown group {group}"),
             GroupError::AlreadyMember { member } => write!(f, "{member} is already a member"),
             GroupError::NotMember { member } => write!(f, "{member} is not a member"),
+            GroupError::StaleEpoch { epoch, current } => {
+                write!(f, "epoch {epoch} is not above the current epoch {current}")
+            }
+            GroupError::NoQuorum { acks, needed } => {
+                write!(f, "{acks} acks where a majority needs {needed}")
+            }
         }
     }
 }
@@ -61,15 +96,20 @@ struct Group {
     policy: ReplicationPolicy,
     members: Vec<InterfaceId>,
     view_number: u64,
+    epoch: u64,
+    leader: Option<InterfaceId>,
     view_log: Vec<View>,
+    view_log_evicted: u64,
 }
 
 impl Group {
     fn current_view(&self) -> View {
         View {
             number: self.view_number,
+            epoch: self.epoch,
             members: self.members.clone(),
             primary: self.members.iter().min().copied(),
+            leader: self.leader,
         }
     }
 
@@ -77,6 +117,12 @@ impl Group {
         self.view_number += 1;
         let v = self.current_view();
         self.view_log.push(v);
+        // The log is a ring of the most recent VIEW_LOG_CAP views.
+        while self.view_log.len() > VIEW_LOG_CAP {
+            self.view_log.remove(0);
+            self.view_log_evicted += 1;
+            bus::counter_add("group.view_log_evicted", 1);
+        }
     }
 }
 
@@ -105,7 +151,10 @@ impl GroupManager {
             policy,
             members: members.into_iter().collect(),
             view_number: 0,
+            epoch: 0,
+            leader: None,
             view_log: Vec::new(),
+            view_log_evicted: 0,
         };
         group.bump();
         self.groups.insert(id, group);
@@ -216,12 +265,81 @@ impl GroupManager {
         ))
     }
 
+    /// Installs an **elected** view at a strictly higher epoch, on the
+    /// strength of `acks` election acknowledgements. The quorum rule is
+    /// the heart of the no-split-brain argument: the install is refused
+    /// unless a majority *of the previous view's members* acknowledged
+    /// the new epoch, so any two installed epochs share an acker, and a
+    /// replica that acked epoch `e+1` fences every write at epoch `e`.
+    ///
+    /// Emits a `view_change` event (group/epoch/leader/watermark detail)
+    /// and bumps the `group.view_changes` counter.
+    ///
+    /// # Errors
+    ///
+    /// Unknown group, stale epoch, leader outside `members`, or fewer
+    /// acks than a majority of the previous view.
+    pub fn install_view(
+        &mut self,
+        group: GroupId,
+        epoch: u64,
+        leader: InterfaceId,
+        members: Vec<InterfaceId>,
+        acks: usize,
+        commit_watermark: u64,
+    ) -> Result<View, GroupError> {
+        let g = self
+            .groups
+            .get_mut(&group)
+            .ok_or(GroupError::UnknownGroup { group })?;
+        if epoch <= g.epoch {
+            return Err(GroupError::StaleEpoch {
+                epoch,
+                current: g.epoch,
+            });
+        }
+        if !members.contains(&leader) {
+            return Err(GroupError::NotMember { member: leader });
+        }
+        let needed = g.current_view().majority();
+        if acks < needed {
+            return Err(GroupError::NoQuorum { acks, needed });
+        }
+        g.epoch = epoch;
+        g.leader = Some(leader);
+        g.members = members;
+        g.bump();
+        bus::counter_add("group.view_changes", 1);
+        event(Layer::Functions, EventKind::ViewChange)
+            .in_context()
+            .detail(format!(
+                "group={} epoch={} leader={} members={} acks={} watermark={}",
+                group.raw(),
+                epoch,
+                leader.raw(),
+                g.members.len(),
+                acks,
+                commit_watermark,
+            ))
+            .emit();
+        Ok(g.current_view())
+    }
+
     /// The full view history of a group.
     pub fn view_log(&self, group: GroupId) -> &[View] {
         self.groups
             .get(&group)
             .map(|g| g.view_log.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// How many old views have been evicted from a group's bounded
+    /// view log (ring of the last [`VIEW_LOG_CAP`]).
+    pub fn view_log_evicted(&self, group: GroupId) -> u64 {
+        self.groups
+            .get(&group)
+            .map(|g| g.view_log_evicted)
+            .unwrap_or(0)
     }
 }
 
@@ -285,6 +403,59 @@ mod tests {
         assert_eq!(gm.read_target(g, 2).unwrap(), Some(ifc(1)));
         let empty = gm.create(ReplicationPolicy::Active, []);
         assert_eq!(gm.read_target(empty, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn install_view_demands_majority_and_fresh_epoch() {
+        let mut gm = GroupManager::new();
+        let g = gm.create(ReplicationPolicy::Active, [ifc(1), ifc(2), ifc(3)]);
+        // 1 ack of a 3-member view is short of the majority (2).
+        assert_eq!(
+            gm.install_view(g, 1, ifc(2), vec![ifc(2), ifc(3)], 1, 0),
+            Err(GroupError::NoQuorum { acks: 1, needed: 2 })
+        );
+        let v = gm
+            .install_view(g, 1, ifc(2), vec![ifc(2), ifc(3)], 2, 0)
+            .unwrap();
+        assert_eq!(v.epoch, 1);
+        assert_eq!(v.leader, Some(ifc(2)));
+        assert_eq!(v.members, vec![ifc(2), ifc(3)]);
+        // A competing install at the same epoch is stale.
+        assert_eq!(
+            gm.install_view(g, 1, ifc(3), vec![ifc(3)], 2, 0),
+            Err(GroupError::StaleEpoch {
+                epoch: 1,
+                current: 1
+            })
+        );
+        // A leader outside the proposed membership is refused.
+        assert!(matches!(
+            gm.install_view(g, 2, ifc(9), vec![ifc(2), ifc(3)], 2, 0),
+            Err(GroupError::NotMember { .. })
+        ));
+        // Membership churn keeps the epoch.
+        let v = gm.join(g, ifc(4)).unwrap();
+        assert_eq!(v.epoch, 1);
+        assert_eq!(v.leader, Some(ifc(2)));
+    }
+
+    #[test]
+    fn view_log_is_a_bounded_ring() {
+        let mut gm = GroupManager::new();
+        let g = gm.create(ReplicationPolicy::Active, [ifc(1)]);
+        for i in 0..(VIEW_LOG_CAP as u64 + 20) {
+            gm.join(g, ifc(100 + i)).unwrap();
+            gm.leave(g, ifc(100 + i)).unwrap();
+        }
+        let log = gm.view_log(g);
+        assert_eq!(log.len(), VIEW_LOG_CAP);
+        // 1 create + 2 per iteration, minus what the ring retains.
+        let total = 1 + 2 * (VIEW_LOG_CAP as u64 + 20);
+        assert_eq!(gm.view_log_evicted(g), total - VIEW_LOG_CAP as u64);
+        // The retained suffix is the most recent views, in order.
+        assert_eq!(log.last().unwrap().number, total);
+        assert_eq!(log.first().unwrap().number, total - VIEW_LOG_CAP as u64 + 1);
+        assert_eq!(gm.view_log_evicted(GroupId::new(77)), 0);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   and coordinated checkpointing over the engineering engine;
 //! - [`events`] — event notification (§8.2);
 //! - [`group`] — groups and replication membership with views and primary
-//!   election (§8.2);
+//!   election (§8.2), plus epoch-numbered elected views installed by
+//!   majority acknowledgement;
+//! - [`detect`] — heartbeat failure detection with deterministic
+//!   virtual-time suspicion, feeding view changes;
 //! - [`storage`] — the versioned storage function (§8.3);
 //! - [`relation`] — the relationship repository (§8.3);
 //! - [`relocator`] — the white-pages repository of interface locations
@@ -21,6 +24,7 @@
 //! - [`security`] — authentication, access control and audit, after the
 //!   OSI security frameworks (§8.4).
 
+pub mod detect;
 pub mod events;
 pub mod group;
 pub mod management;
@@ -29,6 +33,7 @@ pub mod relocator;
 pub mod security;
 pub mod storage;
 
+pub use detect::{Detection, DetectorConfig, FailureDetector};
 pub use events::EventNotifier;
 pub use group::{GroupManager, ReplicationPolicy};
 pub use relocator::Relocator;

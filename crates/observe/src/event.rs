@@ -130,6 +130,22 @@ pub enum EventKind {
     TxCommit,
     /// A transaction aborted.
     TxAbort,
+    // ---- group robustness (detector / views / quorum) ----
+    /// A failure-detector heartbeat probe completed (detail says
+    /// `ack` or `miss`).
+    Heartbeat,
+    /// The failure detector started suspecting a group member.
+    Suspect,
+    /// A previously suspected member answered again and was restored.
+    Restore,
+    /// A new epoch-numbered group view was installed by majority
+    /// acknowledgement (detail carries group/epoch/leader/watermark).
+    ViewChange,
+    /// An update reached its majority quorum and committed (detail
+    /// carries group/epoch/seq).
+    QuorumCommit,
+    /// A stale-epoch write was rejected by a fencing replica.
+    FencedWrite,
     // ---- chaos / fault injection ----
     /// A scheduled fault was injected (crash, partition, loss burst…).
     FaultInject,
@@ -185,6 +201,12 @@ impl EventKind {
             EventKind::TxVote => "tx_vote",
             EventKind::TxCommit => "tx_commit",
             EventKind::TxAbort => "tx_abort",
+            EventKind::Heartbeat => "heartbeat",
+            EventKind::Suspect => "suspect",
+            EventKind::Restore => "restore",
+            EventKind::ViewChange => "view_change",
+            EventKind::QuorumCommit => "quorum_commit",
+            EventKind::FencedWrite => "fenced_write",
             EventKind::FaultInject => "fault_inject",
             EventKind::FaultClear => "fault_clear",
             EventKind::WalCommit => "store.wal",

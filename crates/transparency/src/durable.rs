@@ -47,6 +47,8 @@ pub enum DurableError {
     NoCheckpoint,
     /// The home node is still alive; nothing to recover from.
     NotFailed,
+    /// Every backup in the pool is dead (or the pool is empty).
+    NoBackup,
     /// Persisted bytes could not be decoded.
     Corrupt { key: String, detail: String },
 }
@@ -58,6 +60,7 @@ impl fmt::Display for DurableError {
             DurableError::Call(e) => write!(f, "replay failed: {e}"),
             DurableError::NoCheckpoint => write!(f, "no persisted checkpoint"),
             DurableError::NotFailed => write!(f, "home node has not failed"),
+            DurableError::NoBackup => write!(f, "no live backup remains in the pool"),
             DurableError::Corrupt { key, detail } => write!(f, "{key} is corrupt: {detail}"),
         }
     }
@@ -83,7 +86,7 @@ impl From<CallError> for DurableError {
 pub struct DurableGuard {
     label: String,
     home: (NodeId, CapsuleId, ClusterId),
-    backup: (NodeId, CapsuleId),
+    backups: std::collections::VecDeque<(NodeId, CapsuleId)>,
     interfaces: Vec<InterfaceId>,
     /// Sequence number of the next logged op (reset by checkpoints).
     next_op: u64,
@@ -92,7 +95,9 @@ pub struct DurableGuard {
 }
 
 impl DurableGuard {
-    /// Creates a guard; `label` namespaces its keys in the store.
+    /// Creates a guard; `label` namespaces its keys in the store and
+    /// `backup` seeds the automatic-failover pool
+    /// ([`push_backup`](Self::push_backup) extends it).
     pub fn new(
         label: impl Into<String>,
         home: (NodeId, CapsuleId, ClusterId),
@@ -102,12 +107,23 @@ impl DurableGuard {
         Self {
             label: label.into(),
             home,
-            backup,
+            backups: std::collections::VecDeque::from([backup]),
             interfaces,
             next_op: 0,
             recoveries: 0,
             replayed: 0,
         }
+    }
+
+    /// Appends a backup location to the failover pool (targets are
+    /// taken in pool order, skipping dead nodes).
+    pub fn push_backup(&mut self, backup: (NodeId, CapsuleId)) {
+        self.backups.push_back(backup);
+    }
+
+    /// The backup locations still available, in selection order.
+    pub fn backup_pool(&self) -> impl Iterator<Item = (NodeId, CapsuleId)> + '_ {
+        self.backups.iter().copied()
     }
 
     /// The cluster's current home.
@@ -205,6 +221,7 @@ impl DurableGuard {
     ///
     /// [`DurableError::NotFailed`] when the home is alive,
     /// [`DurableError::NoCheckpoint`] without a persisted checkpoint,
+    /// [`DurableError::NoBackup`] when no pool entry is alive,
     /// corrupt store entries, or engineering/replay failures.
     pub fn recover<S: PersistentStore>(
         &mut self,
@@ -221,7 +238,9 @@ impl DurableGuard {
             key: cp_key,
             detail,
         })?;
-        let (backup_node, backup_capsule) = self.backup;
+        let (backup_node, backup_capsule) =
+            crate::failure::FailureGuard::take_live_backup(&mut self.backups, engine)
+                .map_err(|_| DurableError::NoBackup)?;
         let span = bus::new_span();
         event(Layer::Transparency, EventKind::RecoveryStart)
             .span(span)
@@ -326,10 +345,11 @@ impl DurableGuard {
         Ok((new_cluster, replayed))
     }
 
-    /// Designates a new backup location (after a recovery consumed the
-    /// previous one).
+    /// Designates the *next* backup location, jumping the pool queue.
+    #[deprecated(note = "failover target selection is automatic from the backup pool; \
+                use push_backup to extend the pool instead")]
     pub fn set_backup(&mut self, backup: (NodeId, CapsuleId)) {
-        self.backup = backup;
+        self.backups.push_front(backup);
     }
 }
 

@@ -36,6 +36,8 @@ pub enum FailureError {
     NoCheckpoint,
     /// The home node is still alive; nothing to recover from.
     NotFailed,
+    /// Every backup in the pool is dead (or the pool is empty).
+    NoBackup,
 }
 
 impl fmt::Display for FailureError {
@@ -44,6 +46,7 @@ impl fmt::Display for FailureError {
             FailureError::Eng(e) => write!(f, "{e}"),
             FailureError::NoCheckpoint => write!(f, "no checkpoint available"),
             FailureError::NotFailed => write!(f, "home node has not failed"),
+            FailureError::NoBackup => write!(f, "no live backup remains in the pool"),
         }
     }
 }
@@ -57,10 +60,16 @@ impl From<EngError> for FailureError {
 }
 
 /// Guards one cluster with checkpointing and backup-node recovery.
+///
+/// Failover is **automatic**: the guard holds a pool of backup
+/// locations ([`push_backup`](Self::push_backup)) and
+/// [`recover`](Self::recover) selects the first *live* one
+/// deterministically (pool order, dead entries skipped), so successive
+/// failures need no manual re-designation.
 #[derive(Debug)]
 pub struct FailureGuard {
     home: (NodeId, CapsuleId, ClusterId),
-    backup: (NodeId, CapsuleId),
+    backups: std::collections::VecDeque<(NodeId, CapsuleId)>,
     interfaces: Vec<InterfaceId>,
     last_checkpoint: Option<ClusterCheckpoint>,
     recoveries: u64,
@@ -91,7 +100,8 @@ pub(crate) fn divergent_objects(restored: &ClusterCheckpoint, actual: &ClusterCh
 }
 
 impl FailureGuard {
-    /// Creates a guard for a cluster with a designated backup location.
+    /// Creates a guard for a cluster; `backup` seeds the backup pool
+    /// (extend it with [`push_backup`](Self::push_backup)).
     pub fn new(
         home: (NodeId, CapsuleId, ClusterId),
         backup: (NodeId, CapsuleId),
@@ -99,12 +109,40 @@ impl FailureGuard {
     ) -> Self {
         Self {
             home,
-            backup,
+            backups: std::collections::VecDeque::from([backup]),
             interfaces,
             last_checkpoint: None,
             recoveries: 0,
             lost_updates: 0,
         }
+    }
+
+    /// Appends a backup location to the pool (failover targets are
+    /// taken in pool order, skipping dead nodes).
+    pub fn push_backup(&mut self, backup: (NodeId, CapsuleId)) {
+        self.backups.push_back(backup);
+    }
+
+    /// The backup locations still available, in selection order.
+    pub fn backup_pool(&self) -> impl Iterator<Item = (NodeId, CapsuleId)> + '_ {
+        self.backups.iter().copied()
+    }
+
+    /// Picks the failover target: the first pool entry whose node is
+    /// currently alive. Only the chosen entry leaves the pool — dead
+    /// entries are skipped but kept, since their nodes may heal.
+    pub(crate) fn take_live_backup(
+        backups: &mut std::collections::VecDeque<(NodeId, CapsuleId)>,
+        engine: &Engine,
+    ) -> Result<(NodeId, CapsuleId), FailureError> {
+        let pos = backups.iter().position(|(node, _)| {
+            engine
+                .sim_node(*node)
+                .map(|idx| !engine.sim().topology().is_crashed(idx))
+                .unwrap_or(false)
+        });
+        pos.and_then(|i| backups.remove(i))
+            .ok_or(FailureError::NoBackup)
     }
 
     /// The cluster's current home.
@@ -145,15 +183,16 @@ impl FailureGuard {
             .unwrap_or(true)
     }
 
-    /// Recovers the cluster onto the backup from the last checkpoint and
-    /// republishes interface locations. The guard's home becomes the
-    /// backup (a subsequent failure needs a new backup designation via
-    /// [`set_backup`](Self::set_backup)).
+    /// Recovers the cluster from the last checkpoint onto the first
+    /// live backup in the pool (deterministic selection — no manual
+    /// designation needed) and republishes interface locations. The
+    /// guard's home becomes that backup.
     ///
     /// # Errors
     ///
     /// [`FailureError::NotFailed`] when the home is alive,
-    /// [`FailureError::NoCheckpoint`] without a recovery point, or
+    /// [`FailureError::NoCheckpoint`] without a recovery point,
+    /// [`FailureError::NoBackup`] when the pool has no live entry, or
     /// engineering failures.
     pub fn recover(
         &mut self,
@@ -167,6 +206,7 @@ impl FailureGuard {
             .last_checkpoint
             .clone()
             .ok_or(FailureError::NoCheckpoint)?;
+        let backup = Self::take_live_backup(&mut self.backups, engine)?;
         // Post-mortem: the crashed node's structures survive in the
         // simulation, so the loss window is measurable — how many
         // objects moved past the checkpoint we are about to restore?
@@ -179,7 +219,7 @@ impl FailureGuard {
         };
         self.lost_updates += lost;
         bus::counter_add("failure.lost_updates", lost);
-        let (backup_node, backup_capsule) = self.backup;
+        let (backup_node, backup_capsule) = backup;
         let span = bus::new_span();
         event(Layer::Transparency, EventKind::RecoveryStart)
             .span(span)
@@ -214,10 +254,12 @@ impl FailureGuard {
         Ok(new_cluster)
     }
 
-    /// Designates a new backup location (after a recovery consumed the
-    /// previous one).
+    /// Designates the next backup location manually.
+    #[deprecated(note = "failover target selection is automatic from the backup \
+                pool; use push_backup to extend the pool instead")]
     pub fn set_backup(&mut self, backup: (NodeId, CapsuleId)) {
-        self.backup = backup;
+        // Kept working: the designated backup jumps the pool queue.
+        self.backups.push_front(backup);
     }
 }
 
@@ -362,12 +404,54 @@ mod tests {
                 )
                 .unwrap();
             assert_eq!(t.results.field("n"), Some(&Value::Int(1)), "round {round}");
-            // Prepare the next backup and refresh the recovery point.
+            // Extend the pool and refresh the recovery point; the next
+            // failover picks the new entry automatically.
             let next = w.engine.add_node(SyntaxId::Binary);
             let next_capsule = w.engine.add_capsule(next).unwrap();
-            w.guard.set_backup((next, next_capsule));
+            w.guard.push_backup((next, next_capsule));
             w.guard.checkpoint_now(&mut w.engine).unwrap();
         }
         assert_eq!(w.guard.recoveries(), 2);
+    }
+
+    #[test]
+    fn recovery_skips_dead_backups_deterministically() {
+        let mut w = world();
+        w.guard.checkpoint_now(&mut w.engine).unwrap();
+        // Queue a second backup behind the seeded one, then kill the
+        // seeded one: recovery must skip it and land on the second.
+        let second = w.engine.add_node(SyntaxId::Binary);
+        let second_capsule = w.engine.add_capsule(second).unwrap();
+        w.guard.push_backup((second, second_capsule));
+        let first_backup = w.guard.backup_pool().next().unwrap().0;
+        let idx = w.engine.sim_node(first_backup).unwrap();
+        w.engine.sim_mut().topology_mut().crash(idx);
+        let idx = w.engine.sim_node(w.guard.home().0).unwrap();
+        w.engine.sim_mut().topology_mut().crash(idx);
+        w.guard.recover(&mut w.engine, &mut w.infra).unwrap();
+        assert_eq!(w.guard.home().0, second);
+        // The dead entry stays queued (its node may heal)…
+        assert_eq!(w.guard.backup_pool().count(), 1);
+        // …and with the pool otherwise dead, recovery reports NoBackup.
+        let idx = w.engine.sim_node(second).unwrap();
+        w.engine.sim_mut().topology_mut().crash(idx);
+        assert!(matches!(
+            w.guard.recover(&mut w.engine, &mut w.infra),
+            Err(FailureError::NoBackup)
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_set_backup_jumps_the_pool_queue() {
+        let mut w = world();
+        w.guard.checkpoint_now(&mut w.engine).unwrap();
+        let urgent = w.engine.add_node(SyntaxId::Binary);
+        let urgent_capsule = w.engine.add_capsule(urgent).unwrap();
+        w.guard.set_backup((urgent, urgent_capsule));
+        let idx = w.engine.sim_node(w.guard.home().0).unwrap();
+        w.engine.sim_mut().topology_mut().crash(idx);
+        w.guard.recover(&mut w.engine, &mut w.infra).unwrap();
+        assert_eq!(w.guard.home().0, urgent, "manual designation still wins");
     }
 }

@@ -27,14 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .behaviours_mut()
         .register("counter", CounterBehaviour::default);
 
-    // Home, first target, backup, and the client.
+    // Home, first target, two pooled backups, and the client.
     let home = sys.engine.add_node(SyntaxId::Binary);
     let target = sys.engine.add_node(SyntaxId::Text);
     let backup = sys.engine.add_node(SyntaxId::Binary);
+    let spare = sys.engine.add_node(SyntaxId::Binary);
     let client = sys.engine.add_node(SyntaxId::Binary);
     let home_capsule = sys.engine.add_capsule(home)?;
     let target_capsule = sys.engine.add_capsule(target)?;
     let backup_capsule = sys.engine.add_capsule(backup)?;
+    let spare_capsule = sys.engine.add_capsule(spare)?;
     let cluster = sys.engine.add_cluster(home, home_capsule)?;
     let (_, refs) = sys.engine.create_object(
         home,
@@ -72,17 +74,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let t = proxy.call(&mut sys.engine, &mut sys.infra, "Add", &add(5))?;
     println!("after migration to {target}: Add(5) -> {}", t.results);
 
-    // Guard the migrated cluster; checkpoint; then crash the node.
+    // Guard the migrated cluster with a pool of backup locations;
+    // checkpoint; then crash BOTH the node and its first backup. The
+    // failover target is selected automatically — recovery skips the
+    // dead pool head and lands on the spare, no `set_backup` needed.
     let mut guard = FailureGuard::new(
         (target, target_capsule, new_cluster),
         (backup, backup_capsule),
         vec![interface],
     );
+    guard.push_backup((spare, spare_capsule));
     guard.checkpoint_now(&mut sys.engine)?;
     let idx = sys.engine.sim_node(target)?;
     sys.engine.sim_mut().topology_mut().crash(idx);
-    println!("node {target} crashed; recovering on {backup}…");
+    let idx = sys.engine.sim_node(backup)?;
+    sys.engine.sim_mut().topology_mut().crash(idx);
+    println!("node {target} and backup {backup} crashed; recovering from the pool…");
     guard.recover(&mut sys.engine, &mut sys.infra)?;
+    assert_eq!(
+        guard.home().0,
+        spare,
+        "recovery skips the dead backup and selects the spare"
+    );
 
     // The oblivious client keeps calling.
     let t = proxy.call(

@@ -183,6 +183,14 @@ fn chaos_capsule_kill_with_durable_guard_loses_nothing() {
         (w.backup, w.backup_capsule),
         vec![w.interface],
     );
+    // Failover target selection is automatic from the backup pool: the
+    // designated backup dies before it is ever needed, so recovery must
+    // skip the dead pool head and land on the spare.
+    let spare = w.engine.add_node(SyntaxId::Binary);
+    let spare_capsule = w.engine.add_capsule(spare).unwrap();
+    guard.push_backup((spare, spare_capsule));
+    let backup_idx = w.engine.sim_node(w.backup).unwrap();
+    w.engine.sim_mut().topology_mut().crash(backup_idx);
     let mut proxy = TransparentProxy::new(
         w.client,
         w.interface,
@@ -236,6 +244,11 @@ fn chaos_capsule_kill_with_durable_guard_loses_nothing() {
     }
     assert!(recovered, "the kill must interrupt the stream");
     assert!(guard.replayed() > 0, "the logged tail was replayed");
+    assert_eq!(
+        guard.home().0,
+        spare,
+        "automatic selection skipped the dead backup"
+    );
 
     let t = proxy
         .call(
