@@ -18,7 +18,7 @@ use rmodp_core::value::Value;
 /// that is what checkpoints capture. Behaviour instances may keep caches,
 /// but anything needed to survive deactivation/migration belongs in
 /// `state`.
-pub trait ServerBehaviour: 'static {
+pub trait ServerBehaviour: Send + 'static {
     /// Handles an operation invocation, mutating the object state and
     /// returning a termination.
     fn invoke(&mut self, state: &mut Value, invocation: &Invocation) -> Termination;

@@ -52,7 +52,7 @@ impl From<CodecError> for ChannelError {
 
 /// One configurable element of a channel, traversed on the way out and on
 /// the way in.
-pub trait ChannelComponent: 'static {
+pub trait ChannelComponent: Send + 'static {
     /// A short component name for traces.
     fn name(&self) -> &'static str;
 

@@ -50,6 +50,7 @@ pub mod channel;
 pub mod engine;
 pub mod envelope;
 pub mod nucleus;
+pub mod population;
 pub mod structure;
 
 /// Commonly used items.

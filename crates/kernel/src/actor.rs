@@ -51,6 +51,60 @@ pub trait World {
     }
 }
 
+/// Assignment of a world's nodes to shards: node `i` belongs to shard
+/// `owner[i]`. The map is built once, before any event runs, and never
+/// changes mid-run — conservative synchronization (see
+/// [`crate::shard`]) depends on the ownership relation being static.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionMap {
+    shards: usize,
+    owner: Vec<usize>,
+}
+
+impl PartitionMap {
+    /// Builds a map from an explicit owner-per-node table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or any owner is out of range.
+    pub fn new(shards: usize, owner: Vec<usize>) -> Self {
+        assert!(shards > 0, "at least one shard");
+        assert!(
+            owner.iter().all(|&s| s < shards),
+            "owner out of range for {shards} shard(s)"
+        );
+        Self { shards, owner }
+    }
+
+    /// Round-robin assignment: node `i` goes to shard `i % shards`.
+    pub fn round_robin(nodes: usize, shards: usize) -> Self {
+        Self::new(shards, (0..nodes).map(|i| i % shards).collect())
+    }
+
+    /// The number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The number of mapped nodes.
+    pub fn nodes(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// The shard owning `node`. Nodes beyond the mapped range (e.g. an
+    /// external injector pseudo-node) fold onto shard 0 so every address
+    /// has a deterministic owner.
+    pub fn owner(&self, node: usize) -> usize {
+        self.owner.get(node).copied().unwrap_or(0)
+    }
+
+    /// Whether two nodes live on the same shard (their messages need no
+    /// cross-shard exchange).
+    pub fn co_located(&self, a: usize, b: usize) -> bool {
+        self.owner(a) == self.owner(b)
+    }
+}
+
 /// A participant scheduled on the kernel.
 pub trait Actor<W: World + ?Sized> {
     /// The next instant this actor wants control, if any. The kernel

@@ -17,16 +17,21 @@
 //! * [`payload`] — shared immutable byte buffers ([`Payload`]) that make
 //!   the invocation hot path allocation-light (clone = share, slice =
 //!   view, and deep copies are metered so benchmarks can assert there
-//!   are none).
+//!   are none);
+//! * [`shard`] — partitioned execution: N disjoint shards, each with its
+//!   own queue/clock/RNG stream, synchronized by conservative lookahead
+//!   and a deterministic cross-shard merge ([`ShardedKernel`]).
 
 pub mod actor;
 pub mod payload;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
-pub use actor::{Actor, Kernel, World};
+pub use actor::{Actor, Kernel, PartitionMap, World};
 pub use payload::{Payload, PAYLOAD_ALLOCS, PAYLOAD_COPIES};
 pub use queue::EventQueue;
 pub use rng::KernelRng;
+pub use shard::{CrossShardEvent, EpochHook, ShardWorld, ShardedKernel, SyncStats};
 pub use time::{SimDuration, SimTime};

@@ -57,6 +57,7 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     now: SimTime,
     seq: u64,
+    stride: u64,
     heap: BinaryHeap<Entry<E>>,
 }
 
@@ -69,9 +70,24 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue with the clock at the epoch.
     pub fn new() -> Self {
+        Self::with_seq_stride(0, 1)
+    }
+
+    /// An empty queue whose submission counter starts at `offset` and
+    /// advances by `stride` — shard `i` of `n` uses `(i, n)` so every
+    /// sequence number across a sharded kernel is globally unique and the
+    /// canonical cross-shard merge order `(SimTime, shard, seq)` never
+    /// collides.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn with_seq_stride(offset: u64, stride: u64) -> Self {
+        assert!(stride > 0, "seq stride must be positive");
         Self {
             now: SimTime::ZERO,
-            seq: 0,
+            seq: offset,
+            stride,
             heap: BinaryHeap::new(),
         }
     }
@@ -85,7 +101,7 @@ impl<E> EventQueue<E> {
     /// submission sequence number used for the FIFO tie-break.
     pub fn schedule(&mut self, at: SimTime, item: E) -> u64 {
         let seq = self.seq;
-        self.seq += 1;
+        self.seq += self.stride;
         self.heap.push(Entry { at, seq, item });
         seq
     }
@@ -106,9 +122,22 @@ impl<E> EventQueue<E> {
     }
 
     /// Idles the clock forward to `at` (never backward) without firing
-    /// anything, publishing the new time to the observe bus. Callers are
-    /// expected to have drained every entry due at or before `at` first.
+    /// anything, publishing the new time to the observe bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an entry is still scheduled at or before `at`: idling
+    /// the clock past a due event would silently reorder it after later
+    /// submissions, breaking the total `(SimTime, seq)` order every
+    /// replay guarantee in the workspace rests on. Drain due entries
+    /// with [`EventQueue::pop`] first.
     pub fn advance_to(&mut self, at: SimTime) {
+        if let Some(next) = self.peek_time() {
+            assert!(
+                next > at,
+                "advance_to({at}) would skip an entry still scheduled at {next}"
+            );
+        }
         if self.now < at {
             self.now = at;
             bus::set_time_us(self.now.as_micros());
@@ -158,5 +187,46 @@ mod tests {
         q.advance_to(SimTime::from_micros(10));
         q.advance_to(SimTime::from_micros(3));
         assert_eq!(q.now(), SimTime::from_micros(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "would skip an entry still scheduled")]
+    fn advance_to_panics_when_a_due_entry_remains() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(5), ());
+        q.advance_to(SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn advance_to_is_fine_short_of_the_next_entry() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(5), ());
+        q.advance_to(SimTime::from_micros(4));
+        assert_eq!(q.now(), SimTime::from_micros(4));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), ())));
+    }
+
+    #[test]
+    fn equal_timestamps_fire_in_submission_order() {
+        // The FIFO tie-break: a burst of entries at one instant pops in
+        // exactly the order it was scheduled, interleaved or not.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(9);
+        for label in ["first", "second", "third", "fourth"] {
+            q.schedule(t, label);
+        }
+        q.schedule(SimTime::from_micros(1), "early");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["early", "first", "second", "third", "fourth"]);
+    }
+
+    #[test]
+    fn strided_queues_allocate_disjoint_seqs() {
+        let mut a = EventQueue::with_seq_stride(0, 2);
+        let mut b = EventQueue::with_seq_stride(1, 2);
+        let sa: Vec<u64> = (0..3).map(|_| a.schedule(SimTime::ZERO, ())).collect();
+        let sb: Vec<u64> = (0..3).map(|_| b.schedule(SimTime::ZERO, ())).collect();
+        assert_eq!(sa, vec![0, 2, 4]);
+        assert_eq!(sb, vec![1, 3, 5]);
     }
 }

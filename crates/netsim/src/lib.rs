@@ -51,7 +51,7 @@ pub mod topology;
 pub mod trace;
 
 pub use rmodp_kernel::payload::Payload;
-pub use sim::{Addr, Ctx, Message, NodeIdx, Process, Sim};
+pub use sim::{Addr, Ctx, Message, NodeIdx, Process, ShardAction, Sim};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkConfig, Topology};
 pub use trace::{Metrics, TraceEntry, TraceKind};

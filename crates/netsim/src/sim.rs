@@ -9,7 +9,8 @@ use rand::Rng;
 use rmodp_kernel::payload::Payload;
 use rmodp_kernel::queue::EventQueue;
 use rmodp_kernel::rng::KernelRng;
-use rmodp_kernel::World;
+use rmodp_kernel::shard::{CrossShardEvent, ShardWorld};
+use rmodp_kernel::{PartitionMap, World};
 use rmodp_observe::{bus, event, EventKind, Layer};
 
 use crate::time::{SimDuration, SimTime};
@@ -81,7 +82,12 @@ pub struct TimerId(u64);
 ///
 /// Processes run to completion on each event (no blocking); long-running
 /// behaviour is expressed by setting timers.
-pub trait Process: 'static {
+///
+/// Processes are `Send` so a [`Sim`] can serve as one shard of a
+/// [`ShardedKernel`](rmodp_kernel::ShardedKernel) running on its own
+/// thread; a process never runs on two threads at once (each shard owns
+/// its processes exclusively), so no further synchronization is needed.
+pub trait Process: Send + 'static {
     /// Handles a delivered message.
     fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message);
 
@@ -207,6 +213,35 @@ enum Pending {
     Timer { addr: Addr, tag: u64, id: TimerId },
 }
 
+/// A topology/fault action applied identically to every shard of a
+/// sharded run at an epoch barrier, so all shards keep the same view of
+/// the shared network state. Only the deterministic fault kinds appear
+/// here: loss and latency changes would either consume RNG draws or
+/// invalidate the lookahead bound mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardAction {
+    /// Crash a node (messages and timers dropped).
+    Crash(NodeIdx),
+    /// Restart a crashed node.
+    Restart(NodeIdx),
+    /// Sever connectivity between two nodes.
+    Partition(NodeIdx, NodeIdx),
+    /// Restore connectivity between two nodes.
+    Heal(NodeIdx, NodeIdx),
+}
+
+/// State a [`Sim`] keeps when acting as one shard of a
+/// [`ShardedKernel`](rmodp_kernel::ShardedKernel): which shard it is,
+/// who owns every node, and the cross-shard messages emitted since the
+/// last epoch barrier.
+#[derive(Debug)]
+struct ShardRouting {
+    shard_id: usize,
+    map: PartitionMap,
+    outbox: Vec<CrossShardEvent<Message>>,
+    sent: u64,
+}
+
 /// The simulation engine. See the [crate docs](crate) for an example.
 ///
 /// Scheduling is delegated to the kernel's [`EventQueue`]: one totally
@@ -223,6 +258,7 @@ pub struct Sim {
     metrics: Metrics,
     trace: Vec<TraceEntry>,
     tracing: bool,
+    shard: Option<ShardRouting>,
 }
 
 impl fmt::Debug for Sim {
@@ -261,7 +297,44 @@ impl Sim {
             metrics: Metrics::default(),
             trace: Vec::new(),
             tracing: false,
+            shard: None,
         }
+    }
+
+    /// Turns this simulator into shard `shard_id` of a partitioned run:
+    /// it keeps the full topology (every shard shares one world view)
+    /// and its own queue, RNG stream and clock, but only hosts processes
+    /// for nodes the partition map assigns to it. Sends to nodes owned
+    /// by other shards are diverted into an outbox drained at epoch
+    /// barriers by a [`ShardedKernel`](rmodp_kernel::ShardedKernel).
+    ///
+    /// The queue's tie-break counter is re-strided so sequence numbers
+    /// are globally unique across shards (`seq ≡ shard_id (mod shards)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_id` is out of range for the map, or if events
+    /// are already queued (sharding must be configured before load).
+    pub fn enable_shard_routing(&mut self, shard_id: usize, map: PartitionMap) {
+        assert!(shard_id < map.shards(), "shard id out of range");
+        assert!(
+            self.queue.is_empty(),
+            "enable shard routing before scheduling events"
+        );
+        self.queue = EventQueue::with_seq_stride(shard_id as u64, map.shards() as u64);
+        self.shard = Some(ShardRouting {
+            shard_id,
+            map,
+            outbox: Vec::new(),
+            sent: 0,
+        });
+    }
+
+    /// Which shard owns a node (shard 0 when routing is disabled).
+    pub fn owning_shard(&self, node: NodeIdx) -> usize {
+        self.shard
+            .as_ref()
+            .map_or(0, |s| s.map.owner(node.0 as usize))
     }
 
     /// Adds a node and returns its index.
@@ -481,8 +554,28 @@ impl Sim {
             payload,
             sent_at: now,
         };
-        self.queue
-            .schedule(now + latency, Pending::Deliver { msg, span });
+        let arrive = now + latency;
+        if let Some(shard) = self.shard.as_mut() {
+            let dst_shard = shard.map.owner(dst.node.0 as usize);
+            if dst_shard != shard.shard_id {
+                // The destination node lives on another shard: divert
+                // into the outbox for the epoch barrier's canonical
+                // merge. The payload is an `Arc` slice, so crossing the
+                // shard (and thread) boundary shares bytes, never
+                // copies them.
+                let src_seq = shard.sent;
+                shard.sent += 1;
+                shard.outbox.push(CrossShardEvent {
+                    at: arrive,
+                    src_shard: shard.shard_id,
+                    src_seq,
+                    dst_shard,
+                    msg,
+                });
+                return;
+            }
+        }
+        self.queue.schedule(arrive, Pending::Deliver { msg, span });
     }
 
     fn deliver(&mut self, msg: Message, span: u64) {
@@ -621,6 +714,73 @@ impl Sim {
                     self.record(TraceKind::Note, from, detail);
                 }
             }
+        }
+    }
+}
+
+/// One simulator is one shard of a partitioned run (after
+/// [`Sim::enable_shard_routing`]): it advances its own queue up to the
+/// conservative horizon and exchanges diverted deliveries at epoch
+/// barriers.
+impl ShardWorld for Sim {
+    type Msg = Message;
+    type Action = ShardAction;
+
+    fn shard_id(&self) -> usize {
+        self.shard
+            .as_ref()
+            .expect("enable_shard_routing first")
+            .shard_id
+    }
+
+    fn now(&self) -> SimTime {
+        Sim::now(self)
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    fn run_before(&mut self, horizon: SimTime) -> u64 {
+        let mut events = 0;
+        while self.queue.peek_time().is_some_and(|t| t < horizon) {
+            self.step();
+            events += 1;
+        }
+        events
+    }
+
+    fn take_outbox(&mut self) -> Vec<CrossShardEvent<Message>> {
+        self.shard
+            .as_mut()
+            .map_or_else(Vec::new, |s| std::mem::take(&mut s.outbox))
+    }
+
+    fn deposit(&mut self, event: CrossShardEvent<Message>) {
+        debug_assert!(
+            event.at >= self.queue.now(),
+            "cross-shard deposit in this shard's past"
+        );
+        // The delivery gets a fresh causal span on this shard's thread;
+        // cross-thread span parentage is not stitched (the observe bus
+        // is thread-local), which only affects diagnostic traces, never
+        // simulation state.
+        let span = bus::new_span();
+        self.queue.schedule(
+            event.at,
+            Pending::Deliver {
+                msg: event.msg,
+                span,
+            },
+        );
+    }
+
+    fn apply_action(&mut self, action: &ShardAction) {
+        match *action {
+            ShardAction::Crash(node) => self.topology.crash(node),
+            ShardAction::Restart(node) => self.topology.restart(node),
+            ShardAction::Partition(a, b) => self.topology.partition(a, b),
+            ShardAction::Heal(a, b) => self.topology.heal(a, b),
         }
     }
 }
@@ -851,6 +1011,100 @@ mod tests {
         }
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100));
+    }
+
+    /// Volleys a counter back and forth `rounds` times, then stops.
+    struct PingPong {
+        peer: Addr,
+        rounds: u64,
+        seen: Vec<(SimTime, u64)>,
+    }
+
+    impl Process for PingPong {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+            let n = u64::from_le_bytes(msg.payload.as_ref().try_into().unwrap());
+            self.seen.push((ctx.now(), n));
+            if n < self.rounds {
+                ctx.send(self.peer, (n + 1).to_le_bytes().to_vec());
+            }
+        }
+    }
+
+    /// Builds the same two-node ping-pong world at any shard count and
+    /// returns every (time, value) each endpoint observed.
+    fn ping_pong_observations(shards: usize, threaded: bool) -> Vec<(SimTime, u64)> {
+        use rmodp_kernel::{PartitionMap, ShardedKernel};
+        let link = LinkConfig::with_latency(SimDuration::from_millis(2));
+        let map = PartitionMap::round_robin(2, shards);
+        let mut sims = Vec::new();
+        for shard in 0..shards {
+            let mut sim = Sim::with_topology(7, Topology::full_mesh(link));
+            let a = sim.add_node();
+            let b = sim.add_node();
+            sim.enable_shard_routing(shard, map.clone());
+            let (pa, pb) = (Addr::new(a, 0), Addr::new(b, 0));
+            for (addr, peer) in [(pa, pb), (pb, pa)] {
+                if map.owner(addr.node.0 as usize) == shard {
+                    sim.attach(
+                        addr,
+                        PingPong {
+                            peer,
+                            rounds: 9,
+                            seen: Vec::new(),
+                        },
+                    );
+                }
+            }
+            if map.owner(pa.node.0 as usize) == shard {
+                sim.send_from(Addr::EXTERNAL, pa, 0u64.to_le_bytes().to_vec());
+            }
+            sims.push(sim);
+        }
+        let lookahead = sims[0]
+            .topology()
+            .min_cross_partition_latency(&map)
+            .unwrap_or(SimDuration::from_millis(2));
+        let mut kernel = ShardedKernel::new(sims, lookahead);
+        kernel.set_threaded(threaded);
+        kernel.run();
+        let mut all = Vec::new();
+        for sim in kernel.into_shards() {
+            for node in 0..2u32 {
+                let addr = Addr::new(NodeIdx(node), 0);
+                if let Some(p) = sim.inspect::<PingPong>(addr) {
+                    all.extend(p.seen.iter().copied());
+                }
+            }
+        }
+        all.sort();
+        all
+    }
+
+    #[test]
+    fn sharded_sim_matches_single_shard_run() {
+        let single = ping_pong_observations(1, false);
+        assert_eq!(single.len(), 10, "ten volleys observed");
+        assert_eq!(single, ping_pong_observations(2, false), "serial 2-shard");
+        assert_eq!(single, ping_pong_observations(2, true), "threaded 2-shard");
+    }
+
+    #[test]
+    fn cross_shard_sends_divert_to_the_outbox() {
+        use rmodp_kernel::shard::ShardWorld;
+        use rmodp_kernel::PartitionMap;
+        let mut sim = Sim::with_topology(1, Topology::full_mesh(LinkConfig::default()));
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.enable_shard_routing(0, PartitionMap::round_robin(2, 2));
+        sim.attach(Addr::new(a, 0), Recorder::new(false));
+        // a (shard 0, local): scheduled. b (shard 1): diverted.
+        sim.send_from(Addr::EXTERNAL, Addr::new(a, 0), vec![1]);
+        sim.send_from(Addr::EXTERNAL, Addr::new(b, 0), vec![2]);
+        assert_eq!(sim.queue_len(), 1);
+        let outbox = ShardWorld::take_outbox(&mut sim);
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].dst_shard, 1);
+        assert_eq!(outbox[0].msg.dst, Addr::new(b, 0));
     }
 
     #[test]

@@ -142,6 +142,48 @@ impl Topology {
     pub fn is_crashed(&self, node: NodeIdx) -> bool {
         self.crashed.contains(&node)
     }
+
+    /// The minimum base one-way latency over every directed node pair
+    /// whose endpoints live on *different* shards of `map` — the
+    /// conservative lookahead a sharded run derives its epoch horizon
+    /// from: no cross-shard message can arrive sooner than this after it
+    /// was sent. Jitter only adds latency, so it never shrinks the bound.
+    ///
+    /// Returns `None` when no cross-shard pair exists (a single shard
+    /// needs no lookahead).
+    pub fn min_cross_partition_latency(
+        &self,
+        map: &rmodp_kernel::PartitionMap,
+    ) -> Option<SimDuration> {
+        let nodes = map.nodes();
+        let mut min: Option<SimDuration> = None;
+        let mut cross_pairs = 0usize;
+        let mut overridden = 0usize;
+        for (&(src, dst), link) in &self.overrides {
+            let (s, d) = (src.0 as usize, dst.0 as usize);
+            if s < nodes && d < nodes && !map.co_located(s, d) {
+                overridden += 1;
+                min = Some(min.map_or(link.latency, |m| m.min(link.latency)));
+            }
+        }
+        for s in 0..nodes {
+            for d in 0..nodes {
+                if s != d && !map.co_located(s, d) {
+                    cross_pairs += 1;
+                }
+            }
+        }
+        if cross_pairs == 0 {
+            return None;
+        }
+        if overridden < cross_pairs {
+            // At least one cross-shard pair rides the default link.
+            min = Some(min.map_or(self.default_link.latency, |m| {
+                m.min(self.default_link.latency)
+            }));
+        }
+        min
+    }
 }
 
 fn ordered(a: NodeIdx, b: NodeIdx) -> (NodeIdx, NodeIdx) {
@@ -202,5 +244,43 @@ mod tests {
     #[should_panic(expected = "loss must be in [0,1]")]
     fn loss_out_of_range_panics() {
         let _ = LinkConfig::default().loss(1.5);
+    }
+
+    #[test]
+    fn min_cross_partition_latency_tracks_the_slowest_safe_bound() {
+        use rmodp_kernel::PartitionMap;
+        let mut t = Topology::full_mesh(LinkConfig::with_latency(SimDuration::from_millis(2)));
+        let map = PartitionMap::round_robin(4, 2);
+        // All cross pairs ride the default link.
+        assert_eq!(
+            t.min_cross_partition_latency(&map),
+            Some(SimDuration::from_millis(2))
+        );
+        // A faster cross-shard override lowers the bound…
+        t.set_link(
+            N0,
+            N1,
+            LinkConfig::with_latency(SimDuration::from_millis(1)),
+        );
+        assert_eq!(
+            t.min_cross_partition_latency(&map),
+            Some(SimDuration::from_millis(1))
+        );
+        // …but a faster *intra-shard* override (n0 and n2 share shard 0)
+        // does not.
+        t.set_link(
+            N0,
+            N2,
+            LinkConfig::with_latency(SimDuration::from_micros(10)),
+        );
+        assert_eq!(
+            t.min_cross_partition_latency(&map),
+            Some(SimDuration::from_millis(1))
+        );
+        // One shard owning everything has no cross pair.
+        assert_eq!(
+            t.min_cross_partition_latency(&PartitionMap::round_robin(4, 1)),
+            None
+        );
     }
 }

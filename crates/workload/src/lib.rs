@@ -68,6 +68,7 @@
 
 pub mod arrival;
 pub mod driver;
+pub mod population;
 pub mod scenario;
 pub mod slo;
 

@@ -1,0 +1,80 @@
+//! Cross-crate determinism of the sharded kernel: the same seed must
+//! produce byte-identical observable results at any shard count, with
+//! and without fault injection, on serial and threaded execution.
+
+use rmodp_chaos::plan::{FaultKind, FaultPlan};
+use rmodp_chaos::shard::FaultPlanHook;
+use rmodp_netsim::sim::NodeIdx;
+use rmodp_netsim::time::SimDuration;
+use rmodp_workload::population::{
+    run_population, run_population_with_hook, PopulationConfig, PopulationScenario,
+};
+
+fn config(scenario: PopulationScenario, shards: usize) -> PopulationConfig {
+    let mut config = PopulationConfig::new(scenario, 20_260_808, shards);
+    config.regions = 6;
+    config.capsules_per_region = 32;
+    config.ops_per_capsule = 3;
+    config.arrival_window = SimDuration::from_millis(100);
+    config.collect_export = true;
+    config
+}
+
+#[test]
+fn bank_branch_runs_are_identical_at_shard_counts_1_2_4() {
+    let base = run_population(&config(PopulationScenario::Bank, 1));
+    assert_eq!(base.stats.offered, 6 * 32 * 3, "every op was issued");
+    assert_eq!(base.stats.lost, 0, "no faults, no losses");
+    assert!(base.report.pass, "{}", base.report.render());
+
+    for shards in [2, 4] {
+        let run = run_population(&config(PopulationScenario::Bank, shards));
+        assert!(
+            run.cross_shard_messages > 0,
+            "{shards}-shard run must exercise the cross-shard merge"
+        );
+        assert_eq!(
+            run.export, base.export,
+            "JSONL observe export differs at {shards} shards"
+        );
+        assert_eq!(run.export_checksum, base.export_checksum);
+        assert_eq!(run.state_checksum, base.state_checksum);
+        assert_eq!(run.events, base.events, "event count at {shards} shards");
+        assert_eq!(
+            run.report, base.report,
+            "SLO verdict differs at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn fault_injection_stays_shard_count_invariant() {
+    // Crash region 1's server (node 2) mid-run: requests in flight to it
+    // die, the capsules that targeted it stall, and the verdict flips —
+    // identically at every shard count.
+    let plan = FaultPlan::new().with(
+        SimDuration::from_millis(20),
+        FaultKind::CrashRestart {
+            node: NodeIdx(2),
+            down_for: SimDuration::from_millis(40),
+        },
+    );
+
+    let run_at = |shards: usize| {
+        let mut hook = FaultPlanHook::compile(&plan).expect("topology-level plan");
+        run_population_with_hook(&config(PopulationScenario::Bank, shards), &mut hook)
+    };
+
+    let base = run_at(1);
+    assert!(base.stats.lost > 0, "the crash must actually cost requests");
+    assert_eq!(base.hook_firings, 2, "crash + restart");
+
+    for shards in [2, 3] {
+        let run = run_at(shards);
+        assert_eq!(run.export, base.export, "faulted export at {shards} shards");
+        assert_eq!(run.export_checksum, base.export_checksum);
+        assert_eq!(run.state_checksum, base.state_checksum);
+        assert_eq!(run.stats.lost, base.stats.lost);
+        assert_eq!(run.report, base.report);
+    }
+}
